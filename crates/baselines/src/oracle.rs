@@ -1,0 +1,64 @@
+//! The oracle "estimator": exact answers from the ground-truth executor.
+//!
+//! Used by tests (an estimator with Q-error exactly 1) and by the harness to compute the
+//! true cardinalities that Q-errors are measured against.
+
+use std::sync::Arc;
+
+use nc_schema::{JoinSchema, Query};
+use nc_storage::Database;
+
+use crate::estimator::CardinalityEstimator;
+
+/// Exact cardinalities via `nc-exec`.
+pub struct OracleEstimator {
+    db: Arc<Database>,
+    schema: Arc<JoinSchema>,
+}
+
+impl OracleEstimator {
+    /// Creates the oracle over a database.
+    pub fn new(db: Arc<Database>, schema: Arc<JoinSchema>) -> Self {
+        OracleEstimator { db, schema }
+    }
+
+    /// The exact cardinality as an integer.
+    pub fn true_cardinality(&self, query: &Query) -> u128 {
+        nc_exec::true_cardinality(&self.db, &self.schema, query)
+    }
+}
+
+impl CardinalityEstimator for OracleEstimator {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        (self.true_cardinality(query) as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::Predicate;
+    use nc_storage::{TableBuilder, Value};
+
+    #[test]
+    fn oracle_matches_executor() {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x"]);
+        for i in 0..10i64 {
+            a.push_row(vec![Value::Int(i % 3)]);
+        }
+        db.add_table(a.finish());
+        let schema = JoinSchema::new(vec!["A".into()], vec![], "A").unwrap();
+        let oracle = OracleEstimator::new(Arc::new(db), Arc::new(schema));
+        let q = Query::join(&["A"]).filter("A", "x", Predicate::eq(0i64));
+        assert_eq!(oracle.true_cardinality(&q), 4);
+        assert_eq!(oracle.estimate(&q), 4.0);
+        assert_eq!(oracle.name(), "Oracle");
+        let empty = Query::join(&["A"]).filter("A", "x", Predicate::eq(99i64));
+        assert_eq!(oracle.estimate(&empty), 1.0);
+    }
+}

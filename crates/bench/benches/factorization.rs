@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark: lossless column factorization primitives (§5) — code
+//! splitting/recombination and digit-wise range translation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurocard::Factorization;
+
+fn bench_factorization(c: &mut Criterion) {
+    let fact = Factorization::new(1_000_000, 10);
+    let codes: Vec<u32> = (0..4096u32).map(|i| (i * 911) % 1_000_000).collect();
+
+    let mut group = c.benchmark_group("factorization");
+    group.bench_function("split_combine_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &code in &codes {
+                let digits = fact.split(code);
+                acc ^= fact.combine(&digits);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("digit_range_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &code in &codes {
+                let digits = fact.split(code);
+                let (lo, hi) = fact.digit_range(1_000, 999_000, &digits[..1], 1);
+                acc ^= lo ^ hi;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: Exact Weight join-count computation (the "13 seconds for
+//! JOB-light" preparation step of §4.1), measured on the synthetic JOB-light schema.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+use nc_sampler::JoinCounts;
+
+fn bench_join_counts(c: &mut Criterion) {
+    let schema = job_light_schema();
+    let mut group = c.benchmark_group("join_counts");
+    group.sample_size(10);
+    for title_rows in [200usize, 800] {
+        let cfg = DataGenConfig {
+            title_rows,
+            ..DataGenConfig::default()
+        };
+        let db = job_light_database(&cfg);
+        group.bench_with_input(BenchmarkId::new("job_light", title_rows), &db, |b, db| {
+            b.iter(|| {
+                let counts = JoinCounts::compute(db, &schema);
+                std::hint::black_box(counts.full_join_rows())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_counts);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark: ResMADE forward/backward training steps and conditional
+//! probability evaluation (the per-batch cost behind Figures 7a–7c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nc_nn::{Adam, AdamConfig, MadeConfig, ResMade};
+
+fn model() -> ResMade {
+    ResMade::new(MadeConfig {
+        domains: vec![64, 256, 32, 16, 128, 8, 3, 3, 3, 12, 12, 12],
+        d_emb: 12,
+        d_hidden: 96,
+        num_blocks: 2,
+        seed: 1,
+    })
+}
+
+fn batch(model: &ResMade, n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            (0..model.num_columns())
+                .map(|c| (i as u32 * 7 + c as u32) % model.domain(c) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resmade");
+    group.sample_size(20);
+
+    group.bench_function("forward_backward_batch128", |b| {
+        let mut m = model();
+        let mut adam = Adam::for_params(AdamConfig::default(), &m.params());
+        let rows = batch(&m, 128);
+        b.iter(|| {
+            let loss = m.forward_backward(&rows, &rows);
+            adam.step(&mut m.params_mut());
+            std::hint::black_box(loss)
+        })
+    });
+
+    group.bench_function("conditional_probs_batch64", |b| {
+        let m = model();
+        let rows = batch(&m, 64);
+        b.iter(|| std::hint::black_box(m.conditional_probs(&rows, 6)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark: full-outer-join sampling throughput (unbiased Exact Weight
+//! sampler vs the biased IBJS-style walk), i.e. the producer side of Figure 7b.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+use nc_sampler::{BiasedSampler, JoinSampler, WideLayout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let cfg = DataGenConfig {
+        title_rows: 400,
+        ..DataGenConfig::default()
+    };
+    let db = Arc::new(job_light_database(&cfg));
+    let schema = Arc::new(job_light_schema());
+    let sampler = JoinSampler::new(db.clone(), schema.clone());
+    let biased = BiasedSampler::new(db.clone(), schema.clone());
+    let layout = WideLayout::new(&db, &schema);
+
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(20);
+    group.bench_function("exact_weight_256", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(sampler.sample_many(&mut rng, 256)))
+    });
+    group.bench_function("biased_ibjs_256", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(biased.sample_many(&mut rng, 256)))
+    });
+    group.bench_function("materialize_wide_256", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sampler.sample_many(&mut rng, 256);
+        b.iter(|| std::hint::black_box(layout.materialize_batch(&db, &samples)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

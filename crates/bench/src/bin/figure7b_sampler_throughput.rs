@@ -1,0 +1,42 @@
+//! Reproduces **Figure 7b**: training-tuple sampling throughput versus the number of
+//! sampler threads.
+//!
+//! The paper reports ~40K tuples/s peak with four threads saturating the GPU consumer.
+//! Here there is no GPU and a single CPU core, so the absolute numbers and the saturation
+//! point differ; what is preserved is that the sampler itself parallelises and the
+//! per-thread cost is dominated by index lookups.
+
+use std::time::Instant;
+
+use nc_bench::harness::print_preamble;
+use nc_bench::{BenchEnv, HarnessConfig};
+use nc_sampler::{sample_wide_batch_parallel, JoinSampler, WideLayout};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let env = BenchEnv::job_light(&config);
+    print_preamble("Figure 7b: sampling throughput vs threads", &env.name, &config);
+
+    let sampler = JoinSampler::new(env.db.clone(), env.schema.clone());
+    let layout = WideLayout::new(&env.db, &env.schema);
+    let tuples = (config.train_tuples / 2).max(2_000);
+
+    println!("{:>8} {:>16} {:>14}", "threads", "tuples/second", "elapsed");
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let batch = sample_wide_batch_parallel(&sampler, &layout, tuples, threads, config.seed);
+        let elapsed = start.elapsed();
+        let throughput = batch.len() as f64 / elapsed.as_secs_f64();
+        println!(
+            "{:>8} {:>16.0} {:>13.2}s",
+            threads,
+            throughput,
+            elapsed.as_secs_f64()
+        );
+    }
+    println!();
+    println!("Paper (V100 + 32 vCPUs): 1→4 threads scale throughput to ~40K tuples/s, after");
+    println!("which the GPU consumer is saturated.  On this single-core host the curve is");
+    println!("flat-to-slightly-decreasing; the interesting number is the absolute per-core");
+    println!("sampling rate, which bounds training cost exactly as in §7.4.");
+}

@@ -1,0 +1,65 @@
+//! Reproduces **Table 1**: workload characteristics (tables, rows of the full outer join,
+//! columns, maximum column domain size) for JOB-light, JOB-light-ranges and JOB-M.
+
+use nc_bench::{BenchEnv, HarnessConfig};
+use nc_sampler::JoinCounts;
+
+fn describe(env: &BenchEnv) -> (usize, u128, usize, usize) {
+    let counts = JoinCounts::compute(&env.db, &env.schema);
+    let num_tables = env.schema.num_tables();
+    let full_join_rows = counts.full_join_rows();
+    // Columns of the full join = base columns of all tables (the paper counts content
+    // columns of the join, not virtual columns).
+    let cols: usize = env
+        .schema
+        .tables()
+        .iter()
+        .map(|t| env.db.expect_table(t).num_columns())
+        .sum();
+    let max_domain = env
+        .schema
+        .tables()
+        .iter()
+        .flat_map(|t| {
+            let table = env.db.expect_table(t);
+            table
+                .columns()
+                .iter()
+                .map(|c| c.distinct_count())
+                .collect::<Vec<_>>()
+        })
+        .max()
+        .unwrap_or(0);
+    (num_tables, full_join_rows, cols, max_domain)
+}
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    nc_bench::harness::print_preamble("Table 1: workload characteristics", "all", &config);
+
+    println!(
+        "{:<22} {:>7} {:>16} {:>6} {:>10}   paper (real IMDB)",
+        "Workload", "Tables", "FullJoinRows", "Cols", "MaxDomain"
+    );
+    let light = BenchEnv::job_light(&config);
+    let (t, j, c, d) = describe(&light);
+    println!(
+        "{:<22} {:>7} {:>16} {:>6} {:>10}   6 tables, 2e12 rows, 8 cols, 235K domain",
+        "JOB-light", t, j, c, d
+    );
+    println!(
+        "{:<22} {:>7} {:>16} {:>6} {:>10}   6 tables, 2e12 rows, 13 cols, 134K domain",
+        "JOB-light-ranges", t, j, c, d
+    );
+    let m = BenchEnv::job_m(&config);
+    let (t, j, c, d) = describe(&m);
+    println!(
+        "{:<22} {:>7} {:>16} {:>6} {:>10}   16 tables, 1e13 rows, 16 cols, 2.7M domain",
+        "JOB-M", t, j, c, d
+    );
+    println!();
+    println!(
+        "shape check: the JOB-M full join must be substantially larger and wider than the \
+         JOB-light full join, and both full joins dwarf the base tables."
+    );
+}

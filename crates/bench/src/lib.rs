@@ -1,0 +1,22 @@
+//! # nc-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper's evaluation plus a
+//! set of Criterion micro-benchmarks.  See `DESIGN.md` §4 for the experiment → binary map
+//! and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//!
+//! Every binary reads its scale knobs from environment variables (with defaults sized for
+//! a single CPU core) and prints, next to each measured number, the value the paper reports
+//! on the real IMDB data, so the *shape* of the result can be checked at a glance.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `NC_TITLE_ROWS` | rows of the synthetic `title` fact table | 800 |
+//! | `NC_QUERIES` | queries per workload | 40 |
+//! | `NC_TRAIN_TUPLES` | NeuroCard training tuples | 30000 |
+//! | `NC_PSAMPLES` | progressive samples per query | 64 |
+//! | `NC_SAMPLES_BASELINE` | per-query / per-template samples for IBJS, DeepDB-lite, uniform-sample baselines | 4000 |
+//! | `NC_SEED` | global seed | 42 |
+
+pub mod harness;
+
+pub use harness::{BenchEnv, EvalResult, HarnessConfig};

@@ -1,0 +1,111 @@
+//! Generation parameters.
+
+/// Parameters controlling dataset size and shape.
+///
+/// The defaults are sized so that every experiment in the benchmark harness runs on a
+/// single CPU core in minutes while preserving the statistical properties that matter
+/// (skew, correlation, partial referential integrity).  The `scale` knob multiplies all row
+/// counts for users who want something closer to the real IMDB scale.
+#[derive(Debug, Clone)]
+pub struct DataGenConfig {
+    /// PRNG seed; identical configs generate identical databases.
+    pub seed: u64,
+    /// Number of rows in the fact table `title` before scaling.
+    pub title_rows: usize,
+    /// Global multiplier applied to all row counts.
+    pub scale: f64,
+    /// Mean fanout (children per movie) for the wide child tables (`cast_info`,
+    /// `movie_info`).
+    pub heavy_fanout: f64,
+    /// Mean fanout for the narrow child tables (`movie_keyword`, `movie_companies`,
+    /// `movie_info_idx`).
+    pub light_fanout: f64,
+    /// Zipf skew exponent for fanout and categorical distributions (higher = more skew).
+    pub skew: f64,
+    /// Fraction of child rows whose `movie_id` intentionally has no match in `title`
+    /// (exercises full-outer-join NULL handling).
+    pub dangling_fraction: f64,
+    /// Fraction of title rows that receive no children in a given child table.
+    pub childless_fraction: f64,
+    /// Production-year range (inclusive) of generated movies.
+    pub year_range: (i64, i64),
+    /// Strength in [0, 1] of the injected correlation between parent attributes and child
+    /// content columns (0 = independent, 1 = deterministic).
+    pub correlation: f64,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        DataGenConfig {
+            seed: 0x5EED_CA2D,
+            title_rows: 1_000,
+            scale: 1.0,
+            heavy_fanout: 4.0,
+            light_fanout: 2.0,
+            skew: 1.1,
+            dangling_fraction: 0.02,
+            childless_fraction: 0.15,
+            year_range: (1960, 2020),
+            correlation: 0.8,
+        }
+    }
+}
+
+impl DataGenConfig {
+    /// A configuration with the given seed and default sizes.
+    pub fn with_seed(seed: u64) -> Self {
+        DataGenConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        DataGenConfig {
+            title_rows: 120,
+            heavy_fanout: 3.0,
+            light_fanout: 1.5,
+            ..Default::default()
+        }
+    }
+
+    /// Effective row count of the fact table after scaling.
+    pub fn effective_title_rows(&self) -> usize {
+        ((self.title_rows as f64) * self.scale).round().max(1.0) as usize
+    }
+
+    /// Number of distinct production years.
+    pub fn num_years(&self) -> i64 {
+        self.year_range.1 - self.year_range.0 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DataGenConfig::default();
+        assert!(c.title_rows > 0);
+        assert!(c.heavy_fanout > c.light_fanout);
+        assert!(c.dangling_fraction < 0.5);
+        assert!(c.num_years() > 0);
+        assert_eq!(c.effective_title_rows(), c.title_rows);
+    }
+
+    #[test]
+    fn scaling_applies() {
+        let mut c = DataGenConfig::tiny();
+        c.scale = 2.5;
+        assert_eq!(c.effective_title_rows(), 300);
+        c.scale = 0.0001;
+        assert_eq!(c.effective_title_rows(), 1);
+    }
+
+    #[test]
+    fn with_seed_sets_seed() {
+        assert_eq!(DataGenConfig::with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,384 @@
+//! Synthetic JOB-M database: a 16-table IMDB snowflake schema with multi-key joins.
+//!
+//! The JOB-M benchmark of the paper stresses two things JOB-light does not: many more
+//! tables (16) and tables that join on *multiple different keys* (e.g. `movie_companies`
+//! joins `title` on `movie_id`, `company_name` on `company_id` and `company_type` on
+//! `company_type_id`).  This generator extends the JOB-light star with link/alias tables
+//! and the dimension tables those bridges reference:
+//!
+//! ```text
+//! title ─┬─ cast_info ──┬─ name
+//!        │              └─ role_type
+//!        ├─ movie_companies ──┬─ company_name
+//!        │                    └─ company_type
+//!        ├─ movie_info ─── info_type
+//!        ├─ movie_keyword ─ keyword
+//!        ├─ movie_info_idx
+//!        ├─ movie_link
+//!        ├─ aka_title
+//!        └─ complete_cast ─ comp_cast_type
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_schema::{JoinEdge, JoinSchema};
+use nc_storage::{Database, Table, TableBuilder, Value};
+
+use crate::config::DataGenConfig;
+use crate::distributions::{sample_fanout, Zipf};
+use crate::imdb_light::{job_light_database, NUM_ROLES};
+
+/// The sixteen JOB-M table names.
+pub const JOB_M_TABLES: [&str; 16] = [
+    "title",
+    "cast_info",
+    "movie_companies",
+    "movie_info",
+    "movie_keyword",
+    "movie_info_idx",
+    "movie_link",
+    "aka_title",
+    "complete_cast",
+    "name",
+    "role_type",
+    "company_name",
+    "company_type",
+    "keyword",
+    "info_type",
+    "comp_cast_type",
+];
+
+/// Number of complete-cast subject types.
+pub const NUM_COMP_CAST_TYPES: usize = 4;
+/// Number of link types in `movie_link`.
+pub const NUM_LINK_TYPES: usize = 8;
+
+/// The JOB-M join schema (tree rooted at `title`, multi-key bridges).
+pub fn job_m_schema() -> JoinSchema {
+    let edges = vec![
+        JoinEdge::parse("title.id", "cast_info.movie_id"),
+        JoinEdge::parse("title.id", "movie_companies.movie_id"),
+        JoinEdge::parse("title.id", "movie_info.movie_id"),
+        JoinEdge::parse("title.id", "movie_keyword.movie_id"),
+        JoinEdge::parse("title.id", "movie_info_idx.movie_id"),
+        JoinEdge::parse("title.id", "movie_link.movie_id"),
+        JoinEdge::parse("title.id", "aka_title.movie_id"),
+        JoinEdge::parse("title.id", "complete_cast.movie_id"),
+        JoinEdge::parse("cast_info.person_id", "name.id"),
+        JoinEdge::parse("cast_info.role_id", "role_type.id"),
+        JoinEdge::parse("movie_companies.company_id", "company_name.id"),
+        JoinEdge::parse("movie_companies.company_type_id", "company_type.id"),
+        JoinEdge::parse("movie_keyword.keyword_id", "keyword.id"),
+        JoinEdge::parse("movie_info.info_type_id", "info_type.id"),
+        JoinEdge::parse("complete_cast.subject_id", "comp_cast_type.id"),
+    ];
+    JoinSchema::new(
+        JOB_M_TABLES.iter().map(|s| s.to_string()).collect(),
+        edges,
+        "title",
+    )
+    .expect("static schema is valid")
+}
+
+/// Content columns usable for filter generation in JOB-M queries (table, column,
+/// supports-range).
+pub fn job_m_filter_columns() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        ("title", "kind_id", false),
+        ("title", "production_year", true),
+        ("title", "phonetic_code", true),
+        ("cast_info", "nr_order", true),
+        ("movie_info", "info_length", true),
+        ("movie_info_idx", "rating", true),
+        ("movie_link", "link_type_id", false),
+        ("aka_title", "title_length", true),
+        ("complete_cast", "status_id", false),
+        ("name", "gender", false),
+        ("name", "name_pcode", true),
+        ("company_name", "country_code", false),
+        ("company_type", "kind", false),
+        ("keyword", "phonetic", true),
+        ("info_type", "category", false),
+        ("comp_cast_type", "kind", false),
+        ("role_type", "role_kind", false),
+    ]
+}
+
+/// Generates the 16-table JOB-M database.
+///
+/// The six JOB-light tables are generated first (same distributions), then the additional
+/// bridge tables and dimension tables are derived so that every foreign key used by a
+/// bridge exists in its dimension (plus a handful of never-referenced dimension rows, so
+/// outer-join NULL paths exist on the dimension side too).
+pub fn job_m_database(config: &DataGenConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4A0B_0A0D);
+    let mut db = job_light_database(config);
+    let n_title = db.expect_table("title").num_rows();
+
+    // --- additional bridge tables -------------------------------------------------------
+    db.add_table(build_movie_link(config, &mut rng, n_title));
+    db.add_table(build_aka_title(config, &mut rng, n_title));
+    db.add_table(build_complete_cast(config, &mut rng, n_title));
+
+    // --- dimension tables ----------------------------------------------------------------
+    let max_person = max_int(&db, "cast_info", "person_id");
+    let max_company = max_int(&db, "movie_companies", "company_id");
+    let max_keyword = max_int(&db, "movie_keyword", "keyword_id");
+    let max_info_type = max_int(&db, "movie_info", "info_type_id");
+
+    db.add_table(build_name(&mut rng, max_person + 10));
+    db.add_table(build_role_type(NUM_ROLES + 2));
+    db.add_table(build_company_name(&mut rng, max_company + 10));
+    db.add_table(build_company_type(6));
+    db.add_table(build_keyword(&mut rng, max_keyword + 10));
+    db.add_table(build_info_type(max_info_type + 3));
+    db.add_table(build_comp_cast_type(NUM_COMP_CAST_TYPES));
+    db
+}
+
+fn max_int(db: &Database, table: &str, column: &str) -> i64 {
+    db.expect_table(table)
+        .column(column)
+        .expect("column exists")
+        .min_max()
+        .and_then(|(_, max)| max.as_int())
+        .unwrap_or(0)
+}
+
+fn build_movie_link(config: &DataGenConfig, rng: &mut StdRng, n_title: usize) -> Table {
+    let mut b = TableBuilder::new("movie_link", &["movie_id", "link_type_id", "linked_movie_id"]);
+    let link_zipf = Zipf::new(NUM_LINK_TYPES, config.skew);
+    for movie in 1..=n_title {
+        let fanout = sample_fanout(rng, 0.7, config.skew, 0.6, 6);
+        for _ in 0..fanout {
+            b.push_row(vec![
+                Value::Int(movie as i64),
+                Value::Int(link_zipf.sample(rng) as i64 + 1),
+                Value::Int(rng.random_range(1..=n_title as i64)),
+            ]);
+        }
+    }
+    b.finish()
+}
+
+fn build_aka_title(config: &DataGenConfig, rng: &mut StdRng, n_title: usize) -> Table {
+    let mut b = TableBuilder::new("aka_title", &["movie_id", "title_length"]);
+    for movie in 1..=n_title {
+        let fanout = sample_fanout(rng, 0.8, config.skew, 0.5, 5);
+        for _ in 0..fanout {
+            b.push_row(vec![
+                Value::Int(movie as i64),
+                Value::Int(rng.random_range(3..=60)),
+            ]);
+        }
+    }
+    b.finish()
+}
+
+fn build_complete_cast(config: &DataGenConfig, rng: &mut StdRng, n_title: usize) -> Table {
+    let mut b = TableBuilder::new("complete_cast", &["movie_id", "subject_id", "status_id"]);
+    for movie in 1..=n_title {
+        let fanout = sample_fanout(rng, 0.6, config.skew, 0.6, 4);
+        for _ in 0..fanout {
+            let subject = rng.random_range(1..=NUM_COMP_CAST_TYPES as i64);
+            // status correlated with subject.
+            let status = if rng.random::<f64>() < config.correlation {
+                subject % 3 + 1
+            } else {
+                rng.random_range(1..=3)
+            };
+            b.push_row(vec![
+                Value::Int(movie as i64),
+                Value::Int(subject),
+                Value::Int(status),
+            ]);
+        }
+    }
+    b.finish()
+}
+
+fn build_name(rng: &mut StdRng, n: i64) -> Table {
+    let mut b = TableBuilder::new("name", &["id", "gender", "name_pcode"]);
+    for id in 1..=n {
+        // Gender correlated with id parity plus noise; pcode correlated with id bucket.
+        let gender = if (id % 2 == 0) ^ (rng.random::<f64>() < 0.1) {
+            "m"
+        } else {
+            "f"
+        };
+        let letter = (b'A' + ((id / 37) % 26) as u8) as char;
+        b.push_row(vec![
+            Value::Int(id),
+            Value::from(gender),
+            Value::from(format!("{letter}{:02}", id % 100)),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_role_type(n: usize) -> Table {
+    let kinds = ["actor", "actress", "producer", "writer", "director", "crew"];
+    let mut b = TableBuilder::new("role_type", &["id", "role_kind"]);
+    for id in 1..=n {
+        b.push_row(vec![
+            Value::Int(id as i64),
+            Value::from(kinds[(id - 1) % kinds.len()]),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_company_name(rng: &mut StdRng, n: i64) -> Table {
+    let countries = ["[us]", "[gb]", "[de]", "[fr]", "[jp]", "[in]", "[ca]"];
+    let mut b = TableBuilder::new("company_name", &["id", "country_code"]);
+    let zipf = Zipf::new(countries.len(), 1.3);
+    for id in 1..=n {
+        b.push_row(vec![
+            Value::Int(id),
+            Value::from(countries[zipf.sample(rng)]),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_company_type(n: usize) -> Table {
+    let kinds = [
+        "production companies",
+        "distributors",
+        "special effects companies",
+        "miscellaneous companies",
+        "vfx",
+        "other",
+    ];
+    let mut b = TableBuilder::new("company_type", &["id", "kind"]);
+    for id in 1..=n {
+        b.push_row(vec![Value::Int(id as i64), Value::from(kinds[(id - 1) % kinds.len()])]);
+    }
+    b.finish()
+}
+
+fn build_keyword(rng: &mut StdRng, n: i64) -> Table {
+    let mut b = TableBuilder::new("keyword", &["id", "phonetic"]);
+    for id in 1..=n {
+        let letter = (b'A' + ((id * 7) % 26) as u8) as char;
+        b.push_row(vec![
+            Value::Int(id),
+            Value::from(format!("{letter}{:03}", rng.random_range(0..1000))),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_info_type(n: i64) -> Table {
+    let categories = ["technical", "rating", "plot", "business", "misc"];
+    let mut b = TableBuilder::new("info_type", &["id", "category"]);
+    for id in 1..=n {
+        b.push_row(vec![
+            Value::Int(id),
+            Value::from(categories[(id as usize - 1) % categories.len()]),
+        ]);
+    }
+    b.finish()
+}
+
+fn build_comp_cast_type(n: usize) -> Table {
+    let kinds = ["cast", "crew", "complete", "complete+verified"];
+    let mut b = TableBuilder::new("comp_cast_type", &["id", "kind"]);
+    for id in 1..=n {
+        b.push_row(vec![Value::Int(id as i64), Value::from(kinds[(id - 1) % kinds.len()])]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_sixteen_tables_and_is_a_tree() {
+        let s = job_m_schema();
+        assert_eq!(s.num_tables(), 16);
+        assert_eq!(s.edges().len(), 15);
+        assert_eq!(s.root(), "title");
+        assert_eq!(s.children("cast_info"), &["name", "role_type"]);
+        assert_eq!(s.parent("company_name"), Some("movie_companies"));
+        // Multi-key: movie_companies has three different join key columns.
+        assert_eq!(
+            s.join_key_columns("movie_companies"),
+            vec![
+                "company_id".to_string(),
+                "company_type_id".to_string(),
+                "movie_id".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn database_contains_all_tables_with_rows() {
+        let db = job_m_database(&DataGenConfig::tiny());
+        for t in JOB_M_TABLES {
+            let table = db.expect_table(t);
+            assert!(table.num_rows() > 0, "table {t} is empty");
+        }
+    }
+
+    #[test]
+    fn dimension_ids_cover_bridge_foreign_keys() {
+        let db = job_m_database(&DataGenConfig::tiny());
+        let checks = [
+            ("cast_info", "person_id", "name"),
+            ("cast_info", "role_id", "role_type"),
+            ("movie_companies", "company_id", "company_name"),
+            ("movie_companies", "company_type_id", "company_type"),
+            ("movie_keyword", "keyword_id", "keyword"),
+            ("movie_info", "info_type_id", "info_type"),
+            ("complete_cast", "subject_id", "comp_cast_type"),
+        ];
+        for (bridge, fk, dim) in checks {
+            let max_fk = db
+                .expect_table(bridge)
+                .column(fk)
+                .unwrap()
+                .min_max()
+                .unwrap()
+                .1
+                .as_int()
+                .unwrap();
+            let max_id = db
+                .expect_table(dim)
+                .column("id")
+                .unwrap()
+                .min_max()
+                .unwrap()
+                .1
+                .as_int()
+                .unwrap();
+            assert!(max_id >= max_fk, "{dim}.id must cover {bridge}.{fk}");
+        }
+    }
+
+    #[test]
+    fn filter_columns_exist() {
+        let db = job_m_database(&DataGenConfig::tiny());
+        for (t, c, _) in job_m_filter_columns() {
+            assert!(
+                db.expect_table(t).column(c).is_some(),
+                "missing filter column {t}.{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = job_m_database(&DataGenConfig::tiny());
+        let b = job_m_database(&DataGenConfig::tiny());
+        for t in JOB_M_TABLES {
+            assert_eq!(
+                a.expect_table(t).num_rows(),
+                b.expect_table(t).num_rows(),
+                "table {t}"
+            );
+        }
+    }
+}

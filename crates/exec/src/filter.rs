@@ -1,0 +1,85 @@
+//! Filter evaluation.
+
+use nc_schema::{Query, TableFilter};
+use nc_storage::Table;
+
+/// Evaluates the conjunction of `filters` against every row of `table`, returning a mask
+/// with `true` for rows that satisfy *all* of them.
+///
+/// Filters referencing other tables are ignored (callers usually pass
+/// [`Query::filters_on`] output, but passing the whole filter list is allowed).
+pub fn filter_mask(table: &Table, filters: &[&TableFilter]) -> Vec<bool> {
+    let relevant: Vec<&TableFilter> = filters
+        .iter()
+        .copied()
+        .filter(|f| f.table == table.name())
+        .collect();
+    let mut mask = vec![true; table.num_rows()];
+    for f in relevant {
+        let col = table.column(&f.column).unwrap_or_else(|| {
+            panic!("filter references missing column {}.{}", f.table, f.column)
+        });
+        for (row, keep) in mask.iter_mut().enumerate() {
+            if *keep && !f.predicate.matches(&col.value(row)) {
+                *keep = false;
+            }
+        }
+    }
+    mask
+}
+
+/// Convenience: the mask for one table of a query.
+pub fn query_filter_mask(table: &Table, query: &Query) -> Vec<bool> {
+    filter_mask(table, &query.filters_on(table.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::Predicate;
+    use nc_storage::{TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new("t", &["id", "year"]);
+        for (id, year) in [(1, 1990), (2, 2000), (3, 2010), (4, 2020)] {
+            b.push_row(vec![Value::Int(id), Value::Int(year)]);
+        }
+        b.push_row(vec![Value::Int(5), Value::Null]);
+        b.finish()
+    }
+
+    #[test]
+    fn conjunction_of_filters() {
+        let t = table();
+        let f1 = TableFilter::new("t", "year", Predicate::ge(2000i64));
+        let f2 = TableFilter::new("t", "year", Predicate::lt(2020i64));
+        let mask = filter_mask(&t, &[&f1, &f2]);
+        assert_eq!(mask, vec![false, true, true, false, false]);
+    }
+
+    #[test]
+    fn filters_for_other_tables_ignored() {
+        let t = table();
+        let other = TableFilter::new("u", "year", Predicate::eq(0i64));
+        let mask = filter_mask(&t, &[&other]);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn query_mask_uses_only_matching_table() {
+        let t = table();
+        let q = nc_schema::Query::join(&["t", "u"])
+            .filter("t", "year", Predicate::le(2000i64))
+            .filter("u", "x", Predicate::eq(1i64));
+        let mask = query_filter_mask(&t, &q);
+        assert_eq!(mask, vec![true, true, false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing column")]
+    fn missing_column_panics() {
+        let t = table();
+        let f = TableFilter::new("t", "nope", Predicate::eq(1i64));
+        filter_mask(&t, &[&f]);
+    }
+}

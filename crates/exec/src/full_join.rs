@@ -1,0 +1,244 @@
+//! Brute-force enumeration of the augmented full outer join.
+//!
+//! NeuroCard's probability space is the full outer join of all schema tables, augmented
+//! with a virtual `⊥` (NULL) tuple per table (paper §4.1, "NULL handling"): a tuple of the
+//! join that has no partner in some table takes that table's `⊥` tuple, and the all-`⊥`
+//! combination is excluded.  This module enumerates that space explicitly.  The cost is the
+//! size of the full join itself, so it is only usable on tiny inputs — which is exactly its
+//! purpose: tests use it to validate the linear-time join-count DP and the unbiasedness of
+//! the sampler against ground truth.
+
+use nc_schema::JoinSchema;
+use nc_storage::{Database, RowId, Table, Value};
+
+/// One row of the augmented full outer join: for every schema table (in
+/// [`JoinSchema::bfs_order`]) either a concrete base-table row or `None` = the `⊥` tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullJoinRow {
+    /// Table names in BFS order (shared by all rows of one enumeration).
+    pub tables: Vec<String>,
+    /// Per-table assignment aligned with `tables`.
+    pub assignment: Vec<Option<RowId>>,
+}
+
+impl FullJoinRow {
+    /// The assignment for `table`, or `None` if the table is absent from the schema.
+    pub fn row_of(&self, table: &str) -> Option<Option<RowId>> {
+        self.tables
+            .iter()
+            .position(|t| t == table)
+            .map(|i| self.assignment[i])
+    }
+
+    /// The value of `table.column` in this join row (NULL when the table's slot is `⊥`).
+    pub fn value(&self, db: &Database, table: &str, column: &str) -> Value {
+        match self.row_of(table).flatten() {
+            Some(r) => db.expect_table(table).value(column, r),
+            None => Value::Null,
+        }
+    }
+
+    /// The paper's indicator column `1_T`: 1 when the row has a real partner in `table`.
+    pub fn indicator(&self, table: &str) -> i64 {
+        match self.row_of(table).flatten() {
+            Some(_) => 1,
+            None => 0,
+        }
+    }
+}
+
+/// Enumerates every row of the augmented full outer join of the whole schema.
+///
+/// Complexity is the size of the full join; intended for tiny test databases only.
+pub fn enumerate_full_join(db: &Database, schema: &JoinSchema) -> Vec<FullJoinRow> {
+    let order: Vec<String> = schema.bfs_order().to_vec();
+    let root = schema.root().to_string();
+    let root_table = db.expect_table(&root);
+
+    // Partial assignments, indexed in lock-step with `order`.
+    let mut partials: Vec<Vec<Option<RowId>>> = Vec::new();
+    for r in 0..root_table.num_rows() {
+        partials.push(vec![Some(r as RowId)]);
+    }
+    partials.push(vec![None]); // the root ⊥ tuple
+
+    for child in order.iter().skip(1) {
+        let parent = schema.parent(child).expect("non-root has a parent").to_string();
+        let parent_idx = order.iter().position(|t| *t == parent).expect("parent visited");
+        let edges = schema.edges_between(&parent, child);
+        let parent_cols: Vec<String> = edges
+            .iter()
+            .map(|e| e.endpoint(&parent).expect("touches parent").column.clone())
+            .collect();
+        let child_cols: Vec<String> = edges
+            .iter()
+            .map(|e| e.endpoint(child).expect("touches child").column.clone())
+            .collect();
+        let parent_table = db.expect_table(&parent);
+        let child_table = db.expect_table(child);
+
+        let mut next = Vec::new();
+        for partial in &partials {
+            let candidates = candidates_for(
+                parent_table,
+                child_table,
+                &parent_cols,
+                &child_cols,
+                partial[parent_idx],
+            );
+            for c in candidates {
+                let mut extended = partial.clone();
+                extended.push(c);
+                next.push(extended);
+            }
+        }
+        partials = next;
+    }
+
+    partials
+        .into_iter()
+        .filter(|assignment| assignment.iter().any(|a| a.is_some()))
+        .map(|assignment| FullJoinRow {
+            tables: order.clone(),
+            assignment,
+        })
+        .collect()
+}
+
+/// Join partners of one parent slot in the child table, following the paper's ⊥ rules.
+fn candidates_for(
+    parent: &Table,
+    child: &Table,
+    parent_cols: &[String],
+    child_cols: &[String],
+    parent_slot: Option<RowId>,
+) -> Vec<Option<RowId>> {
+    let child_key = |r: usize| -> Vec<Value> {
+        child_cols
+            .iter()
+            .map(|c| child.value(c, r as RowId))
+            .collect()
+    };
+    match parent_slot {
+        Some(parent_row) => {
+            let key: Vec<Value> = parent_cols
+                .iter()
+                .map(|c| parent.value(c, parent_row))
+                .collect();
+            if key.iter().any(Value::is_null) {
+                return vec![None];
+            }
+            let matches: Vec<Option<RowId>> = (0..child.num_rows())
+                .filter(|&r| child_key(r) == key)
+                .map(|r| Some(r as RowId))
+                .collect();
+            if matches.is_empty() {
+                vec![None]
+            } else {
+                matches
+            }
+        }
+        None => {
+            // Parent is ⊥: child rows with no parent match (including NULL-keyed rows),
+            // plus the child's own ⊥ so unmatched chains deeper in the tree stay reachable.
+            let parent_keys: Vec<Vec<Value>> = (0..parent.num_rows())
+                .map(|r| {
+                    parent_cols
+                        .iter()
+                        .map(|c| parent.value(c, r as RowId))
+                        .collect()
+                })
+                .collect();
+            let mut out: Vec<Option<RowId>> = (0..child.num_rows())
+                .filter(|&r| {
+                    let k = child_key(r);
+                    k.iter().any(Value::is_null) || !parent_keys.contains(&k)
+                })
+                .map(|r| Some(r as RowId))
+                .collect();
+            out.push(None);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::JoinEdge;
+    use nc_storage::TableBuilder;
+
+    /// The paper's Figure 4 data.
+    fn figure4_db() -> (Database, JoinSchema) {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x"]);
+        a.push_row(vec![Value::Int(1)]);
+        a.push_row(vec![Value::Int(2)]);
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "y"]);
+        b.push_row(vec![Value::Int(1), Value::from("a")]);
+        b.push_row(vec![Value::Int(2), Value::from("b")]);
+        b.push_row(vec![Value::Int(2), Value::from("c")]);
+        db.add_table(b.finish());
+        let mut c = TableBuilder::new("C", &["y"]);
+        c.push_row(vec![Value::from("c")]);
+        c.push_row(vec![Value::from("c")]);
+        c.push_row(vec![Value::from("d")]);
+        db.add_table(c.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into(), "C".into()],
+            vec![JoinEdge::parse("A.x", "B.x"), JoinEdge::parse("B.y", "C.y")],
+            "A",
+        )
+        .unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn figure4_full_join_has_five_rows() {
+        let (db, schema) = figure4_db();
+        let rows = enumerate_full_join(&db, &schema);
+        // Figure 4c lists exactly 5 rows.
+        assert_eq!(rows.len(), 5);
+        // |A.x = 2| in the full join is 3 (as the paper notes above Q1).
+        let x2 = rows
+            .iter()
+            .filter(|r| r.value(&db, "A", "x") == Value::Int(2))
+            .count();
+        assert_eq!(x2, 3);
+        // Exactly one row has a NULL A slot (the unmatched C row 'd').
+        let null_a = rows.iter().filter(|r| r.indicator("A") == 0).count();
+        assert_eq!(null_a, 1);
+        // That row also has B = ⊥ and C = the 'd' row.
+        let row = rows.iter().find(|r| r.indicator("A") == 0).unwrap();
+        assert_eq!(row.indicator("B"), 0);
+        assert_eq!(row.value(&db, "C", "y"), Value::from("d"));
+        // No all-NULL row exists.
+        assert!(rows.iter().all(|r| r.assignment.iter().any(|a| a.is_some())));
+    }
+
+    #[test]
+    fn inner_join_rows_match_indicators() {
+        let (db, schema) = figure4_db();
+        let rows = enumerate_full_join(&db, &schema);
+        // Rows with all indicators = 1 are exactly the inner join (2 rows, per Figure 4d Q1
+        // with the filter removed the count over A.x=2 is 2).
+        let inner = rows
+            .iter()
+            .filter(|r| ["A", "B", "C"].iter().all(|t| r.indicator(t) == 1))
+            .count();
+        assert_eq!(inner, 2);
+    }
+
+    #[test]
+    fn value_and_row_of_accessors() {
+        let (db, schema) = figure4_db();
+        let rows = enumerate_full_join(&db, &schema);
+        let some_row = &rows[0];
+        assert!(some_row.row_of("A").is_some());
+        assert!(some_row.row_of("unknown").is_none());
+        // Values of a ⊥ slot are NULL.
+        let null_a = rows.iter().find(|r| r.indicator("A") == 0).unwrap();
+        assert_eq!(null_a.value(&db, "A", "x"), Value::Null);
+    }
+}

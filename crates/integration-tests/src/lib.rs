@@ -1,0 +1,1 @@
+// The integration-tests crate exists only to host the cross-crate tests in /tests.

@@ -1,0 +1,337 @@
+//! The public estimator API: build once per schema, estimate any query.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nc_sampler::{BiasedSampler, JoinCounts, JoinSampler, WideLayout};
+use nc_schema::{JoinSchema, Query};
+use nc_storage::Database;
+
+use crate::config::NeuroCardConfig;
+use crate::encoding::EncodedLayout;
+use crate::infer::ProgressiveSampler;
+use crate::train::{TrainProgress, Trainer, TrainingSource};
+
+/// Construction and size statistics of a built estimator (the "Size" / timing columns of
+/// the paper's tables and Figure 7c).
+#[derive(Debug, Clone)]
+pub struct EstimatorStats {
+    /// Number of scalar model parameters.
+    pub num_params: usize,
+    /// Model size in bytes (4 bytes per parameter).
+    pub model_bytes: usize,
+    /// Rows of the augmented full outer join (`|J|`).
+    pub full_join_rows: u128,
+    /// Wall-clock time spent computing join counts (sampler preparation).
+    pub prepare_time: Duration,
+    /// Wall-clock time spent sampling training tuples.
+    pub sampling_time: Duration,
+    /// Wall-clock time spent on gradient computation.
+    pub training_time: Duration,
+    /// Total training tuples consumed.
+    pub tuples_trained: usize,
+    /// Training loss of the last mini-batch (nats/tuple).
+    pub final_loss: f32,
+}
+
+/// Options that deviate from the plain `build` path (ablations and update experiments).
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Build dictionaries from this database instead of the sampled one (update
+    /// experiments keep the token space fixed across snapshots).
+    pub dictionary_db: Option<Arc<Database>>,
+    /// Train from the biased IBJS-style sampler instead of the Exact Weight sampler
+    /// (ablation Table 5 row A).
+    pub biased_sampler: bool,
+}
+
+/// A trained NeuroCard estimator for one join schema.
+pub struct NeuroCard {
+    db: Arc<Database>,
+    schema: Arc<JoinSchema>,
+    encoded: Arc<EncodedLayout>,
+    config: NeuroCardConfig,
+    trainer: Trainer,
+    full_join_rows: u128,
+    stats: EstimatorStats,
+}
+
+impl NeuroCard {
+    /// Builds (trains) an estimator over `db` with the default options.
+    pub fn build(db: Arc<Database>, schema: Arc<JoinSchema>, config: &NeuroCardConfig) -> Self {
+        Self::build_with(db, schema, config, BuildOptions::default())
+    }
+
+    /// Builds an estimator with explicit [`BuildOptions`].
+    pub fn build_with(
+        db: Arc<Database>,
+        schema: Arc<JoinSchema>,
+        config: &NeuroCardConfig,
+        options: BuildOptions,
+    ) -> Self {
+        let prepare_start = Instant::now();
+        let dict_db = options.dictionary_db.clone().unwrap_or_else(|| db.clone());
+        let layout = if config.model_join_keys {
+            WideLayout::new(&dict_db, &schema)
+        } else {
+            WideLayout::without_join_keys(&dict_db, &schema)
+        };
+        let encoded = Arc::new(EncodedLayout::build(
+            &dict_db,
+            &schema,
+            layout,
+            config.fact_bits,
+        ));
+        // |J| always comes from the exact join counts of the *sampled* database, even when
+        // training data is drawn from the biased sampler (the normalising constant must
+        // refer to the actual full join).
+        let counts = JoinCounts::compute_shared(&db, &schema);
+        let full_join_rows = counts.full_join_rows();
+        let source = if options.biased_sampler {
+            TrainingSource::Biased(BiasedSampler::new(db.clone(), schema.clone()))
+        } else {
+            TrainingSource::Unbiased(JoinSampler::with_counts(db.clone(), schema.clone(), counts))
+        };
+        let prepare_time = prepare_start.elapsed();
+
+        let mut trainer = Trainer::new(db.clone(), encoded.clone(), source, config.clone());
+        let progress = trainer.train_tuples(config.training_tuples);
+
+        let stats = EstimatorStats {
+            num_params: trainer.model().num_params(),
+            model_bytes: trainer.model().size_bytes(),
+            full_join_rows,
+            prepare_time,
+            sampling_time: progress.sampling_time,
+            training_time: progress.training_time,
+            tuples_trained: trainer.tuples_trained(),
+            final_loss: progress.last_loss,
+        };
+
+        NeuroCard {
+            db,
+            schema,
+            encoded,
+            config: config.clone(),
+            trainer,
+            full_join_rows,
+            stats,
+        }
+    }
+
+    /// Estimates the cardinality of `query` (rows of the inner join of the query's tables
+    /// passing all filters), using the configured number of progressive samples.
+    pub fn estimate(&self, query: &Query) -> f64 {
+        self.estimate_with_samples(query, self.config.progressive_samples)
+    }
+
+    /// Estimates with an explicit progressive-sample budget.
+    pub fn estimate_with_samples(&self, query: &Query, num_samples: usize) -> f64 {
+        let sampler = ProgressiveSampler::new(
+            self.trainer.model(),
+            &self.encoded,
+            &self.schema,
+            self.full_join_rows,
+        );
+        // Deterministic per-query randomness: the same query always yields the same
+        // estimate for a given model, which makes the experiments reproducible.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        query.render().hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hasher.finish());
+        sampler.estimate(query, num_samples, &mut rng)
+    }
+
+    /// Continues training on additional tuples sampled from the *current* database
+    /// (incremental update / "fast update" of §7.6).
+    pub fn update_incremental(&mut self, tuples: usize) -> TrainProgress {
+        let progress = self.trainer.train_tuples(tuples);
+        self.refresh_stats(&progress);
+        progress
+    }
+
+    /// Ingests a new database snapshot: the sampler and `|J|` are rebuilt over `new_db`,
+    /// then `tuples` additional training tuples are streamed (pass 0 to model the "stale"
+    /// strategy, a small number for "fast update", or the full budget for "retrain").
+    ///
+    /// The token space (dictionaries) is kept fixed, so the snapshot must be compatible
+    /// with the dictionary database supplied at build time.
+    pub fn ingest_snapshot(&mut self, new_db: Arc<Database>, tuples: usize) -> TrainProgress {
+        self.db = new_db.clone();
+        let counts = JoinCounts::compute_shared(&new_db, &self.schema);
+        self.full_join_rows = counts.full_join_rows();
+        self.trainer.set_source(TrainingSource::Unbiased(JoinSampler::with_counts(
+            new_db,
+            self.schema.clone(),
+            counts,
+        )));
+        let progress = self.trainer.train_tuples(tuples);
+        self.refresh_stats(&progress);
+        progress
+    }
+
+    fn refresh_stats(&mut self, progress: &TrainProgress) {
+        self.stats.tuples_trained = self.trainer.tuples_trained();
+        self.stats.full_join_rows = self.full_join_rows;
+        if progress.batches > 0 {
+            self.stats.final_loss = progress.last_loss;
+        }
+        self.stats.sampling_time += progress.sampling_time;
+        self.stats.training_time += progress.training_time;
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &EstimatorStats {
+        &self.stats
+    }
+
+    /// The estimator's configuration.
+    pub fn config(&self) -> &NeuroCardConfig {
+        &self.config
+    }
+
+    /// The join schema this estimator serves.
+    pub fn schema(&self) -> &Arc<JoinSchema> {
+        &self.schema
+    }
+
+    /// The database currently backing the sampler.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// `|J|`, the size of the augmented full outer join.
+    pub fn full_join_rows(&self) -> u128 {
+        self.full_join_rows
+    }
+
+    /// Model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.stats.model_bytes
+    }
+
+    /// Serialises the model parameters (see [`nc_nn::serialize`]).
+    pub fn model_bytes(&self) -> bytes::Bytes {
+        nc_nn::serialize::model_to_bytes(self.trainer.model())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::{JoinEdge, Predicate};
+    use nc_storage::{TableBuilder, Value};
+
+    /// A two-table database with a strong correlation: B rows exist only for even A.x and
+    /// their payload equals A.x's parity class.
+    fn correlated_db() -> (Arc<Database>, Arc<JoinSchema>) {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "cls"]);
+        for i in 0..200i64 {
+            a.push_row(vec![Value::Int(i), Value::Int(i % 4)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "tag"]);
+        for i in 0..200i64 {
+            if i % 2 == 0 {
+                for _ in 0..3 {
+                    b.push_row(vec![Value::Int(i), Value::Int(i % 4)]);
+                }
+            }
+        }
+        db.add_table(b.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![JoinEdge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        (Arc::new(db), Arc::new(schema))
+    }
+
+    #[test]
+    fn estimates_are_in_the_right_ballpark() {
+        let (db, schema) = correlated_db();
+        let mut config = NeuroCardConfig::tiny();
+        config.training_tuples = 6_000;
+        let model = NeuroCard::build(db.clone(), schema.clone(), &config);
+        assert!(model.stats().num_params > 0);
+        assert!(model.size_bytes() > 0);
+        assert!(model.full_join_rows() >= 400);
+
+        // Full-join query: A ⋈ B has 100 * 3 = 300 rows.
+        let q = Query::join(&["A", "B"]);
+        let truth = nc_exec::true_cardinality(&db, &schema, &q) as f64;
+        assert_eq!(truth, 300.0);
+        let est = model.estimate(&q);
+        let qerr = (est / truth).max(truth / est);
+        assert!(qerr < 3.0, "estimate {est} vs truth {truth} (q-error {qerr})");
+
+        // Single-table query with a filter: |σ(cls=1)(A)| = 50.
+        let q = Query::join(&["A"]).filter("A", "cls", Predicate::eq(1i64));
+        let truth = nc_exec::true_cardinality(&db, &schema, &q) as f64;
+        let est = model.estimate(&q);
+        let qerr = (est / truth).max(truth / est);
+        assert!(qerr < 4.0, "estimate {est} vs truth {truth} (q-error {qerr})");
+
+        // Deterministic estimates for the same query.
+        assert_eq!(model.estimate(&q), model.estimate(&q));
+    }
+
+    #[test]
+    fn unsatisfiable_filters_return_minimum() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(1_000);
+        let model = NeuroCard::build(db, schema, &config);
+        let q = Query::join(&["A"]).filter("A", "cls", Predicate::eq(999i64));
+        assert_eq!(model.estimate(&q), 1.0);
+    }
+
+    #[test]
+    fn incremental_update_and_snapshot_ingest() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(1_500);
+        let mut model = NeuroCard::build_with(
+            db.clone(),
+            schema.clone(),
+            &config,
+            BuildOptions {
+                dictionary_db: Some(db.clone()),
+                biased_sampler: false,
+            },
+        );
+        let before = model.stats().tuples_trained;
+        model.update_incremental(500);
+        assert_eq!(model.stats().tuples_trained, before + 500);
+        // Re-ingesting the same snapshot keeps |J| and allows further training.
+        let j = model.full_join_rows();
+        model.ingest_snapshot(db.clone(), 200);
+        assert_eq!(model.full_join_rows(), j);
+        assert_eq!(model.stats().tuples_trained, before + 700);
+        assert!(!model.model_bytes().is_empty());
+    }
+
+    #[test]
+    fn biased_build_option_still_produces_estimates() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(1_000);
+        let model = NeuroCard::build_with(
+            db.clone(),
+            schema.clone(),
+            &config,
+            BuildOptions {
+                dictionary_db: None,
+                biased_sampler: true,
+            },
+        );
+        let q = Query::join(&["A", "B"]);
+        let est = model.estimate(&q);
+        assert!(est.is_finite() && est >= 1.0);
+        assert_eq!(model.config().training_tuples, 1_000);
+        assert_eq!(model.schema().root(), "A");
+        assert_eq!(model.database().num_tables(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # neurocard
+//!
+//! NeuroCard (Yang et al., VLDB 2020): **one cardinality estimator for all tables**.
+//!
+//! NeuroCard learns the joint distribution of the *full outer join* of every table in a
+//! schema inside a single deep autoregressive model and answers cardinality queries over
+//! any subset of those tables.  No independence assumption is made anywhere — neither
+//! across columns nor across tables.  The three ingredients (paper §2.1):
+//!
+//! 1. **Unbiased join sampling** (crate `nc-sampler`): training tuples are i.i.d. uniform
+//!    samples of the full join obtained via Exact Weight join counts, so the join is never
+//!    materialised.
+//! 2. **Lossless column factorization** ([`factorization`], §5): high-cardinality columns
+//!    are split into sub-columns of a few bits each, shrinking the embedding tables by
+//!    orders of magnitude while losing no information (the AR model learns the dependence
+//!    between sub-columns).
+//! 3. **Schema-subsetting inference** ([`infer`], §6): progressive sampling over the model,
+//!    with indicator-column constraints for joined tables and fanout downscaling for
+//!    omitted tables.
+//!
+//! The top-level API is [`NeuroCard`]: build it from a database + join schema with
+//! [`NeuroCard::build`], then call [`NeuroCard::estimate`] for any [`nc_schema::Query`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+//! use nc_schema::{Predicate, Query};
+//! use neurocard::{NeuroCard, NeuroCardConfig};
+//!
+//! let db = Arc::new(job_light_database(&DataGenConfig::default()));
+//! let schema = Arc::new(job_light_schema());
+//! let model = NeuroCard::build(db, schema, &NeuroCardConfig::default());
+//! let q = Query::join(&["title", "cast_info"])
+//!     .filter("title", "production_year", Predicate::ge(2000i64));
+//! let cardinality = model.estimate(&q);
+//! println!("estimated rows: {cardinality}");
+//! ```
+
+pub mod config;
+pub mod encoding;
+pub mod estimator;
+pub mod factorization;
+pub mod infer;
+pub mod train;
+
+pub use config::NeuroCardConfig;
+pub use encoding::EncodedLayout;
+pub use estimator::{EstimatorStats, NeuroCard};
+pub use factorization::Factorization;
+pub use infer::ProgressiveSampler;
+pub use train::{TrainProgress, Trainer, TrainingSource};

@@ -1,0 +1,296 @@
+//! Maximum-likelihood training of the autoregressive model on streamed join samples
+//! (paper §3.2 and §2.2: "repeatedly requesting batches of sampled tuples from the
+//! sampler").
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_nn::{Adam, AdamConfig, ResMade};
+use nc_sampler::{sample_wide_batch_parallel, BiasedSampler, JoinSampler, WideLayout};
+use nc_storage::{Database, Value};
+
+use crate::config::NeuroCardConfig;
+use crate::encoding::EncodedLayout;
+
+/// Where training tuples come from.
+pub enum TrainingSource {
+    /// The unbiased Exact Weight sampler (the NeuroCard design).
+    Unbiased(JoinSampler),
+    /// The intentionally biased IBJS-style sampler (ablation Table 5, row A).
+    Biased(BiasedSampler),
+}
+
+impl TrainingSource {
+    /// Draws `n` wide-layout tuples.
+    pub fn sample_batch(
+        &self,
+        db: &Database,
+        layout: &WideLayout,
+        n: usize,
+        threads: usize,
+        seed: u64,
+    ) -> Vec<Vec<Value>> {
+        match self {
+            TrainingSource::Unbiased(sampler) => {
+                sample_wide_batch_parallel(sampler, layout, n, threads, seed)
+            }
+            TrainingSource::Biased(sampler) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let samples = sampler.sample_many(&mut rng, n);
+                layout.materialize_batch(db, &samples)
+            }
+        }
+    }
+
+    /// `|J|` if known (the biased sampler has no principled normalising constant, so the
+    /// caller must compute it separately via [`nc_sampler::JoinCounts`]).
+    pub fn full_join_rows(&self) -> Option<u128> {
+        match self {
+            TrainingSource::Unbiased(s) => Some(s.full_join_rows()),
+            TrainingSource::Biased(_) => None,
+        }
+    }
+}
+
+/// Progress statistics of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainProgress {
+    /// Tuples consumed by this call.
+    pub tuples: usize,
+    /// Mini-batches processed.
+    pub batches: usize,
+    /// Mean negative log-likelihood (nats/tuple) of the first processed batch.
+    pub first_loss: f32,
+    /// Mean negative log-likelihood of the last processed batch.
+    pub last_loss: f32,
+    /// Wall-clock time spent sampling training data.
+    pub sampling_time: Duration,
+    /// Wall-clock time spent in forward/backward/optimizer work.
+    pub training_time: Duration,
+}
+
+/// Streams batches from a [`TrainingSource`] into a [`ResMade`] model.
+pub struct Trainer {
+    db: Arc<Database>,
+    encoded: Arc<EncodedLayout>,
+    source: TrainingSource,
+    model: ResMade,
+    optimizer: Adam,
+    rng: StdRng,
+    config: NeuroCardConfig,
+    tuples_trained: usize,
+    batch_seed: u64,
+}
+
+impl Trainer {
+    /// Creates a trainer with a freshly initialised model.
+    pub fn new(
+        db: Arc<Database>,
+        encoded: Arc<EncodedLayout>,
+        source: TrainingSource,
+        config: NeuroCardConfig,
+    ) -> Self {
+        let model = ResMade::new(nc_nn::MadeConfig {
+            domains: encoded.model_domains(),
+            d_emb: config.d_emb,
+            d_hidden: config.d_hidden,
+            num_blocks: config.num_blocks,
+            seed: config.seed,
+        });
+        let optimizer = Adam::for_params(
+            AdamConfig {
+                lr: config.learning_rate,
+                ..Default::default()
+            },
+            &model.params(),
+        );
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696E);
+        Trainer {
+            db,
+            encoded,
+            source,
+            model,
+            optimizer,
+            rng,
+            batch_seed: config.seed,
+            config,
+            tuples_trained: 0,
+        }
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &ResMade {
+        &self.model
+    }
+
+    /// Total number of tuples consumed so far.
+    pub fn tuples_trained(&self) -> usize {
+        self.tuples_trained
+    }
+
+    /// Consumes the trainer and returns the trained model.
+    pub fn into_model(self) -> ResMade {
+        self.model
+    }
+
+    /// The training source.
+    pub fn source(&self) -> &TrainingSource {
+        &self.source
+    }
+
+    /// Replaces the training source (used by the update strategies of §7.6: after a new
+    /// partition is ingested, fresh samples must come from the new snapshot).
+    pub fn set_source(&mut self, source: TrainingSource) {
+        self.source = source;
+    }
+
+    /// Streams `tuples` training tuples through the model (maximum-likelihood steps with
+    /// wildcard skipping) and returns progress statistics.
+    pub fn train_tuples(&mut self, tuples: usize) -> TrainProgress {
+        let batch_size = self.config.batch_size.max(1);
+        let mut remaining = tuples;
+        let mut batches = 0usize;
+        let mut first_loss = f32::NAN;
+        let mut last_loss = f32::NAN;
+        let mut sampling_time = Duration::ZERO;
+        let mut training_time = Duration::ZERO;
+
+        while remaining > 0 {
+            let n = remaining.min(batch_size);
+            remaining -= n;
+            self.batch_seed = self.batch_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+
+            let t0 = Instant::now();
+            let wide_rows = self.source.sample_batch(
+                &self.db,
+                self.encoded.layout(),
+                n,
+                self.config.sampler_threads,
+                self.batch_seed,
+            );
+            sampling_time += t0.elapsed();
+
+            let t1 = Instant::now();
+            let targets = self.encoded.encode_batch(&wide_rows);
+            // Wildcard skipping: most batches use the varied-rate scheme (covering heavily
+            // masked inputs, which is what low-filter queries condition on at inference
+            // time); the rest use the configured fixed rate so lightly-masked inputs stay
+            // well represented too.
+            let inputs = if self.rng.random::<f32>() < 0.75 {
+                self.model
+                    .apply_wildcard_skipping_varied(&targets, &mut self.rng)
+            } else {
+                self.model.apply_wildcard_skipping(
+                    &targets,
+                    self.config.wildcard_skip_prob,
+                    &mut self.rng,
+                )
+            };
+            let loss = self.model.forward_backward(&inputs, &targets);
+            self.optimizer.step(&mut self.model.params_mut());
+            training_time += t1.elapsed();
+
+            if batches == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+            batches += 1;
+            self.tuples_trained += n;
+        }
+
+        TrainProgress {
+            tuples,
+            batches,
+            first_loss,
+            last_loss,
+            sampling_time,
+            training_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::{JoinEdge, JoinSchema};
+    use nc_storage::TableBuilder;
+
+    fn tiny() -> (Arc<Database>, Arc<JoinSchema>) {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "c"]);
+        for i in 0..60i64 {
+            a.push_row(vec![Value::Int(i % 6), Value::Int(i % 3)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "d"]);
+        for i in 0..90i64 {
+            b.push_row(vec![Value::Int(i % 6), Value::Int(i % 4)]);
+        }
+        db.add_table(b.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![JoinEdge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        (Arc::new(db), Arc::new(schema))
+    }
+
+    fn encoded(db: &Arc<Database>, schema: &Arc<JoinSchema>) -> Arc<EncodedLayout> {
+        let layout = WideLayout::new(db, schema);
+        Arc::new(EncodedLayout::build(db, schema, layout, Some(8)))
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (db, schema) = tiny();
+        let enc = encoded(&db, &schema);
+        let sampler = JoinSampler::new(db.clone(), schema.clone());
+        let config = NeuroCardConfig::tiny();
+        let mut trainer = Trainer::new(
+            db.clone(),
+            enc,
+            TrainingSource::Unbiased(sampler),
+            config,
+        );
+        let progress = trainer.train_tuples(2_000);
+        assert_eq!(progress.tuples, 2_000);
+        assert!(progress.batches >= 2_000 / 64);
+        assert!(progress.last_loss.is_finite());
+        assert!(
+            progress.last_loss < progress.first_loss,
+            "loss should decrease: {} -> {}",
+            progress.first_loss,
+            progress.last_loss
+        );
+        assert_eq!(trainer.tuples_trained(), 2_000);
+        assert!(trainer.source().full_join_rows().is_some());
+        let model = trainer.into_model();
+        assert!(model.num_params() > 0);
+    }
+
+    #[test]
+    fn biased_source_also_trains() {
+        let (db, schema) = tiny();
+        let enc = encoded(&db, &schema);
+        let biased = BiasedSampler::new(db.clone(), schema.clone());
+        let mut trainer = Trainer::new(
+            db.clone(),
+            enc,
+            TrainingSource::Biased(biased),
+            NeuroCardConfig::tiny(),
+        );
+        assert!(trainer.source().full_join_rows().is_none());
+        let progress = trainer.train_tuples(500);
+        assert!(progress.last_loss.is_finite());
+        // Swapping the source keeps the model.
+        let unbiased = JoinSampler::new(db.clone(), schema.clone());
+        trainer.set_source(TrainingSource::Unbiased(unbiased));
+        let p2 = trainer.train_tuples(200);
+        assert!(p2.last_loss.is_finite());
+        assert_eq!(trainer.tuples_trained(), 700);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nc-nn
+//!
+//! A small, from-scratch neural-network substrate sufficient to implement the deep
+//! autoregressive density model NeuroCard relies on (paper §3.2, §3.4).
+//!
+//! The original system uses PyTorch on a GPU; neither is available in this reproduction, so
+//! this crate provides the pieces the estimator actually needs, in pure safe Rust:
+//!
+//! * [`tensor`] — dense `f32` matrices and the handful of BLAS-like kernels used by the
+//!   model (GEMM with accumulate/transpose variants, row-wise ops),
+//! * [`layers`] — trainable parameters, plain and **masked** linear layers (the masks are
+//!   what enforce the autoregressive property), per-column embeddings with a dedicated
+//!   MASK token for wildcard skipping, ReLU,
+//! * [`loss`] — per-column softmax cross-entropy,
+//! * [`optim`] — Adam and SGD,
+//! * [`made`] — the ResMADE architecture: per-column embeddings → masked input layer →
+//!   masked residual blocks → per-column output heads tied to the embedding matrices,
+//!   exposing exactly the two operations NeuroCard needs: `train_batch` (maximum
+//!   likelihood) and `conditional_logits` (read `p(xᵢ | x₍<ᵢ₎)` for progressive sampling),
+//! * [`serialize`] — flat binary save/load of model parameters.
+//!
+//! Everything is deterministic given a seed and runs on a single CPU core.
+
+pub mod layers;
+pub mod loss;
+pub mod made;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::{Embedding, Linear, MaskedLinear, Param, relu, relu_backward};
+pub use loss::softmax_cross_entropy;
+pub use made::{MadeConfig, ResMade};
+pub use optim::{Adam, AdamConfig, Sgd};
+pub use tensor::Matrix;

@@ -1,0 +1,134 @@
+//! Softmax cross-entropy, the maximum-likelihood training objective (paper §3.2).
+
+use crate::tensor::Matrix;
+
+/// Computes the mean softmax cross-entropy loss of a batch of logits against integer
+/// targets, and writes the gradient with respect to the logits into `dlogits`.
+///
+/// * `logits`: `batch × domain`
+/// * `targets[b]`: the true class of row `b`
+/// * `dlogits`: same shape as `logits`; overwritten with `∂loss/∂logits` (already divided by
+///   the batch size, so it can be fed straight into the backward pass).
+///
+/// Returns the mean negative log-likelihood in nats.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[u32], dlogits: &mut Matrix) -> f32 {
+    assert_eq!(logits.rows(), targets.len());
+    assert_eq!(logits.rows(), dlogits.rows());
+    assert_eq!(logits.cols(), dlogits.cols());
+    let batch = logits.rows();
+    let domain = logits.cols();
+    let scale = 1.0 / batch.max(1) as f32;
+    let mut total_loss = 0.0f64;
+    for b in 0..batch {
+        let row = logits.row(b);
+        let target = targets[b] as usize;
+        assert!(target < domain, "target {target} outside domain {domain}");
+        // Numerically stable log-softmax.
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum_exp = 0.0f32;
+        for &v in row {
+            sum_exp += (v - max).exp();
+        }
+        let log_z = max + sum_exp.ln();
+        total_loss += f64::from(log_z - row[target]);
+        let drow = dlogits.row_mut(b);
+        for (j, d) in drow.iter_mut().enumerate() {
+            let p = (row[j] - log_z).exp();
+            *d = scale * (p - if j == target { 1.0 } else { 0.0 });
+        }
+    }
+    (total_loss * f64::from(scale)) as f32
+}
+
+/// Row-wise softmax probabilities (used at inference time by progressive sampling).
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for b in 0..logits.rows() {
+        let row = logits.row(b);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let out_row = out.row_mut(b);
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        if sum > 0.0 {
+            for o in out_row.iter_mut() {
+                *o /= sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_domain_loss() {
+        let logits = Matrix::zeros(4, 8);
+        let targets = vec![0u32, 3, 5, 7];
+        let mut d = Matrix::zeros(4, 8);
+        let loss = softmax_cross_entropy(&logits, &targets, &mut d);
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero and the target entry is negative.
+        for b in 0..4 {
+            let s: f32 = d.row(b).iter().sum();
+            assert!(s.abs() < 1e-5);
+            assert!(d.get(b, targets[b] as usize) < 0.0);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 1, 10.0);
+        let mut d = Matrix::zeros(1, 3);
+        let loss = softmax_cross_entropy(&logits, &[1], &mut d);
+        assert!(loss < 1e-3);
+        let wrong = softmax_cross_entropy(&logits, &[0], &mut d);
+        assert!(wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_numerical_estimate() {
+        let logits = Matrix::from_vec(1, 3, vec![0.2, -0.4, 1.0]);
+        let targets = [2u32];
+        let mut d = Matrix::zeros(1, 3);
+        let base = softmax_cross_entropy(&logits, &targets, &mut d);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut perturbed = logits.clone();
+            perturbed.set(0, j, perturbed.get(0, j) + eps);
+            let mut scratch = Matrix::zeros(1, 3);
+            let l2 = softmax_cross_entropy(&perturbed, &targets, &mut scratch);
+            let numeric = (l2 - base) / eps;
+            assert!(
+                (numeric - d.get(0, j)).abs() < 1e-2,
+                "j={j}: numeric {numeric} vs analytic {}",
+                d.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let logits = Matrix::from_vec(2, 3, vec![0.0, 1.0, 2.0, -1.0, -1.0, -1.0]);
+        let p = softmax_rows(&logits);
+        for b in 0..2 {
+            let s: f32 = p.row(b).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.get(0, 2) > p.get(0, 0));
+        assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn bad_target_panics() {
+        let logits = Matrix::zeros(1, 2);
+        let mut d = Matrix::zeros(1, 2);
+        softmax_cross_entropy(&logits, &[5], &mut d);
+    }
+}

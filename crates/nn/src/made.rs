@@ -1,0 +1,651 @@
+//! ResMADE: the masked autoregressive density model (paper §3.4, Figure 3).
+//!
+//! The model factorises the joint distribution of an `n`-column tuple autoregressively,
+//! `p(x) = Π p(xᵢ | x₍<ᵢ₎)`, and evaluates **all** `n` conditionals in a single forward
+//! pass thanks to MADE-style connectivity masks:
+//!
+//! * every input/hidden/output unit carries a *degree* identifying the column (or column
+//!   prefix) it is allowed to depend on,
+//! * masked linear layers only connect units whose degrees respect the autoregressive
+//!   order, so the logits for column `i` are a function of columns `< i` only.
+//!
+//! Architecture: per-column embeddings → masked input layer → ReLU → `k` masked residual
+//! blocks → masked output layer producing one `d_emb`-dimensional *context vector* per
+//! column → per-column logits obtained by dotting the context with the (weight-tied)
+//! embedding table plus a bias.  Wildcard skipping (§3.4) is supported by reserving one
+//! extra MASK token per column: during training inputs are randomly replaced by MASK, and
+//! at inference MASK is fed for every unconstrained column.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::layers::{relu, relu_backward, seeded_rng, Embedding, MaskedLinear, Param};
+use crate::loss::{softmax_cross_entropy, softmax_rows};
+use crate::tensor::{column_sums_accumulate, Matrix};
+
+/// Hyper-parameters of a [`ResMade`] model.
+#[derive(Debug, Clone)]
+pub struct MadeConfig {
+    /// Domain size (number of distinct codes) of each column, in autoregressive order.
+    pub domains: Vec<usize>,
+    /// Per-column embedding dimension (`d_emb` in the paper's ablation, Table 5 group C).
+    pub d_emb: usize,
+    /// Hidden width of the masked feed-forward layers (`d_ff`).
+    pub d_hidden: usize,
+    /// Number of residual blocks (each = two masked linear layers).
+    pub num_blocks: usize,
+    /// Seed for parameter initialisation.
+    pub seed: u64,
+}
+
+impl MadeConfig {
+    /// A small default configuration suitable for tests.
+    pub fn small(domains: Vec<usize>) -> Self {
+        MadeConfig {
+            domains,
+            d_emb: 8,
+            d_hidden: 32,
+            num_blocks: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The ResMADE autoregressive model.
+#[derive(Debug, Clone)]
+pub struct ResMade {
+    config: MadeConfig,
+    embeddings: Vec<Embedding>,
+    input_layer: MaskedLinear,
+    blocks: Vec<(MaskedLinear, MaskedLinear)>,
+    output_layer: MaskedLinear,
+    /// Per-column logit biases (`1 × domainᵢ`).
+    output_bias: Vec<Param>,
+}
+
+impl ResMade {
+    /// Builds a model with MADE connectivity for the given configuration.
+    pub fn new(config: MadeConfig) -> Self {
+        assert!(!config.domains.is_empty(), "model needs at least one column");
+        assert!(config.d_emb > 0 && config.d_hidden > 0);
+        let n = config.domains.len();
+        let mut rng = seeded_rng(config.seed);
+
+        let embeddings: Vec<Embedding> = config
+            .domains
+            .iter()
+            .map(|&d| Embedding::new(d, config.d_emb, &mut rng))
+            .collect();
+
+        // Hidden-unit degrees: round-robin over {0, .., n-2} (a unit of degree g may depend
+        // on columns ≤ g and feed columns > g).  With a single column there is nothing to
+        // condition on; degree 0 units then feed nothing, which is fine.
+        let max_degree = n.saturating_sub(2);
+        let hidden_degrees: Vec<usize> = (0..config.d_hidden).map(|h| h % (max_degree + 1)).collect();
+
+        // Input mask: input unit u (column c = u / d_emb) connects to hidden h iff
+        // degree(h) >= c.
+        let in_dim = n * config.d_emb;
+        let mut input_mask = Matrix::zeros(in_dim, config.d_hidden);
+        for u in 0..in_dim {
+            let c = u / config.d_emb;
+            for (h, &deg) in hidden_degrees.iter().enumerate() {
+                if deg >= c {
+                    input_mask.set(u, h, 1.0);
+                }
+            }
+        }
+        let input_layer = MaskedLinear::new(in_dim, config.d_hidden, input_mask, &mut rng);
+
+        // Hidden-to-hidden mask: h1 -> h2 allowed iff degree(h2) >= degree(h1).
+        let mut hidden_mask = Matrix::zeros(config.d_hidden, config.d_hidden);
+        for (h1, &d1) in hidden_degrees.iter().enumerate() {
+            for (h2, &d2) in hidden_degrees.iter().enumerate() {
+                if d2 >= d1 {
+                    hidden_mask.set(h1, h2, 1.0);
+                }
+            }
+        }
+        let blocks: Vec<(MaskedLinear, MaskedLinear)> = (0..config.num_blocks)
+            .map(|_| {
+                (
+                    MaskedLinear::new(config.d_hidden, config.d_hidden, hidden_mask.clone(), &mut rng),
+                    MaskedLinear::new(config.d_hidden, config.d_hidden, hidden_mask.clone(), &mut rng),
+                )
+            })
+            .collect();
+
+        // Output mask: the context vector of column c may depend on hidden h iff
+        // degree(h) < c (strict), so column 0 sees nothing but its bias.
+        let out_dim = n * config.d_emb;
+        let mut output_mask = Matrix::zeros(config.d_hidden, out_dim);
+        for (h, &deg) in hidden_degrees.iter().enumerate() {
+            for o in 0..out_dim {
+                let c = o / config.d_emb;
+                if deg < c {
+                    output_mask.set(h, o, 1.0);
+                }
+            }
+        }
+        let output_layer = MaskedLinear::new(config.d_hidden, out_dim, output_mask, &mut rng);
+
+        let output_bias = config.domains.iter().map(|&d| Param::zeros(1, d)).collect();
+
+        ResMade {
+            config,
+            embeddings,
+            input_layer,
+            blocks,
+            output_layer,
+            output_bias,
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.config.domains.len()
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain(&self, i: usize) -> usize {
+        self.config.domains[i]
+    }
+
+    /// The MASK (wildcard) token of column `i`.
+    pub fn mask_token(&self, i: usize) -> u32 {
+        self.embeddings[i].mask_token()
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &MadeConfig {
+        &self.config
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.embeddings.iter().map(|e| e.num_params()).sum::<usize>()
+            + self.input_layer.num_params()
+            + self
+                .blocks
+                .iter()
+                .map(|(a, b)| a.num_params() + b.num_params())
+                .sum::<usize>()
+            + self.output_layer.num_params()
+            + self.output_bias.iter().map(|b| b.num_params()).sum::<usize>()
+    }
+
+    /// Approximate model size in bytes (4 bytes per f32 parameter) — the "Size" column of
+    /// the paper's result tables.
+    pub fn size_bytes(&self) -> usize {
+        self.num_params() * 4
+    }
+
+    /// All trainable parameters, in a stable order (for the optimizer and serialization).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out: Vec<&mut Param> = Vec::new();
+        for e in &mut self.embeddings {
+            out.push(&mut e.table);
+        }
+        out.push(&mut self.input_layer.inner.weight);
+        out.push(&mut self.input_layer.inner.bias);
+        for (a, b) in &mut self.blocks {
+            out.push(&mut a.inner.weight);
+            out.push(&mut a.inner.bias);
+            out.push(&mut b.inner.weight);
+            out.push(&mut b.inner.bias);
+        }
+        out.push(&mut self.output_layer.inner.weight);
+        out.push(&mut self.output_layer.inner.bias);
+        for b in &mut self.output_bias {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Read-only view of the parameters, in the same order as [`ResMade::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out: Vec<&Param> = Vec::new();
+        for e in &self.embeddings {
+            out.push(&e.table);
+        }
+        out.push(&self.input_layer.inner.weight);
+        out.push(&self.input_layer.inner.bias);
+        for (a, b) in &self.blocks {
+            out.push(&a.inner.weight);
+            out.push(&a.inner.bias);
+            out.push(&b.inner.weight);
+            out.push(&b.inner.bias);
+        }
+        out.push(&self.output_layer.inner.weight);
+        out.push(&self.output_layer.inner.bias);
+        for b in &self.output_bias {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Embeds a batch of token rows into the flat input matrix.
+    fn embed(&self, rows: &[Vec<u32>]) -> Matrix {
+        let n = self.num_columns();
+        let d = self.config.d_emb;
+        let mut x = Matrix::zeros(rows.len(), n * d);
+        for (b, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "input row arity must equal the number of columns");
+            let out_row = x.row_mut(b);
+            for (c, &token) in row.iter().enumerate() {
+                self.embeddings[c].lookup(token, &mut out_row[c * d..(c + 1) * d]);
+            }
+        }
+        x
+    }
+
+    /// Runs the trunk (embeddings → hidden stack → per-column context vectors).
+    ///
+    /// Returns the intermediate activations needed for the backward pass.
+    fn forward_trunk(&self, x: &Matrix) -> TrunkActivations {
+        let batch = x.rows();
+        let h_dim = self.config.d_hidden;
+        let mut h = Matrix::zeros(batch, h_dim);
+        self.input_layer.forward(x, &mut h);
+        relu(&mut h);
+        let mut hiddens = vec![h];
+        let mut block_acts = Vec::with_capacity(self.blocks.len());
+        for (w1, w2) in &self.blocks {
+            let h_prev = hiddens.last().expect("at least the input activation");
+            let mut a = Matrix::zeros(batch, h_dim);
+            w1.forward(h_prev, &mut a);
+            relu(&mut a);
+            let mut b = Matrix::zeros(batch, h_dim);
+            w2.forward(&a, &mut b);
+            relu(&mut b);
+            let mut h_next = h_prev.clone();
+            for (o, v) in h_next.data_mut().iter_mut().zip(b.data()) {
+                *o += v;
+            }
+            block_acts.push((a, b));
+            hiddens.push(h_next);
+        }
+        let mut ctx = Matrix::zeros(batch, self.num_columns() * self.config.d_emb);
+        self.output_layer
+            .forward(hiddens.last().expect("non-empty"), &mut ctx);
+        TrunkActivations {
+            hiddens,
+            block_acts,
+            ctx,
+        }
+    }
+
+    /// Logits of column `col` given per-row context vectors (weight-tied to the embedding).
+    fn logits_for(&self, ctx: &Matrix, col: usize) -> Matrix {
+        let d = self.config.d_emb;
+        let domain = self.config.domains[col];
+        let emb = &self.embeddings[col].table.value;
+        let bias = self.output_bias[col].value.row(0);
+        let mut logits = Matrix::zeros(ctx.rows(), domain);
+        for b in 0..ctx.rows() {
+            let c = &ctx.row(b)[col * d..(col + 1) * d];
+            let out = logits.row_mut(b);
+            for (v, out_v) in out.iter_mut().enumerate() {
+                let e = emb.row(v);
+                let mut acc = 0.0f32;
+                for (a, b_) in c.iter().zip(e) {
+                    acc += a * b_;
+                }
+                *out_v = acc + bias[v];
+            }
+        }
+        let _ = domain;
+        logits
+    }
+
+    /// One maximum-likelihood training step on a batch.
+    ///
+    /// * `inputs` — token rows as fed to the network (may contain MASK tokens from wildcard
+    ///   skipping),
+    /// * `targets` — the true token of every column (never MASK).
+    ///
+    /// Gradients are *accumulated* into the parameters; the caller applies an optimizer
+    /// step afterwards.  Returns the mean negative log-likelihood (nats per tuple).
+    pub fn forward_backward(&mut self, inputs: &[Vec<u32>], targets: &[Vec<u32>]) -> f32 {
+        assert_eq!(inputs.len(), targets.len());
+        assert!(!inputs.is_empty(), "cannot train on an empty batch");
+        let batch = inputs.len();
+        let n = self.num_columns();
+        let d = self.config.d_emb;
+        let h_dim = self.config.d_hidden;
+
+        let x = self.embed(inputs);
+        let acts = self.forward_trunk(&x);
+
+        // Per-column heads: loss, dlogits, then gradients into embeddings/biases/ctx.
+        let mut total_loss = 0.0f32;
+        let mut dctx = Matrix::zeros(batch, n * d);
+        for col in 0..n {
+            let domain = self.config.domains[col];
+            let logits = self.logits_for(&acts.ctx, col);
+            let target_col: Vec<u32> = targets.iter().map(|r| r[col]).collect();
+            let mut dlogits = Matrix::zeros(batch, domain);
+            total_loss += softmax_cross_entropy(&logits, &target_col, &mut dlogits);
+
+            // Backprop through the tied head:
+            //   logits[b][v] = ctx_col[b] · E[v] + bias[v]
+            //   dctx_col[b]  = Σ_v dlogits[b][v] · E[v]
+            //   dE[v]       += Σ_b dlogits[b][v] · ctx_col[b]
+            //   dbias[v]    += Σ_b dlogits[b][v]
+            column_sums_accumulate(&dlogits, self.output_bias[col].grad.row_mut(0));
+            for b in 0..batch {
+                let ctx_slice = &acts.ctx.row(b)[col * d..(col + 1) * d];
+                let dl_row = dlogits.row(b);
+                let dctx_slice = &mut dctx.row_mut(b)[col * d..(col + 1) * d];
+                for (v, &dl) in dl_row.iter().enumerate() {
+                    if dl == 0.0 {
+                        continue;
+                    }
+                    let e_row = self.embeddings[col].table.value.row(v).to_vec();
+                    for (dc, e) in dctx_slice.iter_mut().zip(&e_row) {
+                        *dc += dl * e;
+                    }
+                    let g_row = self.embeddings[col].table.grad.row_mut(v);
+                    for (g, c) in g_row.iter_mut().zip(ctx_slice) {
+                        *g += dl * c;
+                    }
+                }
+            }
+        }
+
+        // Output layer backward.
+        let mut dh = Matrix::zeros(batch, h_dim);
+        self.output_layer
+            .backward(acts.hiddens.last().expect("non-empty"), &dctx, &mut dh);
+
+        // Residual blocks backward (reverse order).
+        for (i, (w1, w2)) in self.blocks.iter_mut().enumerate().rev() {
+            let (a, b_act) = &acts.block_acts[i];
+            let h_prev = &acts.hiddens[i];
+            // dh splits into the identity path (stays dh) and the branch path through b.
+            let mut db = dh.clone();
+            relu_backward(b_act, &mut db);
+            let mut da = Matrix::zeros(batch, h_dim);
+            w2.backward(a, &db, &mut da);
+            relu_backward(a, &mut da);
+            let mut dh_branch = Matrix::zeros(batch, h_dim);
+            w1.backward(h_prev, &da, &mut dh_branch);
+            for (o, v) in dh.data_mut().iter_mut().zip(dh_branch.data()) {
+                *o += v;
+            }
+        }
+
+        // Input layer backward.
+        let mut dh_in = dh;
+        relu_backward(&acts.hiddens[0], &mut dh_in);
+        let mut dx = Matrix::zeros(batch, n * d);
+        self.input_layer.backward(&x, &dh_in, &mut dx);
+
+        // Embedding (input side) gradients.
+        for (b, row) in inputs.iter().enumerate() {
+            let dx_row = dx.row(b);
+            for (c, &token) in row.iter().enumerate() {
+                self.embeddings[c].accumulate_grad(token, &dx_row[c * d..(c + 1) * d]);
+            }
+        }
+
+        total_loss
+    }
+
+    /// Applies wildcard skipping to a batch of (target) rows: each column of each row is
+    /// independently replaced by that column's MASK token with probability `p`.
+    pub fn apply_wildcard_skipping(
+        &self,
+        rows: &[Vec<u32>],
+        p: f32,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u32>> {
+        rows.iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &t)| {
+                        if rng.random::<f32>() < p {
+                            self.mask_token(c)
+                        } else {
+                            t
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Wildcard skipping with a *varied* masking rate (the scheme Naru uses in practice):
+    /// each row first draws its own masking probability uniformly from `[0, 1)`, then masks
+    /// each column independently with that probability.  This exposes the model to inputs
+    /// ranging from fully observed to almost fully masked, which is what inference needs —
+    /// a query typically constrains only a handful of columns, so the conditioning context
+    /// at estimation time is mostly MASK tokens.
+    pub fn apply_wildcard_skipping_varied(
+        &self,
+        rows: &[Vec<u32>],
+        rng: &mut StdRng,
+    ) -> Vec<Vec<u32>> {
+        rows.iter()
+            .map(|row| {
+                let p: f32 = rng.random();
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &t)| {
+                        if rng.random::<f32>() < p {
+                            self.mask_token(c)
+                        } else {
+                            t
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Conditional distribution `p(x_col | inputs₍<col₎)` for every row of `inputs`.
+    ///
+    /// Columns at positions `>= col` of `inputs` are ignored by construction of the masks,
+    /// so callers conventionally fill them with MASK tokens.  Returns a `batch × domain`
+    /// matrix of probabilities.
+    pub fn conditional_probs(&self, inputs: &[Vec<u32>], col: usize) -> Matrix {
+        assert!(col < self.num_columns());
+        let x = self.embed(inputs);
+        let acts = self.forward_trunk(&x);
+        let logits = self.logits_for(&acts.ctx, col);
+        softmax_rows(&logits)
+    }
+
+    /// Log-likelihood (nats) of complete tuples under the model; used by tests.
+    pub fn log_likelihood(&self, rows: &[Vec<u32>]) -> Vec<f32> {
+        let x = self.embed(rows);
+        let acts = self.forward_trunk(&x);
+        let mut ll = vec![0.0f32; rows.len()];
+        for col in 0..self.num_columns() {
+            let logits = self.logits_for(&acts.ctx, col);
+            let probs = softmax_rows(&logits);
+            for (b, row) in rows.iter().enumerate() {
+                ll[b] += probs.get(b, row[col] as usize).max(1e-30).ln();
+            }
+        }
+        ll
+    }
+}
+
+/// Intermediate activations of one trunk forward pass.
+struct TrunkActivations {
+    /// `hiddens[0]` is the post-ReLU input-layer activation; `hiddens[i+1]` the output of
+    /// residual block `i`.
+    hiddens: Vec<Matrix>,
+    /// `(a, b)` activations inside each residual block.
+    block_acts: Vec<(Matrix, Matrix)>,
+    /// Per-column context vectors (batch × n·d_emb).
+    ctx: Matrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, AdamConfig};
+
+    fn make(domains: Vec<usize>, seed: u64) -> ResMade {
+        ResMade::new(MadeConfig {
+            domains,
+            d_emb: 6,
+            d_hidden: 24,
+            num_blocks: 1,
+            seed,
+        })
+    }
+
+    #[test]
+    fn shapes_and_metadata() {
+        let m = make(vec![4, 3, 5], 1);
+        assert_eq!(m.num_columns(), 3);
+        assert_eq!(m.domain(2), 5);
+        assert_eq!(m.mask_token(0), 4);
+        assert!(m.num_params() > 0);
+        assert_eq!(m.size_bytes(), m.num_params() * 4);
+        assert_eq!(m.params().len(), m.clone().params_mut().len());
+    }
+
+    #[test]
+    fn autoregressive_property_holds() {
+        // p(x_0) and p(x_1 | x_0) must not change when later columns change.
+        let m = make(vec![4, 3, 5], 2);
+        let a = vec![vec![1u32, 2, 0]];
+        let b = vec![vec![1u32, 2, 4]];
+        let c = vec![vec![1u32, 0, 4]];
+        let p0_a = m.conditional_probs(&a, 0);
+        let p0_b = m.conditional_probs(&b, 0);
+        let p0_c = m.conditional_probs(&c, 0);
+        assert_eq!(p0_a.data(), p0_b.data());
+        assert_eq!(p0_a.data(), p0_c.data());
+        let p1_a = m.conditional_probs(&a, 1);
+        let p1_b = m.conditional_probs(&b, 1);
+        assert_eq!(p1_a.data(), p1_b.data());
+        // But p(x_1 | x_0) should generally change when x_0 changes (non-degenerate net).
+        let p2_a = m.conditional_probs(&a, 2);
+        let p2_c = m.conditional_probs(&c, 2);
+        assert_ne!(p2_a.data(), p2_c.data());
+    }
+
+    #[test]
+    fn conditional_probs_are_distributions() {
+        let m = make(vec![4, 3, 5], 3);
+        let rows = vec![vec![0u32, 0, 0], vec![3, 2, 4]];
+        for col in 0..3 {
+            let p = m.conditional_probs(&rows, col);
+            assert_eq!(p.cols(), m.domain(col));
+            for b in 0..rows.len() {
+                let s: f32 = p.row(b).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+                assert!(p.row(b).iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_correlation() {
+        // Two perfectly correlated columns: x1 = x0 over a domain of 4.
+        let mut m = ResMade::new(MadeConfig {
+            domains: vec![4, 4],
+            d_emb: 8,
+            d_hidden: 32,
+            num_blocks: 1,
+            seed: 7,
+        });
+        let mut adam = Adam::for_params(AdamConfig { lr: 5e-3, ..Default::default() }, &m.params());
+        let data: Vec<Vec<u32>> = (0..256).map(|i| vec![(i % 4) as u32, (i % 4) as u32]).collect();
+        let first_loss = m.forward_backward(&data, &data);
+        adam.step(&mut m.params_mut());
+        let mut last_loss = first_loss;
+        for _ in 0..300 {
+            last_loss = m.forward_backward(&data, &data);
+            adam.step(&mut m.params_mut());
+        }
+        assert!(
+            last_loss < first_loss * 0.6,
+            "loss did not decrease: {first_loss} -> {last_loss}"
+        );
+        // After training, p(x1 = k | x0 = k) should dominate.
+        for k in 0..4u32 {
+            let p = m.conditional_probs(&[vec![k, 0]], 1);
+            let row = p.row(0);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax as u32, k, "column 1 should copy column 0 (probs {row:?})");
+        }
+        // Log-likelihood of consistent tuples should beat inconsistent ones.
+        let ll_good: f32 = m.log_likelihood(&[vec![2, 2]])[0];
+        let ll_bad: f32 = m.log_likelihood(&[vec![2, 3]])[0];
+        assert!(ll_good > ll_bad);
+    }
+
+    #[test]
+    fn wildcard_skipping_masks_roughly_p_fraction() {
+        let m = make(vec![10, 10, 10, 10], 4);
+        let mut rng = seeded_rng(9);
+        let rows: Vec<Vec<u32>> = (0..500).map(|i| vec![i % 10, (i / 2) % 10, 3, 4]).collect();
+        let masked = m.apply_wildcard_skipping(&rows, 0.3, &mut rng);
+        let total = 500 * 4;
+        let n_masked: usize = masked
+            .iter()
+            .enumerate()
+            .map(|(_, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(c, &t)| t == m.mask_token(*c))
+                    .count()
+            })
+            .sum();
+        let frac = n_masked as f64 / total as f64;
+        assert!((frac - 0.3).abs() < 0.05, "masked fraction {frac}");
+        // p = 0 masks nothing.
+        let unmasked = m.apply_wildcard_skipping(&rows, 0.0, &mut rng);
+        assert_eq!(unmasked, rows);
+    }
+
+    #[test]
+    fn single_column_model_learns_a_marginal() {
+        // Domain 3 with skewed frequencies 0.7 / 0.2 / 0.1.
+        let mut m = ResMade::new(MadeConfig {
+            domains: vec![3],
+            d_emb: 4,
+            d_hidden: 8,
+            num_blocks: 1,
+            seed: 5,
+        });
+        let mut adam = Adam::for_params(AdamConfig { lr: 5e-2, ..Default::default() }, &m.params());
+        let mut data = Vec::new();
+        for _ in 0..70 {
+            data.push(vec![0u32]);
+        }
+        for _ in 0..20 {
+            data.push(vec![1u32]);
+        }
+        for _ in 0..10 {
+            data.push(vec![2u32]);
+        }
+        for _ in 0..200 {
+            m.forward_backward(&data, &data);
+            adam.step(&mut m.params_mut());
+        }
+        let p = m.conditional_probs(&[vec![0]], 0);
+        assert!((p.get(0, 0) - 0.7).abs() < 0.08, "p = {:?}", p.row(0));
+        assert!((p.get(0, 1) - 0.2).abs() < 0.08);
+        assert!((p.get(0, 2) - 0.1).abs() < 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_input_panics() {
+        let m = make(vec![4, 3], 1);
+        m.conditional_probs(&[vec![0u32]], 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Dense `f32` matrices and the matrix kernels used by the model.
+//!
+//! The matrices are row-major `Vec<f32>`s.  The GEMM kernels use an `i-k-j` loop order so
+//! the inner loop walks both operands contiguously, which LLVM auto-vectorises; this is
+//! plenty for the model sizes involved (a few hundred units per layer).
+
+/// A dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row-major data.  Panics if the length does not match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero (reuses the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// `out = a (m×k) · b (k×n)`, overwriting `out` (m×n).
+pub fn matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.cols);
+    out.fill_zero();
+    matmul_accumulate(a, b, out);
+}
+
+/// `out += a (m×k) · b (k×n)`.
+pub fn matmul_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i in 0..m {
+        let a_row = &a.data[i * k..(i + 1) * k];
+        let out_row = &mut out.data[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out = a (m×k) · bᵀ (n×k)`, overwriting `out` (m×n).
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.cols, "inner dimensions must agree (b is transposed)");
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.rows);
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    for i in 0..m {
+        let a_row = &a.data[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b.data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out.data[i * n + j] = acc;
+        }
+    }
+}
+
+/// `out += aᵀ (k×m) · b (k×n)` where `a` is stored as (k×m): accumulates `mᵀ·n` products.
+/// Used for weight gradients: `dW += xᵀ · dy`.
+pub fn matmul_transpose_a_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.rows, b.rows, "outer (batch) dimensions must agree");
+    assert_eq!(out.rows, a.cols);
+    assert_eq!(out.cols, b.cols);
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    for p in 0..k {
+        let a_row = &a.data[p * m..(p + 1) * m];
+        let b_row = &b.data[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// Adds a bias row vector to every row of `m`.
+pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(m.cols, bias.len());
+    for r in 0..m.rows {
+        for (v, b) in m.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Column-wise sum of `m` accumulated into `out` (used for bias gradients).
+pub fn column_sums_accumulate(m: &Matrix, out: &mut [f32]) {
+    assert_eq!(m.cols, out.len());
+    for r in 0..m.rows {
+        for (o, v) in out.iter_mut().zip(m.row(r)) {
+            *o += v;
+        }
+    }
+}
+
+/// Element-wise `out[i] += a[i] * b[i]` over whole matrices of identical shape.
+pub fn elementwise_mul_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.cols, b.cols);
+    assert_eq!(a.rows, out.rows);
+    assert_eq!(a.cols, out.cols);
+    for ((o, x), y) in out.data.iter_mut().zip(&a.data).zip(&b.data) {
+        *o += x * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-5)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.data()[0], 1.0);
+        m.fill_zero();
+        assert!(m.data().iter().all(|v| *v == 0.0));
+        m.data_mut()[0] = 2.0;
+        assert_eq!(m.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let mut out = Matrix::zeros(2, 2);
+        matmul(&a, &b, &mut out);
+        assert!(approx_eq(out.data(), &[19., 22., 43., 50.]));
+        // Accumulate doubles it.
+        matmul_accumulate(&a, &b, &mut out);
+        assert!(approx_eq(out.data(), &[38., 44., 86., 100.]));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree_with_plain() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut expected = Matrix::zeros(2, 2);
+        matmul(&a, &b, &mut expected);
+
+        // a · bᵀ with b stored transposed (2×3).
+        let bt = Matrix::from_vec(2, 3, vec![7., 9., 11., 8., 10., 12.]);
+        let mut out = Matrix::zeros(2, 2);
+        matmul_transpose_b(&a, &bt, &mut out);
+        assert!(approx_eq(out.data(), expected.data()));
+
+        // aᵀ · b with a stored transposed (3×2): (aᵀ)ᵀ·b = a·b.
+        let at = Matrix::from_vec(3, 2, vec![1., 4., 2., 5., 3., 6.]);
+        let mut out = Matrix::zeros(2, 2);
+        matmul_transpose_a_accumulate(&at, &b, &mut out);
+        assert!(approx_eq(out.data(), expected.data()));
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let mut m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        add_bias(&mut m, &[10., 20.]);
+        assert!(approx_eq(m.data(), &[11., 22., 13., 24.]));
+        let mut sums = vec![0.0; 2];
+        column_sums_accumulate(&m, &mut sums);
+        assert!(approx_eq(&sums, &[24., 46.]));
+    }
+
+    #[test]
+    fn elementwise_mul() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![4., 5., 6.]);
+        let mut out = Matrix::zeros(1, 3);
+        elementwise_mul_accumulate(&a, &b, &mut out);
+        assert!(approx_eq(out.data(), &[4., 10., 18.]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 3);
+        matmul(&a, &b, &mut out);
+    }
+}

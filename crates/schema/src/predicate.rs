@@ -1,0 +1,244 @@
+//! Single-column filter predicates.
+//!
+//! The paper's estimator supports equality and range filters (`<`, `>`, `<=`, `>=`, `=`)
+//! plus `IN` on discrete or numerical columns (§3.3), with the overall filter clause being
+//! a conjunction of single-table filters.  NULL never satisfies any predicate (SQL
+//! three-valued logic collapsed to "unknown = false", which is what COUNT(*) observes).
+
+use serde::{Deserialize, Serialize};
+
+use nc_storage::Value;
+
+/// Comparison operator of a filter predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `IN (v1, v2, ...)`
+    In,
+}
+
+impl CompareOp {
+    /// All binary comparison operators (excludes `IN`); handy for query generators.
+    pub const BINARY_OPS: [CompareOp; 5] = [
+        CompareOp::Eq,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+            CompareOp::In => "IN",
+        }
+    }
+}
+
+/// A predicate on one column: `column <op> literal` (or `column IN (literals)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// Literal operands: exactly one for binary operators, one or more for `IN`.
+    pub literals: Vec<Value>,
+}
+
+impl Predicate {
+    /// `column = literal`
+    pub fn eq(literal: impl Into<Value>) -> Self {
+        Predicate {
+            op: CompareOp::Eq,
+            literals: vec![literal.into()],
+        }
+    }
+
+    /// `column < literal`
+    pub fn lt(literal: impl Into<Value>) -> Self {
+        Predicate {
+            op: CompareOp::Lt,
+            literals: vec![literal.into()],
+        }
+    }
+
+    /// `column <= literal`
+    pub fn le(literal: impl Into<Value>) -> Self {
+        Predicate {
+            op: CompareOp::Le,
+            literals: vec![literal.into()],
+        }
+    }
+
+    /// `column > literal`
+    pub fn gt(literal: impl Into<Value>) -> Self {
+        Predicate {
+            op: CompareOp::Gt,
+            literals: vec![literal.into()],
+        }
+    }
+
+    /// `column >= literal`
+    pub fn ge(literal: impl Into<Value>) -> Self {
+        Predicate {
+            op: CompareOp::Ge,
+            literals: vec![literal.into()],
+        }
+    }
+
+    /// `column IN (literals...)`
+    pub fn isin(literals: Vec<Value>) -> Self {
+        assert!(!literals.is_empty(), "IN list must not be empty");
+        Predicate {
+            op: CompareOp::In,
+            literals,
+        }
+    }
+
+    /// Constructs a predicate from an operator and literals.
+    pub fn new(op: CompareOp, literals: Vec<Value>) -> Self {
+        match op {
+            CompareOp::In => Self::isin(literals),
+            _ => {
+                assert_eq!(literals.len(), 1, "binary operators take exactly one literal");
+                Predicate { op, literals }
+            }
+        }
+    }
+
+    /// The single literal of a binary predicate.  Panics on `IN`.
+    pub fn literal(&self) -> &Value {
+        assert_ne!(self.op, CompareOp::In, "IN predicates have multiple literals");
+        &self.literals[0]
+    }
+
+    /// Evaluates the predicate against a value.  NULL input never matches.
+    pub fn matches(&self, value: &Value) -> bool {
+        if value.is_null() {
+            return false;
+        }
+        match self.op {
+            CompareOp::Eq => value == &self.literals[0],
+            CompareOp::Lt => value < &self.literals[0],
+            CompareOp::Le => value <= &self.literals[0],
+            CompareOp::Gt => value > &self.literals[0],
+            CompareOp::Ge => value >= &self.literals[0],
+            CompareOp::In => self.literals.contains(value),
+        }
+    }
+
+    /// The inclusive (lower, upper) value bounds this predicate imposes, when it is a
+    /// simple range/equality predicate.  `IN` returns `None` (handled separately).
+    pub fn value_bounds(&self) -> Option<(Option<&Value>, Option<&Value>)> {
+        match self.op {
+            CompareOp::Eq => Some((Some(&self.literals[0]), Some(&self.literals[0]))),
+            CompareOp::Le => Some((None, Some(&self.literals[0]))),
+            CompareOp::Ge => Some((Some(&self.literals[0]), None)),
+            // Strict bounds are conservatively widened to inclusive here; exact semantics
+            // are preserved by `matches`, and the code-level translation tightens them
+            // again using the dictionary (see nc-storage::dict and neurocard::encoding).
+            CompareOp::Lt => Some((None, Some(&self.literals[0]))),
+            CompareOp::Gt => Some((Some(&self.literals[0]), None)),
+            CompareOp::In => None,
+        }
+    }
+
+    /// Human-readable SQL-ish rendering, e.g. `production_year <= 2005`.
+    pub fn render(&self, column: &str) -> String {
+        match self.op {
+            CompareOp::In => {
+                let items: Vec<String> = self.literals.iter().map(|v| format!("{v}")).collect();
+                format!("{column} IN ({})", items.join(", "))
+            }
+            _ => format!("{column} {} {}", self.op.sql(), self.literals[0]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_ops_match() {
+        assert!(Predicate::eq(5i64).matches(&Value::Int(5)));
+        assert!(!Predicate::eq(5i64).matches(&Value::Int(6)));
+        assert!(Predicate::lt(5i64).matches(&Value::Int(4)));
+        assert!(!Predicate::lt(5i64).matches(&Value::Int(5)));
+        assert!(Predicate::le(5i64).matches(&Value::Int(5)));
+        assert!(Predicate::gt(5i64).matches(&Value::Int(6)));
+        assert!(Predicate::ge(5i64).matches(&Value::Int(5)));
+        assert!(!Predicate::ge(5i64).matches(&Value::Int(4)));
+    }
+
+    #[test]
+    fn string_ranges() {
+        let p = Predicate::ge("N612");
+        assert!(p.matches(&Value::from("N700")));
+        assert!(p.matches(&Value::from("N612")));
+        assert!(!p.matches(&Value::from("A100")));
+    }
+
+    #[test]
+    fn in_predicate() {
+        let p = Predicate::isin(vec![Value::Int(1), Value::Int(3)]);
+        assert!(p.matches(&Value::Int(1)));
+        assert!(p.matches(&Value::Int(3)));
+        assert!(!p.matches(&Value::Int(2)));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        for p in [
+            Predicate::eq(1i64),
+            Predicate::lt(1i64),
+            Predicate::ge(1i64),
+            Predicate::isin(vec![Value::Null, Value::Int(1)]),
+        ] {
+            assert!(!p.matches(&Value::Null), "{p:?} matched NULL");
+        }
+    }
+
+    #[test]
+    fn bounds_and_render() {
+        assert_eq!(
+            Predicate::eq(5i64).value_bounds(),
+            Some((Some(&Value::Int(5)), Some(&Value::Int(5))))
+        );
+        assert_eq!(Predicate::le(5i64).value_bounds(), Some((None, Some(&Value::Int(5)))));
+        assert_eq!(Predicate::gt(5i64).value_bounds(), Some((Some(&Value::Int(5)), None)));
+        assert_eq!(Predicate::isin(vec![Value::Int(1)]).value_bounds(), None);
+        assert_eq!(Predicate::le(2005i64).render("production_year"), "production_year <= 2005");
+        assert_eq!(
+            Predicate::isin(vec![Value::Int(1), Value::Int(2)]).render("kind_id"),
+            "kind_id IN (1, 2)"
+        );
+        assert_eq!(CompareOp::Eq.sql(), "=");
+        assert_eq!(Predicate::eq(3i64).literal(), &Value::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one literal")]
+    fn binary_with_two_literals_panics() {
+        Predicate::new(CompareOp::Eq, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "IN list must not be empty")]
+    fn empty_in_panics() {
+        Predicate::isin(vec![]);
+    }
+}

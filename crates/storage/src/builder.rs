@@ -1,0 +1,111 @@
+//! Row-oriented table construction.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Accumulates rows and produces an immutable [`Table`].
+///
+/// ```
+/// use nc_storage::{TableBuilder, Value};
+/// let mut b = TableBuilder::new("movies", &["id", "year"]);
+/// b.push_row(vec![Value::Int(1), Value::Int(1994)]);
+/// let t = b.finish();
+/// assert_eq!(t.num_rows(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    column_names: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Creates a builder for a table with the given column names.
+    pub fn new(name: impl Into<String>, column_names: &[&str]) -> Self {
+        TableBuilder {
+            name: name.into(),
+            column_names: column_names.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `rows` rows.
+    pub fn with_capacity(name: impl Into<String>, column_names: &[&str], rows: usize) -> Self {
+        let mut b = Self::new(name, column_names);
+        b.rows.reserve(rows);
+        b
+    }
+
+    /// Appends a row.  Panics if the arity does not match the declared columns.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.column_names.len(),
+            "row arity {} does not match declared columns {}",
+            row.len(),
+            self.column_names.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Converts the accumulated rows into a columnar [`Table`].
+    pub fn finish(self) -> Table {
+        let n_cols = self.column_names.len();
+        let mut per_column: Vec<Vec<Value>> = vec![Vec::with_capacity(self.rows.len()); n_cols];
+        for row in self.rows {
+            for (i, v) in row.into_iter().enumerate() {
+                per_column[i].push(v);
+            }
+        }
+        let columns = self
+            .column_names
+            .iter()
+            .zip(per_column)
+            .map(|(name, vals)| Column::from_values(name.clone(), &vals))
+            .collect();
+        Table::new(self.name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_round_trip() {
+        let mut b = TableBuilder::with_capacity("t", &["a", "b"], 4);
+        assert!(b.is_empty());
+        b.push_row(vec![Value::Int(1), Value::from("x")]);
+        b.push_row(vec![Value::Int(2), Value::Null]);
+        assert_eq!(b.len(), 2);
+        let t = b.finish();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value("a", 1), Value::Int(2));
+        assert_eq!(t.value("b", 1), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut b = TableBuilder::new("t", &["a", "b"]);
+        b.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TableBuilder::new("t", &["a"]).finish();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 1);
+    }
+}

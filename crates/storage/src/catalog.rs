@@ -1,0 +1,117 @@
+//! The database catalog: a named collection of tables plus a shared index cache.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::index::{IndexCache, KeyIndex};
+use crate::table::Table;
+
+/// A database: tables by name plus lazily-built join-key indexes.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Arc<Table>>,
+    indexes: IndexCache,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.  Replacing a table invalidates its cached indexes,
+    /// mirroring what the update experiments (§7.6) require after a partition ingest.
+    pub fn add_table(&mut self, table: Table) {
+        self.indexes.invalidate_table(table.name());
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a table, panicking with a readable message if missing.
+    pub fn expect_table(&self, name: &str) -> &Arc<Table> {
+        self.table(name)
+            .unwrap_or_else(|| panic!("table {name:?} not registered in database"))
+    }
+
+    /// All table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Returns (building on first use) the join-key index for `table.column`.
+    pub fn index(&self, table: &str, column: &str) -> Arc<KeyIndex> {
+        let t = self.expect_table(table);
+        self.indexes.get_or_build(t, column)
+    }
+
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.num_rows()).sum()
+    }
+
+    /// Total approximate size in bytes across all tables.
+    pub fn approx_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.approx_bytes()).sum()
+    }
+
+    /// Iterator over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<Table>> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::value::Value;
+
+    fn small_table(name: &str, n: i64) -> Table {
+        let mut b = TableBuilder::new(name, &["id"]);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn add_lookup_and_totals() {
+        let mut db = Database::new();
+        db.add_table(small_table("a", 3));
+        db.add_table(small_table("b", 5));
+        assert_eq!(db.num_tables(), 2);
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert_eq!(db.total_rows(), 8);
+        assert!(db.approx_bytes() > 0);
+        assert!(db.table("a").is_some());
+        assert!(db.table("zz").is_none());
+        assert_eq!(db.tables().count(), 2);
+    }
+
+    #[test]
+    fn replacing_table_invalidates_indexes() {
+        let mut db = Database::new();
+        db.add_table(small_table("a", 3));
+        let idx1 = db.index("a", "id");
+        assert_eq!(idx1.distinct_keys(), 3);
+        db.add_table(small_table("a", 10));
+        let idx2 = db.index("a", "id");
+        assert_eq!(idx2.distinct_keys(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn expect_missing_table_panics() {
+        Database::new().expect_table("nope");
+    }
+}

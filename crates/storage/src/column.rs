@@ -1,0 +1,338 @@
+//! Typed columnar storage.
+//!
+//! Two physical layouts are supported:
+//!
+//! * [`ColumnData::Int`] — a dense `Vec<i64>` plus a validity mask (NULLs),
+//! * [`ColumnData::Str`] — dictionary-encoded strings: a `Vec<u32>` of codes into a
+//!   per-column string pool plus a validity mask.
+//!
+//! Both layouts expose a uniform [`Value`]-based accessor so higher layers (the executor,
+//! the sampler, the estimators) never need to branch on physical type, while hot paths
+//! (join-key hashing, fanout counting) can go through the typed accessors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Physical data of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Dense 64-bit integers with a validity mask (`false` = NULL; the slot in `values`
+    /// is then meaningless but kept so indexes stay positional).
+    Int { values: Vec<i64>, validity: Vec<bool> },
+    /// Dictionary-encoded strings. `codes[i]` indexes into `pool`; validity as above.
+    Str {
+        codes: Vec<u32>,
+        pool: Vec<Arc<str>>,
+        validity: Vec<bool>,
+    },
+}
+
+/// A named column of a table.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Builds a column from an iterator of values.
+    ///
+    /// The physical layout is chosen from the first non-NULL value; mixing integers and
+    /// strings in one column falls back to the string layout (integers are formatted).
+    pub fn from_values(name: impl Into<String>, values: &[Value]) -> Self {
+        let is_int = values
+            .iter()
+            .find(|v| !v.is_null())
+            .map(|v| matches!(v, Value::Int(_)))
+            .unwrap_or(true);
+        let all_typed_ok = values
+            .iter()
+            .all(|v| v.is_null() || matches!(v, Value::Int(_)) == is_int);
+        if is_int && all_typed_ok {
+            let mut vals = Vec::with_capacity(values.len());
+            let mut validity = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Value::Int(i) => {
+                        vals.push(*i);
+                        validity.push(true);
+                    }
+                    _ => {
+                        vals.push(0);
+                        validity.push(false);
+                    }
+                }
+            }
+            Column {
+                name: name.into(),
+                data: ColumnData::Int {
+                    values: vals,
+                    validity,
+                },
+            }
+        } else {
+            let mut codes = Vec::with_capacity(values.len());
+            let mut validity = Vec::with_capacity(values.len());
+            let mut pool: Vec<Arc<str>> = Vec::new();
+            let mut pool_lookup: HashMap<Arc<str>, u32> = HashMap::new();
+            for v in values {
+                match v {
+                    Value::Null => {
+                        codes.push(0);
+                        validity.push(false);
+                    }
+                    other => {
+                        let s: Arc<str> = match other {
+                            Value::Str(s) => s.clone(),
+                            Value::Int(i) => Arc::from(i.to_string().as_str()),
+                            Value::Null => unreachable!(),
+                        };
+                        let code = *pool_lookup.entry(s.clone()).or_insert_with(|| {
+                            pool.push(s.clone());
+                            (pool.len() - 1) as u32
+                        });
+                        codes.push(code);
+                        validity.push(true);
+                    }
+                }
+            }
+            Column {
+                name: name.into(),
+                data: ColumnData::Str {
+                    codes,
+                    pool,
+                    validity,
+                },
+            }
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int { values, .. } => values.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Value at `row` (NULL-aware).
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn value(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Int { values, validity } => {
+                if validity[row] {
+                    Value::Int(values[row])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnData::Str {
+                codes,
+                pool,
+                validity,
+            } => {
+                if validity[row] {
+                    Value::Str(pool[codes[row] as usize].clone())
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// Whether the value at `row` is NULL.
+    pub fn is_null(&self, row: usize) -> bool {
+        match &self.data {
+            ColumnData::Int { validity, .. } | ColumnData::Str { validity, .. } => !validity[row],
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Int { validity, .. } | ColumnData::Str { validity, .. } => {
+                validity.iter().filter(|v| !**v).count()
+            }
+        }
+    }
+
+    /// Distinct non-NULL values, sorted by the [`Value`] total order.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = match &self.data {
+            ColumnData::Int { values, validity } => {
+                let mut v: Vec<i64> = values
+                    .iter()
+                    .zip(validity)
+                    .filter(|(_, ok)| **ok)
+                    .map(|(v, _)| *v)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v.into_iter().map(Value::Int).collect()
+            }
+            ColumnData::Str { pool, .. } => {
+                let mut v: Vec<Arc<str>> = pool.clone();
+                v.sort();
+                v.dedup();
+                v.into_iter().map(Value::Str).collect()
+            }
+        };
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct_values().len()
+    }
+
+    /// Occurrence count of each non-NULL value in this column (the per-key *fanout* of the
+    /// paper's virtual fanout columns when this column is a join key).
+    pub fn value_counts(&self) -> HashMap<Value, u64> {
+        let mut out: HashMap<Value, u64> = HashMap::new();
+        for row in 0..self.len() {
+            let v = self.value(row);
+            if !v.is_null() {
+                *out.entry(v).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Iterator over all values (NULL-aware).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |r| self.value(r))
+    }
+
+    /// Returns the minimum and maximum non-NULL value, if any.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for v in self.iter().filter(|v| !v.is_null()) {
+            match &mut min {
+                None => min = Some(v.clone()),
+                Some(m) if v < *m => *m = v.clone(),
+                _ => {}
+            }
+            match &mut max {
+                None => max = Some(v),
+                Some(m) => {
+                    if *m < v {
+                        *m = v;
+                    }
+                }
+            }
+        }
+        min.zip(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col() -> Column {
+        Column::from_values(
+            "c",
+            &[
+                Value::Int(3),
+                Value::Null,
+                Value::Int(1),
+                Value::Int(3),
+                Value::Int(2),
+            ],
+        )
+    }
+
+    fn str_col() -> Column {
+        Column::from_values(
+            "s",
+            &[
+                Value::from("b"),
+                Value::from("a"),
+                Value::Null,
+                Value::from("b"),
+            ],
+        )
+    }
+
+    #[test]
+    fn int_column_roundtrip() {
+        let c = int_col();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.value(0), Value::Int(3));
+        assert_eq!(c.value(1), Value::Null);
+        assert!(c.is_null(1));
+        assert_eq!(c.null_count(), 1);
+        assert!(matches!(c.data(), ColumnData::Int { .. }));
+    }
+
+    #[test]
+    fn str_column_roundtrip() {
+        let c = str_col();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(0), Value::from("b"));
+        assert_eq!(c.value(2), Value::Null);
+        assert_eq!(c.distinct_count(), 2);
+        assert!(matches!(c.data(), ColumnData::Str { .. }));
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_strings() {
+        let c = Column::from_values("m", &[Value::Int(1), Value::from("x")]);
+        assert!(matches!(c.data(), ColumnData::Str { .. }));
+        assert_eq!(c.value(0), Value::from("1"));
+        assert_eq!(c.value(1), Value::from("x"));
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let c = int_col();
+        assert_eq!(
+            c.distinct_values(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        let s = str_col();
+        assert_eq!(s.distinct_values(), vec![Value::from("a"), Value::from("b")]);
+    }
+
+    #[test]
+    fn value_counts_and_minmax() {
+        let c = int_col();
+        let counts = c.value_counts();
+        assert_eq!(counts[&Value::Int(3)], 2);
+        assert_eq!(counts[&Value::Int(1)], 1);
+        assert_eq!(counts.len(), 3);
+        assert_eq!(c.min_max(), Some((Value::Int(1), Value::Int(3))));
+
+        let empty = Column::from_values("e", &[Value::Null]);
+        assert_eq!(empty.min_max(), None);
+        assert!(!empty.is_empty());
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_int_layout() {
+        let c = Column::from_values("n", &[Value::Null, Value::Null]);
+        assert!(matches!(c.data(), ColumnData::Int { .. }));
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.distinct_count(), 0);
+    }
+}

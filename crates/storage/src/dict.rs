@@ -1,0 +1,234 @@
+//! Order-preserving per-column dictionaries.
+//!
+//! The autoregressive model (and several baselines) operate on dense integer codes rather
+//! than raw values.  A [`ColumnDictionary`] assigns code `i` to the `i`-th smallest distinct
+//! non-NULL value of a column; NULL gets the dedicated code `0` and real values start at 1.
+//! Because codes are order-preserving, a range predicate on raw values translates directly
+//! into a contiguous code range — the property the lossless column factorization of the
+//! paper (§5) relies on when turning original-column filters into subcolumn filters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::value::Value;
+
+/// Code reserved for NULL.
+pub const NULL_CODE: u32 = 0;
+
+/// An order-preserving dictionary for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnDictionary {
+    /// Distinct non-NULL values in ascending order; value `values[i]` has code `i + 1`.
+    values: Vec<Value>,
+}
+
+impl ColumnDictionary {
+    /// Builds a dictionary from a column's distinct values.
+    pub fn from_column(column: &Column) -> Self {
+        ColumnDictionary {
+            values: column.distinct_values(),
+        }
+    }
+
+    /// Builds a dictionary from pre-sorted distinct values (asserts ordering in debug).
+    pub fn from_sorted_values(values: Vec<Value>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be strictly sorted");
+        ColumnDictionary { values }
+    }
+
+    /// Domain size including the NULL code (i.e. `distinct + 1`).
+    pub fn domain_size(&self) -> usize {
+        self.values.len() + 1
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Encodes a value to its code.  Returns `None` for non-NULL values absent from the
+    /// dictionary (e.g. a filter literal that does not occur in the data).
+    pub fn encode(&self, value: &Value) -> Option<u32> {
+        if value.is_null() {
+            return Some(NULL_CODE);
+        }
+        self.values
+            .binary_search(value)
+            .ok()
+            .map(|i| (i + 1) as u32)
+    }
+
+    /// Decodes a code back to its value.  Code 0 is NULL.
+    pub fn decode(&self, code: u32) -> Value {
+        if code == NULL_CODE {
+            Value::Null
+        } else {
+            self.values[(code - 1) as usize].clone()
+        }
+    }
+
+    /// All codes whose value satisfies `pred` (codes are contiguous for range predicates,
+    /// but this helper supports arbitrary predicates).
+    pub fn codes_matching(&self, mut pred: impl FnMut(&Value) -> bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        if pred(&Value::Null) {
+            out.push(NULL_CODE);
+        }
+        for (i, v) in self.values.iter().enumerate() {
+            if pred(v) {
+                out.push((i + 1) as u32);
+            }
+        }
+        out
+    }
+
+    /// Inclusive code range `[lo, hi]` covering all values `v` with `lower <= v <= upper`
+    /// (either bound may be `None` = unbounded).  Returns `None` if no dictionary value
+    /// falls in the range.  NULL is never part of a range.
+    pub fn code_range(&self, lower: Option<&Value>, upper: Option<&Value>) -> Option<(u32, u32)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let lo_idx = match lower {
+            None => 0,
+            Some(lv) => self.values.partition_point(|v| v < lv),
+        };
+        let hi_idx = match upper {
+            None => self.values.len(),
+            Some(uv) => self.values.partition_point(|v| v <= uv),
+        };
+        if lo_idx >= hi_idx {
+            None
+        } else {
+            Some((lo_idx as u32 + 1, hi_idx as u32))
+        }
+    }
+
+    /// Code of the greatest dictionary value `<= value`, if any (used to snap range filter
+    /// literals that are not themselves present in the data).
+    pub fn floor_code(&self, value: &Value) -> Option<u32> {
+        let idx = self.values.partition_point(|v| v <= value);
+        if idx == 0 {
+            None
+        } else {
+            Some(idx as u32)
+        }
+    }
+
+    /// Code of the smallest dictionary value `>= value`, if any.
+    pub fn ceil_code(&self, value: &Value) -> Option<u32> {
+        let idx = self.values.partition_point(|v| v < value);
+        if idx == self.values.len() {
+            None
+        } else {
+            Some(idx as u32 + 1)
+        }
+    }
+
+    /// The underlying sorted distinct values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> ColumnDictionary {
+        let col = Column::from_values(
+            "c",
+            &[
+                Value::Int(10),
+                Value::Int(30),
+                Value::Null,
+                Value::Int(20),
+                Value::Int(30),
+            ],
+        );
+        ColumnDictionary::from_column(&col)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = dict();
+        assert_eq!(d.domain_size(), 4);
+        assert_eq!(d.distinct(), 3);
+        assert_eq!(d.encode(&Value::Null), Some(NULL_CODE));
+        assert_eq!(d.encode(&Value::Int(10)), Some(1));
+        assert_eq!(d.encode(&Value::Int(20)), Some(2));
+        assert_eq!(d.encode(&Value::Int(30)), Some(3));
+        assert_eq!(d.encode(&Value::Int(25)), None);
+        for code in 0..4 {
+            assert_eq!(d.encode(&d.decode(code)), Some(code));
+        }
+    }
+
+    #[test]
+    fn codes_are_order_preserving() {
+        let d = dict();
+        let c10 = d.encode(&Value::Int(10)).unwrap();
+        let c20 = d.encode(&Value::Int(20)).unwrap();
+        let c30 = d.encode(&Value::Int(30)).unwrap();
+        assert!(c10 < c20 && c20 < c30);
+    }
+
+    #[test]
+    fn code_range_bounds() {
+        let d = dict();
+        assert_eq!(d.code_range(None, None), Some((1, 3)));
+        assert_eq!(
+            d.code_range(Some(&Value::Int(15)), Some(&Value::Int(30))),
+            Some((2, 3))
+        );
+        assert_eq!(
+            d.code_range(Some(&Value::Int(10)), Some(&Value::Int(10))),
+            Some((1, 1))
+        );
+        assert_eq!(d.code_range(Some(&Value::Int(31)), None), None);
+        assert_eq!(d.code_range(None, Some(&Value::Int(5))), None);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        let d = dict();
+        assert_eq!(d.floor_code(&Value::Int(25)), Some(2));
+        assert_eq!(d.floor_code(&Value::Int(5)), None);
+        assert_eq!(d.ceil_code(&Value::Int(25)), Some(3));
+        assert_eq!(d.ceil_code(&Value::Int(35)), None);
+        assert_eq!(d.floor_code(&Value::Int(30)), Some(3));
+        assert_eq!(d.ceil_code(&Value::Int(10)), Some(1));
+    }
+
+    #[test]
+    fn codes_matching_predicate() {
+        let d = dict();
+        let codes = d.codes_matching(|v| matches!(v, Value::Int(x) if *x >= 20));
+        assert_eq!(codes, vec![2, 3]);
+        let with_null = d.codes_matching(|v| v.is_null());
+        assert_eq!(with_null, vec![NULL_CODE]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let col = Column::from_values("c", &[Value::Null]);
+        let d = ColumnDictionary::from_column(&col);
+        assert_eq!(d.domain_size(), 1);
+        assert_eq!(d.code_range(None, None), None);
+        assert_eq!(d.encode(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn string_dictionary_lexicographic() {
+        let col = Column::from_values(
+            "s",
+            &[Value::from("N612"), Value::from("A100"), Value::from("Z9")],
+        );
+        let d = ColumnDictionary::from_column(&col);
+        let range = d
+            .code_range(Some(&Value::from("N612")), None)
+            .expect("range");
+        // 'N612' and 'Z9' are >= 'N612'.
+        assert_eq!(range.1 - range.0 + 1, 2);
+    }
+}

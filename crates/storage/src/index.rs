@@ -1,0 +1,188 @@
+//! Join-key indexes.
+//!
+//! The join sampler (paper §4) and the IBJS baseline both assume an index per join key:
+//! given a key value, return the row ids of all matching tuples.  The paper notes this
+//! assumption "impacts the efficiency but not correctness of the design".
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+use crate::value::Value;
+use crate::RowId;
+
+/// A hash index from join-key value to the row ids holding that value.
+///
+/// NULL keys are tracked separately (they never participate in equi-joins but are needed
+/// for full-outer-join bookkeeping).
+#[derive(Debug, Clone, Default)]
+pub struct KeyIndex {
+    map: HashMap<Value, Vec<RowId>>,
+    null_rows: Vec<RowId>,
+}
+
+impl KeyIndex {
+    /// Builds an index over `table.column`.
+    ///
+    /// Panics if the column does not exist.
+    pub fn build(table: &Table, column: &str) -> Self {
+        let col = table
+            .column(column)
+            .unwrap_or_else(|| panic!("no column {column:?} in table {:?}", table.name()));
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        let mut null_rows = Vec::new();
+        for row in 0..col.len() {
+            let v = col.value(row);
+            if v.is_null() {
+                null_rows.push(row as RowId);
+            } else {
+                map.entry(v).or_default().push(row as RowId);
+            }
+        }
+        KeyIndex { map, null_rows }
+    }
+
+    /// Row ids whose key equals `value`.  Empty slice if no match (or if `value` is NULL).
+    pub fn lookup(&self, value: &Value) -> &[RowId] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of rows whose key equals `value` — the per-key fanout used for the paper's
+    /// virtual fanout columns.
+    pub fn fanout(&self, value: &Value) -> u64 {
+        self.lookup(value).len() as u64
+    }
+
+    /// Whether any row carries this key value.
+    pub fn contains(&self, value: &Value) -> bool {
+        !self.lookup(value).is_empty()
+    }
+
+    /// Row ids whose key is NULL.
+    pub fn null_rows(&self) -> &[RowId] {
+        &self.null_rows
+    }
+
+    /// Number of distinct non-NULL key values.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterator over `(key, row ids)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &[RowId])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// All distinct non-NULL key values, in arbitrary order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.map.keys()
+    }
+}
+
+/// Caches [`KeyIndex`]es by `(table, column)` so repeated sampler / baseline constructions
+/// reuse the same physical index, as a DBMS would.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    built: parking_lot::RwLock<HashMap<(String, String), std::sync::Arc<KeyIndex>>>,
+}
+
+impl IndexCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the index for `table.column`, building it on first use.
+    pub fn get_or_build(&self, table: &Table, column: &str) -> std::sync::Arc<KeyIndex> {
+        let key = (table.name().to_string(), column.to_string());
+        if let Some(idx) = self.built.read().get(&key) {
+            return idx.clone();
+        }
+        let idx = std::sync::Arc::new(KeyIndex::build(table, column));
+        self.built.write().insert(key, idx.clone());
+        idx
+    }
+
+    /// Drops cached indexes for a table (needed when the update experiments replace it).
+    pub fn invalidate_table(&self, table_name: &str) {
+        self.built.write().retain(|(t, _), _| t != table_name);
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.built.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "b",
+            vec![
+                Column::from_values(
+                    "x",
+                    &[Value::Int(1), Value::Int(2), Value::Int(2), Value::Null],
+                ),
+                Column::from_values(
+                    "y",
+                    &[
+                        Value::from("a"),
+                        Value::from("b"),
+                        Value::from("c"),
+                        Value::from("d"),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_and_fanout() {
+        let idx = KeyIndex::build(&table(), "x");
+        assert_eq!(idx.lookup(&Value::Int(2)), &[1, 2]);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0]);
+        assert!(idx.lookup(&Value::Int(99)).is_empty());
+        assert_eq!(idx.fanout(&Value::Int(2)), 2);
+        assert_eq!(idx.fanout(&Value::Int(99)), 0);
+        assert!(idx.contains(&Value::Int(1)));
+        assert!(!idx.contains(&Value::Int(99)));
+        assert_eq!(idx.null_rows(), &[3]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.lookup(&Value::Null), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn iteration_covers_all_keys() {
+        let idx = KeyIndex::build(&table(), "x");
+        let mut keys: Vec<i64> = idx.keys().map(|v| v.as_int().unwrap()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+        let total: usize = idx.iter().map(|(_, rows)| rows.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn cache_reuses_and_invalidates() {
+        let t = table();
+        let cache = IndexCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(&t, "x");
+        let b = cache.get_or_build(&t, "x");
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let _ = cache.get_or_build(&t, "y");
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_table("b");
+        assert!(cache.is_empty());
+    }
+}

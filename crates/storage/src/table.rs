@@ -1,0 +1,213 @@
+//! Tables: named collections of equal-length columns.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::value::Value;
+use crate::RowId;
+
+/// An immutable table.
+///
+/// Rows are addressed positionally by [`RowId`].  All columns have the same length.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    by_name: HashMap<String, usize>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Creates a table from columns.  Panics if column lengths differ or names repeat.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        assert!(
+            columns.iter().all(|c| c.len() == num_rows),
+            "all columns of a table must have the same number of rows"
+        );
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            let prev = by_name.insert(c.name().to_string(), i);
+            assert!(prev.is_none(), "duplicate column name {:?}", c.name());
+        }
+        Table {
+            name: name.into(),
+            columns,
+            by_name,
+            num_rows,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.by_name.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Positional index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Value of `column` at `row`.  Panics if the column does not exist.
+    pub fn value(&self, column: &str, row: RowId) -> Value {
+        self.column(column)
+            .unwrap_or_else(|| panic!("no column {column:?} in table {:?}", self.name))
+            .value(row as usize)
+    }
+
+    /// Materialises one row as a `Vec<Value>` in column declaration order.
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.columns
+            .iter()
+            .map(|c| c.value(row as usize))
+            .collect()
+    }
+
+    /// Builds a new table containing only the given rows (in the given order), preserving
+    /// column structure.  Used by the update experiments to form partitions.
+    pub fn select_rows(&self, rows: &[RowId]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let vals: Vec<Value> = rows.iter().map(|&r| c.value(r as usize)).collect();
+                Column::from_values(c.name(), &vals)
+            })
+            .collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// Concatenates another table with an identical schema below this one.
+    pub fn concat(&self, other: &Table) -> Table {
+        assert_eq!(
+            self.column_names(),
+            other.column_names(),
+            "concat requires identical schemas"
+        );
+        let columns = self
+            .columns
+            .iter()
+            .zip(other.columns.iter())
+            .map(|(a, b)| {
+                let mut vals: Vec<Value> = a.iter().collect();
+                vals.extend(b.iter());
+                Column::from_values(a.name(), &vals)
+            })
+            .collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// Approximate in-memory footprint in bytes (used for the "model size vs data size"
+    /// reporting in the JOB-M experiment).
+    pub fn approx_bytes(&self) -> usize {
+        use crate::column::ColumnData;
+        self.columns
+            .iter()
+            .map(|c| match c.data() {
+                ColumnData::Int { values, validity } => values.len() * 8 + validity.len(),
+                ColumnData::Str {
+                    codes,
+                    pool,
+                    validity,
+                } => codes.len() * 4 + validity.len() + pool.iter().map(|s| s.len()).sum::<usize>(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_values("id", &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+                Column::from_values(
+                    "name",
+                    &[Value::from("a"), Value::Null, Value::from("c")],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = table();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column_names(), vec!["id", "name"]);
+        assert_eq!(t.value("id", 2), Value::Int(3));
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::Null]);
+        assert_eq!(t.column_index("name"), Some(1));
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rows")]
+    fn mismatched_lengths_panic() {
+        Table::new(
+            "bad",
+            vec![
+                Column::from_values("a", &[Value::Int(1)]),
+                Column::from_values("b", &[Value::Int(1), Value::Int(2)]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_columns_panic() {
+        Table::new(
+            "bad",
+            vec![
+                Column::from_values("a", &[Value::Int(1)]),
+                Column::from_values("a", &[Value::Int(2)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn select_rows_and_concat() {
+        let t = table();
+        let head = t.select_rows(&[0, 1]);
+        let tail = t.select_rows(&[2]);
+        assert_eq!(head.num_rows(), 2);
+        assert_eq!(tail.num_rows(), 1);
+        let whole = head.concat(&tail);
+        assert_eq!(whole.num_rows(), 3);
+        assert_eq!(whole.row(2), t.row(2));
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        assert!(table().approx_bytes() > 0);
+    }
+}

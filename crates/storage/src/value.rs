@@ -1,0 +1,230 @@
+//! Scalar values stored in table cells.
+//!
+//! Only the types actually needed by the IMDB-style workloads are supported:
+//! 64-bit integers, UTF-8 strings, and NULL.  Values have a total order (used by the
+//! dictionary to assign order-preserving codes, which in turn makes range predicates on
+//! dictionary codes equivalent to range predicates on raw values): `Null < Int(_) < Str(_)`,
+//! integers by numeric order, strings lexicographically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single scalar cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.  `Arc<str>` keeps row materialisation cheap.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns `true` if this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a CSV field into a value.
+    ///
+    /// An empty field becomes NULL, a field that parses as `i64` becomes an integer and
+    /// everything else a string.  This mirrors how the IMDB CSV exports are typically
+    /// ingested.
+    pub fn parse(field: &str) -> Value {
+        if field.is_empty() {
+            Value::Null
+        } else if let Ok(i) = field.parse::<i64>() {
+            Value::Int(i)
+        } else {
+            Value::from(field)
+        }
+    }
+
+    /// Rank of the variant used by the total order: NULL < Int < Str.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(v) => v.hash(state),
+            Value::Str(s) => s.as_bytes().hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Option<i64>> for Value {
+    fn from(v: Option<i64>) -> Self {
+        match v {
+            Some(v) => Value::Int(v),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordering_null_int_str() {
+        assert!(Value::Null < Value::Int(-100));
+        assert!(Value::Int(5) < Value::Int(6));
+        assert!(Value::Int(i64::MAX) < Value::from("a"));
+        assert!(Value::from("a") < Value::from("b"));
+        assert_eq!(Value::Int(3), Value::Int(3));
+    }
+
+    #[test]
+    fn parse_rules() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("N612"), Value::from("N612"));
+        assert_eq!(Value::parse("3.5"), Value::from("3.5"));
+    }
+
+    #[test]
+    fn eq_and_hash_consistent() {
+        let a = Value::from("movie");
+        let b = Value::from(String::from("movie"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(Value::Int(1), Value::from("1"));
+    }
+
+    #[test]
+    fn display_roundtrip_for_ints() {
+        let v = Value::Int(12345);
+        assert_eq!(Value::parse(&v.to_string()), v);
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(9i64)), Value::Int(9));
+    }
+}

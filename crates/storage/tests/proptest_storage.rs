@@ -1,0 +1,102 @@
+//! Property-based tests for the storage substrate.
+
+use nc_storage::{read_csv_str, write_csv_string, Column, ColumnDictionary, TableBuilder, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (-1000i64..1000).prop_map(Value::Int),
+    ]
+}
+
+fn arb_str_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        5 => "[a-z]{0,6}".prop_map(|s| if s.is_empty() { Value::Null } else { Value::from(s) }),
+    ]
+}
+
+proptest! {
+    /// Building a column from values and reading it back is the identity.
+    #[test]
+    fn column_roundtrip_ints(values in prop::collection::vec(arb_value(), 0..200)) {
+        let col = Column::from_values("c", &values);
+        prop_assert_eq!(col.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&col.value(i), v);
+        }
+    }
+
+    /// Same round-trip property for string columns.
+    #[test]
+    fn column_roundtrip_strs(values in prop::collection::vec(arb_str_value(), 0..200)) {
+        let col = Column::from_values("c", &values);
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&col.value(i), v);
+        }
+    }
+
+    /// Dictionary encode/decode round-trips, and codes preserve the value order.
+    #[test]
+    fn dictionary_is_order_preserving(values in prop::collection::vec(arb_value(), 1..200)) {
+        let col = Column::from_values("c", &values);
+        let dict = ColumnDictionary::from_column(&col);
+        for v in values.iter() {
+            let code = dict.encode(v).expect("present value must encode");
+            prop_assert_eq!(&dict.decode(code), v);
+        }
+        // Order preservation over the dictionary's own values.
+        let vals = dict.values().to_vec();
+        for w in vals.windows(2) {
+            let a = dict.encode(&w[0]).unwrap();
+            let b = dict.encode(&w[1]).unwrap();
+            prop_assert!(a < b);
+        }
+    }
+
+    /// `code_range` agrees with a brute-force filter over the dictionary values.
+    #[test]
+    fn code_range_matches_bruteforce(
+        values in prop::collection::vec((-50i64..50).prop_map(Value::Int), 1..100),
+        lo in -60i64..60,
+        hi in -60i64..60,
+    ) {
+        let col = Column::from_values("c", &values);
+        let dict = ColumnDictionary::from_column(&col);
+        let lo_v = Value::Int(lo.min(hi));
+        let hi_v = Value::Int(lo.max(hi));
+        let expected: Vec<u32> = dict
+            .values()
+            .iter()
+            .filter(|v| **v >= lo_v && **v <= hi_v)
+            .map(|v| dict.encode(v).unwrap())
+            .collect();
+        match dict.code_range(Some(&lo_v), Some(&hi_v)) {
+            None => prop_assert!(expected.is_empty()),
+            Some((a, b)) => {
+                prop_assert_eq!(expected.first().copied(), Some(a));
+                prop_assert_eq!(expected.last().copied(), Some(b));
+                prop_assert_eq!(expected.len() as u32, b - a + 1);
+            }
+        }
+    }
+
+    /// CSV write → read is lossless for tables of ints and simple strings.
+    #[test]
+    fn csv_roundtrip(
+        rows in prop::collection::vec((arb_value(), arb_str_value()), 0..50)
+    ) {
+        let mut b = TableBuilder::new("t", &["a", "b"]);
+        for (x, y) in &rows {
+            b.push_row(vec![x.clone(), y.clone()]);
+        }
+        let t = b.finish();
+        let csv = write_csv_string(&t);
+        let t2 = read_csv_str("t", &csv).expect("parse back");
+        prop_assert_eq!(t2.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            prop_assert_eq!(t2.row(r as u32), t.row(r as u32));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The JOB-light workload shape: 70 star-join queries over the 6-table schema.
+//!
+//! Like the original benchmark (Kipf et al. 2019), every query joins `title` with 1–4 of
+//! its child tables on `movie_id`, uses equality filters on categorical columns and range
+//! filters only on `title.production_year`.  Literals are drawn from inner-join tuples of
+//! the synthetic database so every query has a non-empty answer.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_datagen::JOB_LIGHT_TABLES;
+use nc_schema::{JoinSchema, Predicate, Query};
+use nc_storage::Database;
+
+use crate::generator::{add_filter_from_literal, draw_inner_join_tuple};
+
+/// Equality-filter columns per child table (mirrors the real JOB-light filter columns).
+fn child_filter_column(table: &str) -> Option<&'static str> {
+    match table {
+        "cast_info" => Some("role_id"),
+        "movie_companies" => Some("company_type_id"),
+        "movie_info" => Some("info_type_id"),
+        "movie_keyword" => Some("keyword_id"),
+        "movie_info_idx" => Some("info_type_id"),
+        _ => None,
+    }
+}
+
+/// Generates `count` JOB-light-style queries (the original benchmark has 70).
+pub fn job_light_queries(
+    db: &Arc<Database>,
+    schema: &JoinSchema,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let children: Vec<&str> = JOB_LIGHT_TABLES[1..].to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while queries.len() < count && attempts < count * 20 {
+        attempts += 1;
+        // 1–4 children joined with title (2–5 tables total, as in the original).
+        let n_children = rng.random_range(1..=4usize);
+        let mut picked: Vec<&str> = children.clone();
+        // Deterministic shuffle-by-selection.
+        let mut joined = vec!["title".to_string()];
+        for _ in 0..n_children {
+            let idx = rng.random_range(0..picked.len());
+            joined.push(picked.remove(idx).to_string());
+        }
+        let Some(tuple) = draw_inner_join_tuple(db, schema, &joined, &mut rng, 300) else {
+            continue;
+        };
+
+        let refs: Vec<&str> = joined.iter().map(|s| s.as_str()).collect();
+        let mut query = Query::join(&refs);
+
+        // Range filter on production_year (present in most JOB-light queries).
+        if rng.random::<f64>() < 0.8 {
+            let year = &tuple[&("title".to_string(), "production_year".to_string())];
+            query = add_filter_from_literal(query, "title", "production_year", true, year, &mut rng);
+        }
+        // Equality filter on title.kind_id for some queries.
+        if rng.random::<f64>() < 0.5 {
+            let kind = &tuple[&("title".to_string(), "kind_id".to_string())];
+            if !kind.is_null() {
+                query = query.filter("title", "kind_id", Predicate::eq(kind.clone()));
+            }
+        }
+        // One equality filter per joined child (with some probability).
+        for child in joined.iter().skip(1) {
+            if rng.random::<f64>() < 0.7 {
+                if let Some(col) = child_filter_column(child) {
+                    let lit = &tuple[&(child.clone(), col.to_string())];
+                    if !lit.is_null() {
+                        query = query.filter(child.clone(), col, Predicate::eq(lit.clone()));
+                    }
+                }
+            }
+        }
+        if query.filters.is_empty() {
+            continue;
+        }
+        debug_assert!(query.validate(schema).is_ok());
+        queries.push(query);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+
+    #[test]
+    fn generates_valid_non_empty_queries() {
+        let db = Arc::new(job_light_database(&DataGenConfig::tiny()));
+        let schema = job_light_schema();
+        let queries = job_light_queries(&db, &schema, 25, 1);
+        assert_eq!(queries.len(), 25);
+        for q in &queries {
+            assert!(q.validate(&schema).is_ok());
+            assert!(q.num_tables() >= 2 && q.num_tables() <= 5);
+            assert!(!q.filters.is_empty());
+            assert!(q.joins("title"));
+            let truth = nc_exec::true_cardinality(&db, &schema, q);
+            assert!(truth > 0, "query {q} should be non-empty");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = Arc::new(job_light_database(&DataGenConfig::tiny()));
+        let schema = job_light_schema();
+        let a = job_light_queries(&db, &schema, 10, 7);
+        let b = job_light_queries(&db, &schema, 10, 7);
+        assert_eq!(a, b);
+        let c = job_light_queries(&db, &schema, 10, 8);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,120 @@
+//! JOB-light-ranges: the harder synthesized benchmark of the paper (§7.1).
+//!
+//! Compared with JOB-light it (a) touches many more content columns, (b) uses 3–6 filters
+//! per query, and (c) allows range operators on every range-capable column, which widens
+//! the selectivity spectrum by orders of magnitude (Figure 6).  Queries are distributed
+//! uniformly over the JOB-light join graphs, and literals come from inner-join tuples so
+//! every query is non-empty.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_datagen::imdb_light::job_light_filter_columns;
+use nc_datagen::JOB_LIGHT_TABLES;
+use nc_schema::{JoinSchema, Query};
+use nc_storage::Database;
+
+use crate::generator::{add_filter_from_literal, draw_inner_join_tuple};
+
+/// Generates `count` JOB-light-ranges queries (the paper uses 1000).
+pub fn job_light_ranges_queries(
+    db: &Arc<Database>,
+    schema: &JoinSchema,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let children: Vec<&str> = JOB_LIGHT_TABLES[1..].to_vec();
+    let filter_columns = job_light_filter_columns();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while queries.len() < count && attempts < count * 20 {
+        attempts += 1;
+        // Join graph: title plus 1..=5 children.
+        let n_children = rng.random_range(1..=children.len());
+        let mut pool = children.clone();
+        let mut joined = vec!["title".to_string()];
+        for _ in 0..n_children {
+            let idx = rng.random_range(0..pool.len());
+            joined.push(pool.remove(idx).to_string());
+        }
+        let Some(tuple) = draw_inner_join_tuple(db, schema, &joined, &mut rng, 300) else {
+            continue;
+        };
+
+        // Candidate filter columns restricted to the joined tables.
+        let candidates: Vec<_> = filter_columns
+            .iter()
+            .filter(|(t, _, _)| joined.iter().any(|j| j == t))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let n_filters = rng.random_range(3..=6usize).min(candidates.len());
+        let refs: Vec<&str> = joined.iter().map(|s| s.as_str()).collect();
+        let mut query = Query::join(&refs);
+        let mut chosen = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < n_filters && guard < 100 {
+            guard += 1;
+            let pick = candidates[rng.random_range(0..candidates.len())];
+            if chosen.contains(&pick) {
+                continue;
+            }
+            chosen.push(pick);
+            let (table, column, supports_range) = *pick;
+            let literal = &tuple[&(table.to_string(), column.to_string())];
+            query = add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
+        }
+        if query.filters.len() < 2 {
+            continue;
+        }
+        debug_assert!(query.validate(schema).is_ok());
+        queries.push(query);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+
+    #[test]
+    fn queries_are_valid_non_empty_and_more_filtered_than_job_light() {
+        let db = Arc::new(job_light_database(&DataGenConfig::tiny()));
+        let schema = job_light_schema();
+        let queries = job_light_ranges_queries(&db, &schema, 20, 2);
+        assert_eq!(queries.len(), 20);
+        let mut range_ops = 0usize;
+        for q in &queries {
+            assert!(q.validate(&schema).is_ok());
+            assert!(q.filters.len() >= 2);
+            let truth = nc_exec::true_cardinality(&db, &schema, q);
+            assert!(truth > 0, "query {q} should be non-empty");
+            range_ops += q
+                .filters
+                .iter()
+                .filter(|f| {
+                    matches!(
+                        f.predicate.op,
+                        nc_schema::CompareOp::Le | nc_schema::CompareOp::Ge
+                    )
+                })
+                .count();
+        }
+        assert!(range_ops > 5, "expected a healthy number of range predicates");
+    }
+
+    #[test]
+    fn deterministic() {
+        let db = Arc::new(job_light_database(&DataGenConfig::tiny()));
+        let schema = job_light_schema();
+        assert_eq!(
+            job_light_ranges_queries(&db, &schema, 8, 3),
+            job_light_ranges_queries(&db, &schema, 8, 3)
+        );
+    }
+}

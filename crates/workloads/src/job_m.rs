@@ -1,0 +1,101 @@
+//! JOB-M: multi-key joins over the 16-table schema (§7.1, Table 4).
+//!
+//! Every query joins a connected subtree of the JOB-M snowflake containing `title`,
+//! spanning 2–11 tables and therefore multiple different join keys (movie ids, person ids,
+//! company ids, keyword ids, …).  Filters are placed on content columns of the joined
+//! tables, literals drawn from inner-join tuples.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_datagen::imdb_m::job_m_filter_columns;
+use nc_schema::{JoinSchema, Query};
+use nc_storage::Database;
+
+use crate::generator::{add_filter_from_literal, draw_inner_join_tuple, random_connected_subtree};
+
+/// Generates `count` JOB-M queries.
+pub fn job_m_queries(
+    db: &Arc<Database>,
+    schema: &JoinSchema,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let filter_columns = job_m_filter_columns();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while queries.len() < count && attempts < count * 30 {
+        attempts += 1;
+        let size = rng.random_range(2..=11usize);
+        let joined = random_connected_subtree(schema, size, &mut rng);
+        let Some(tuple) = draw_inner_join_tuple(db, schema, &joined, &mut rng, 400) else {
+            continue;
+        };
+        let candidates: Vec<_> = filter_columns
+            .iter()
+            .filter(|(t, _, _)| joined.iter().any(|j| j == t))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let refs: Vec<&str> = joined.iter().map(|s| s.as_str()).collect();
+        let mut query = Query::join(&refs);
+        let n_filters = rng.random_range(2..=5usize).min(candidates.len());
+        let mut chosen = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < n_filters && guard < 100 {
+            guard += 1;
+            let pick = candidates[rng.random_range(0..candidates.len())];
+            if chosen.contains(&pick) {
+                continue;
+            }
+            chosen.push(pick);
+            let (table, column, supports_range) = *pick;
+            let literal = &tuple[&(table.to_string(), column.to_string())];
+            query = add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
+        }
+        if query.filters.is_empty() {
+            continue;
+        }
+        debug_assert!(query.validate(schema).is_ok());
+        queries.push(query);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_datagen::{job_m_database, job_m_schema, DataGenConfig};
+
+    #[test]
+    fn queries_span_many_tables_and_are_non_empty() {
+        let db = Arc::new(job_m_database(&DataGenConfig::tiny()));
+        let schema = job_m_schema();
+        let queries = job_m_queries(&db, &schema, 12, 4);
+        assert_eq!(queries.len(), 12);
+        let mut max_tables = 0;
+        let mut multi_key = 0;
+        for q in &queries {
+            assert!(q.validate(&schema).is_ok());
+            max_tables = max_tables.max(q.num_tables());
+            // A query is "multi-key" when it joins through a non-movie_id key, i.e. it
+            // includes one of the dimension tables.
+            if q.tables.iter().any(|t| {
+                matches!(
+                    t.as_str(),
+                    "name" | "role_type" | "company_name" | "company_type" | "keyword" | "info_type" | "comp_cast_type"
+                )
+            }) {
+                multi_key += 1;
+            }
+            let truth = nc_exec::true_cardinality(&db, &schema, q);
+            assert!(truth > 0, "query {q} should be non-empty");
+        }
+        assert!(max_tables >= 4, "expected some wide queries, got max {max_tables}");
+        assert!(multi_key > 0, "expected at least one multi-key join query");
+    }
+}

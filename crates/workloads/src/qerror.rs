@@ -1,0 +1,131 @@
+//! The Q-error metric (§7.1) and its quantile summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative error between an estimate and the truth; both are lower-bounded by 1, so
+/// the minimum attainable Q-error is 1.
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Quantile summary of a set of Q-errors (the columns of the paper's result tables).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Number of queries.
+    pub count: usize,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum (p100).
+    pub max: f64,
+    /// Geometric mean (not reported by the paper, useful for quick comparisons).
+    pub geometric_mean: f64,
+}
+
+impl ErrorSummary {
+    /// Summarises a set of Q-errors.  Panics on an empty slice.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "cannot summarise zero errors");
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Q-errors are finite"));
+        let geometric_mean =
+            (sorted.iter().map(|e| e.max(1.0).ln()).sum::<f64>() / sorted.len() as f64).exp();
+        ErrorSummary {
+            count: sorted.len(),
+            median: quantile(&sorted, 0.50),
+            p95: quantile(&sorted, 0.95),
+            p99: quantile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+            geometric_mean,
+        }
+    }
+
+    /// Convenience: compute the Q-errors of paired (estimate, truth) values and summarise.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let errors: Vec<f64> = pairs.iter().map(|(e, t)| q_error(*e, *t)).collect();
+        Self::from_errors(&errors)
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:.2}  p95 {:.1}  p99 {:.1}  max {:.1}  (n={})",
+            self.median, self.p95, self.p99, self.max, self.count
+        )
+    }
+}
+
+/// Quantile of an ascending-sorted slice using nearest-rank interpolation.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(1.0, 10.0), 10.0);
+        // Both sides lower-bounded by 1.
+        assert_eq!(q_error(0.001, 0.5), 1.0);
+        assert_eq!(q_error(0.0, 7.0), 7.0);
+        assert!(q_error(3.0, 7.0) >= 1.0);
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ErrorSummary::from_errors(&errors);
+        assert_eq!(s.count, 100);
+        assert!((s.median - 50.5).abs() < 1.0);
+        assert!((s.p95 - 95.0).abs() < 1.5);
+        assert!((s.p99 - 99.0).abs() < 1.5);
+        assert_eq!(s.max, 100.0);
+        assert!(s.geometric_mean > 1.0 && s.geometric_mean < 100.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn from_pairs_matches_manual() {
+        let pairs = vec![(10.0, 100.0), (100.0, 100.0), (1000.0, 100.0)];
+        let s = ErrorSummary::from_pairs(&pairs);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.median, 10.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let v = vec![5.0];
+        assert_eq!(quantile(&v, 0.0), 5.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        let v = vec![1.0, 2.0];
+        assert_eq!(quantile(&v, 0.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero errors")]
+    fn empty_errors_panic() {
+        ErrorSummary::from_errors(&[]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Query selectivity relative to the unfiltered inner join (Figure 6 of the paper).
+
+use nc_schema::{JoinSchema, Query};
+use nc_storage::Database;
+
+/// `selectivity(Q) = card_actual(Q) / card_inner(join graph of Q)` — the fraction of the
+/// query's unfiltered inner join that survives its filters.  Returns a value in `[0, 1]`
+/// (0 when the unfiltered join itself is empty).
+pub fn query_selectivity(db: &Database, schema: &JoinSchema, query: &Query) -> f64 {
+    let actual = nc_exec::true_cardinality(db, schema, query) as f64;
+    let refs: Vec<&str> = query.tables.iter().map(|s| s.as_str()).collect();
+    let denom = nc_exec::inner_join_count(db, schema, &refs) as f64;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (actual / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Convenience: selectivities of a whole workload, sorted ascending (i.e. the CDF x-axis of
+/// Figure 6).
+pub fn selectivity_spectrum(db: &Database, schema: &JoinSchema, queries: &[Query]) -> Vec<f64> {
+    let mut out: Vec<f64> = queries
+        .iter()
+        .map(|q| query_selectivity(db, schema, q))
+        .collect();
+    out.sort_by(|a, b| a.partial_cmp(b).expect("selectivities are finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::{JoinEdge, Predicate};
+    use nc_storage::{TableBuilder, Value};
+
+    #[test]
+    fn selectivity_fractions() {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "v"]);
+        for i in 0..100i64 {
+            a.push_row(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x"]);
+        for i in 0..100i64 {
+            b.push_row(vec![Value::Int(i)]);
+        }
+        db.add_table(b.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![JoinEdge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        let q = Query::join(&["A", "B"]).filter("A", "v", Predicate::eq(3i64));
+        let s = query_selectivity(&db, &schema, &q);
+        assert!((s - 0.1).abs() < 1e-9);
+        let spectrum = selectivity_spectrum(
+            &db,
+            &schema,
+            &[q, Query::join(&["A"]).filter("A", "v", Predicate::lt(5i64))],
+        );
+        assert_eq!(spectrum.len(), 2);
+        assert!(spectrum[0] <= spectrum[1]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Schema subsetting walkthrough: reproduces the paper's Figure 4 worked example (§6) in
+//! code.
+//!
+//! Three tables A(x), B(x, y), C(y); the full outer join has 5 rows.  Querying the full
+//! join naively gives the wrong answer for queries that omit tables; indicator constraints
+//! and fanout downscaling fix it.  The example prints the augmented full join, the join
+//! counts, and NeuroCard's estimates for the paper's Q1 and Q2.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p neurocard --example schema_subsetting
+//! ```
+
+use std::sync::Arc;
+
+use nc_exec::enumerate_full_join;
+use nc_sampler::JoinCounts;
+use nc_schema::{JoinEdge, JoinSchema, Predicate, Query, SubsetPlan};
+use nc_storage::{Database, TableBuilder, Value};
+use neurocard::{NeuroCard, NeuroCardConfig};
+
+fn figure4_database() -> (Arc<Database>, Arc<JoinSchema>) {
+    let mut db = Database::new();
+    let mut a = TableBuilder::new("A", &["x"]);
+    a.push_row(vec![Value::Int(1)]);
+    a.push_row(vec![Value::Int(2)]);
+    db.add_table(a.finish());
+    let mut b = TableBuilder::new("B", &["x", "y"]);
+    b.push_row(vec![Value::Int(1), Value::from("a")]);
+    b.push_row(vec![Value::Int(2), Value::from("b")]);
+    b.push_row(vec![Value::Int(2), Value::from("c")]);
+    db.add_table(b.finish());
+    let mut c = TableBuilder::new("C", &["y"]);
+    c.push_row(vec![Value::from("c")]);
+    c.push_row(vec![Value::from("c")]);
+    c.push_row(vec![Value::from("d")]);
+    db.add_table(c.finish());
+    let schema = JoinSchema::new(
+        vec!["A".into(), "B".into(), "C".into()],
+        vec![JoinEdge::parse("A.x", "B.x"), JoinEdge::parse("B.y", "C.y")],
+        "A",
+    )
+    .unwrap();
+    (Arc::new(db), Arc::new(schema))
+}
+
+fn main() {
+    let (db, schema) = figure4_database();
+
+    println!("=== Figure 4a: schema A(x) — B(x,y) — C(y) ===\n");
+
+    println!("=== Figure 4b: join counts (Exact Weight DP) ===");
+    let counts = JoinCounts::compute(&db, &schema);
+    for table in schema.bfs_order() {
+        let tc = counts.table(table);
+        println!("  {table}: row weights {:?}, ⊥ weight {}", tc.row_weights, tc.null_weight);
+    }
+    println!("  |full join| = {}\n", counts.full_join_rows());
+
+    println!("=== Figure 4c: the augmented full outer join ===");
+    for row in enumerate_full_join(&db, &schema) {
+        let fmt = |t: &str, c: &str| row.value(&db, t, c).to_string();
+        println!(
+            "  A.x={:<2} B=({:<2}{:<2}) C.y={:<2}  indicators=({},{},{})",
+            fmt("A", "x"),
+            fmt("B", "x"),
+            fmt("B", "y"),
+            fmt("C", "y"),
+            row.indicator("A"),
+            row.indicator("B"),
+            row.indicator("C"),
+        );
+    }
+
+    println!("\n=== Figure 4d: schema subsetting ===");
+    let q1 = Query::join(&["A", "B", "C"]).filter("A", "x", Predicate::eq(2i64));
+    let q2 = Query::join(&["A"]).filter("A", "x", Predicate::eq(2i64));
+    for (name, q, expected) in [("Q1 (A ⋈ B ⋈ C, A.x = 2)", &q1, 2u128), ("Q2 (A only, A.x = 2)", &q2, 1)] {
+        let plan = SubsetPlan::build(&schema, q);
+        println!("  {name}: true answer {expected}");
+        println!("    joined tables  : {:?}", plan.joined_tables);
+        println!("    omitted tables : {:?}", plan.omitted_tables);
+        println!("    fanout keys    : {:?}", plan.fanout_keys.iter().map(|k| k.to_string()).collect::<Vec<_>>());
+        assert_eq!(nc_exec::true_cardinality(&db, &schema, q), expected);
+    }
+
+    println!("\n=== NeuroCard on the example ===");
+    let mut config = NeuroCardConfig::tiny();
+    config.training_tuples = 8_000;
+    config.progressive_samples = 200;
+    // This example filters the join key column A.x directly, so keep join keys in the model.
+    config.model_join_keys = true;
+    let model = NeuroCard::build(db.clone(), schema.clone(), &config);
+    for (name, q, expected) in [("Q1", &q1, 2.0), ("Q2", &q2, 1.0)] {
+        let est = model.estimate(q);
+        println!("  {name}: estimate {est:.2} (true {expected})");
+    }
+    println!("\nWithout indicator constraints Q1 would be estimated at |J|·P(A.x=2) = 3, and");
+    println!("without fanout downscaling Q2 would also be ≈3 — the corrections of §6 are");
+    println!("what brings both back to the true values.");
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration test: the paper's Figure 4 worked example, end to end.
+//!
+//! Checks that the executor, the join-count DP, the sampler's virtual columns and the
+//! schema-subsetting plan all agree with the numbers printed in the paper.
+
+use std::sync::Arc;
+
+use nc_exec::enumerate_full_join;
+use nc_sampler::{JoinCounts, JoinSampler, WideLayout};
+use nc_schema::{ColumnRef, JoinEdge, JoinSchema, Predicate, Query, SubsetPlan};
+use nc_storage::{Database, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn figure4() -> (Arc<Database>, Arc<JoinSchema>) {
+    let mut db = Database::new();
+    let mut a = TableBuilder::new("A", &["x"]);
+    a.push_row(vec![Value::Int(1)]);
+    a.push_row(vec![Value::Int(2)]);
+    db.add_table(a.finish());
+    let mut b = TableBuilder::new("B", &["x", "y"]);
+    b.push_row(vec![Value::Int(1), Value::from("a")]);
+    b.push_row(vec![Value::Int(2), Value::from("b")]);
+    b.push_row(vec![Value::Int(2), Value::from("c")]);
+    db.add_table(b.finish());
+    let mut c = TableBuilder::new("C", &["y"]);
+    c.push_row(vec![Value::from("c")]);
+    c.push_row(vec![Value::from("c")]);
+    c.push_row(vec![Value::from("d")]);
+    db.add_table(c.finish());
+    let schema = JoinSchema::new(
+        vec!["A".into(), "B".into(), "C".into()],
+        vec![JoinEdge::parse("A.x", "B.x"), JoinEdge::parse("B.y", "C.y")],
+        "A",
+    )
+    .unwrap();
+    (Arc::new(db), Arc::new(schema))
+}
+
+#[test]
+fn executor_matches_the_paper_answers() {
+    let (db, schema) = figure4();
+    // Q1: 2 rows; Q2: 1 row (Figure 4d).
+    let q1 = Query::join(&["A", "B", "C"]).filter("A", "x", Predicate::eq(2i64));
+    let q2 = Query::join(&["A"]).filter("A", "x", Predicate::eq(2i64));
+    assert_eq!(nc_exec::true_cardinality(&db, &schema, &q1), 2);
+    assert_eq!(nc_exec::true_cardinality(&db, &schema, &q2), 1);
+    // "In full join, |A.x=2| = 3" (comment above Q1 in Figure 4d).
+    let rows = enumerate_full_join(&db, &schema);
+    assert_eq!(rows.len(), 5);
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.value(&db, "A", "x") == Value::Int(2))
+            .count(),
+        3
+    );
+}
+
+#[test]
+fn join_counts_and_full_join_size_match_figure_4b() {
+    let (db, schema) = figure4();
+    let counts = JoinCounts::compute(&db, &schema);
+    assert_eq!(counts.table("A").row_weights, vec![1, 3]);
+    assert_eq!(counts.table("B").row_weights, vec![1, 1, 2]);
+    assert_eq!(counts.table("C").row_weights, vec![1, 1, 1]);
+    assert_eq!(counts.full_join_rows(), 5);
+}
+
+#[test]
+fn sampled_virtual_columns_match_figure_4c() {
+    let (db, schema) = figure4();
+    let sampler = JoinSampler::new(db.clone(), schema.clone());
+    let layout = WideLayout::new(&db, &schema);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut seen_unmatched_c = false;
+    for _ in 0..2000 {
+        let sample = sampler.sample(&mut rng);
+        let row = layout.materialize(&db, &sample);
+        let fanout_bx = row[layout.fanout_index(&ColumnRef::parse("B.x")).unwrap()].clone();
+        let bx = row[layout.index_of("B", "x").unwrap()].clone();
+        // Fanout of B.x = 2 is 2, of B.x = 1 is 1, of a ⊥ B slot is 1 (Figure 4c).
+        match bx {
+            Value::Int(2) => assert_eq!(fanout_bx, Value::Int(2)),
+            Value::Int(1) => assert_eq!(fanout_bx, Value::Int(1)),
+            Value::Null => assert_eq!(fanout_bx, Value::Int(1)),
+            other => panic!("unexpected B.x value {other:?}"),
+        }
+        // The unmatched C row 'd' must occasionally appear with indicators (0, 0, 1).
+        if row[layout.index_of("C", "y").unwrap()] == Value::from("d") {
+            assert_eq!(row[layout.indicator_index("A").unwrap()], Value::Int(0));
+            assert_eq!(row[layout.indicator_index("B").unwrap()], Value::Int(0));
+            assert_eq!(row[layout.indicator_index("C").unwrap()], Value::Int(1));
+            seen_unmatched_c = true;
+        }
+    }
+    assert!(seen_unmatched_c, "the ⊥-chain row of Figure 4c was never sampled");
+}
+
+#[test]
+fn subset_plan_downscales_by_the_papers_keys() {
+    let (_, schema) = figure4();
+    // Q2 omits B and C; the unique downscale keys are B.x and C.y (§6 example).
+    let plan = SubsetPlan::build(&schema, &Query::join(&["A"]));
+    assert_eq!(plan.omitted_tables, vec!["B".to_string(), "C".to_string()]);
+    assert_eq!(
+        plan.fanout_keys,
+        vec![ColumnRef::parse("B.x"), ColumnRef::parse("C.y")]
+    );
+}

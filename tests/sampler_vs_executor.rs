@@ -1,0 +1,95 @@
+//! Cross-crate property test: on randomly generated small schemas, the linear-time join
+//! count DP, the brute-force full-join enumeration and the empirical distribution of the
+//! sampler all agree.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nc_exec::enumerate_full_join;
+use nc_sampler::{JoinCounts, JoinSampler};
+use nc_schema::{JoinEdge, JoinSchema};
+use nc_storage::{Database, TableBuilder, Value};
+
+/// Builds a random 3-table chain A(x) — B(x, y) — C(y) with small domains so the full join
+/// stays enumerable.
+fn build_chain(a_keys: &[i64], b_rows: &[(i64, i64)], c_keys: &[i64]) -> (Arc<Database>, Arc<JoinSchema>) {
+    let mut db = Database::new();
+    let mut a = TableBuilder::new("A", &["x"]);
+    for &k in a_keys {
+        a.push_row(vec![if k < 0 { Value::Null } else { Value::Int(k) }]);
+    }
+    db.add_table(a.finish());
+    let mut b = TableBuilder::new("B", &["x", "y"]);
+    for &(x, y) in b_rows {
+        b.push_row(vec![
+            if x < 0 { Value::Null } else { Value::Int(x) },
+            Value::Int(y),
+        ]);
+    }
+    db.add_table(b.finish());
+    let mut c = TableBuilder::new("C", &["y"]);
+    for &k in c_keys {
+        c.push_row(vec![Value::Int(k)]);
+    }
+    db.add_table(c.finish());
+    let schema = JoinSchema::new(
+        vec!["A".into(), "B".into(), "C".into()],
+        vec![JoinEdge::parse("A.x", "B.x"), JoinEdge::parse("B.y", "C.y")],
+        "A",
+    )
+    .unwrap();
+    (Arc::new(db), Arc::new(schema))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// |J| from the DP equals the brute-force enumeration size for arbitrary small inputs,
+    /// including NULL keys and dangling rows.
+    #[test]
+    fn join_counts_match_bruteforce(
+        a_keys in prop::collection::vec(-1i64..4, 1..6),
+        b_rows in prop::collection::vec((-1i64..4, 0i64..3), 0..8),
+        c_keys in prop::collection::vec(0i64..3, 0..6),
+    ) {
+        let (db, schema) = build_chain(&a_keys, &b_rows, &c_keys);
+        let counts = JoinCounts::compute(&db, &schema);
+        let rows = enumerate_full_join(&db, &schema);
+        prop_assert_eq!(counts.full_join_rows(), rows.len() as u128);
+    }
+
+    /// The sampler's empirical distribution over full-join rows is uniform (within noise),
+    /// i.e. unbiased simple random sampling as §4 requires.
+    #[test]
+    fn sampler_is_uniform(
+        a_keys in prop::collection::vec(0i64..3, 1..4),
+        b_rows in prop::collection::vec((0i64..3, 0i64..2), 1..5),
+        c_keys in prop::collection::vec(0i64..2, 0..4),
+        seed in 0u64..1000,
+    ) {
+        let (db, schema) = build_chain(&a_keys, &b_rows, &c_keys);
+        let rows = enumerate_full_join(&db, &schema);
+        prop_assume!(!rows.is_empty() && rows.len() <= 40);
+        let sampler = JoinSampler::new(db.clone(), schema.clone());
+        prop_assert_eq!(sampler.full_join_rows(), rows.len() as u128);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let s = sampler.sample(&mut rng);
+            *counts.entry(s.slots).or_insert(0usize) += 1;
+        }
+        // Every sampled assignment is a real full-join row, and frequencies are within a
+        // generous tolerance of uniform.
+        let expected = n as f64 / rows.len() as f64;
+        for (slots, count) in &counts {
+            let is_real = rows.iter().any(|r| &r.assignment == slots);
+            prop_assert!(is_real, "sampled assignment {slots:?} is not a full-join row");
+            prop_assert!((*count as f64) < expected * 2.0 + 30.0);
+        }
+    }
+}
