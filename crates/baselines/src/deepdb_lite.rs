@@ -213,7 +213,8 @@ impl CardinalityEstimator for DeepDbLite {
                 .iter()
                 .find(|p| p.child == *table && p.parent == parent)
                 .expect("pair model exists for every schema edge");
-            let cond = Self::conditional_fraction(&pair.layout, &pair.rows, query, table, Some(&parent));
+            let cond =
+                Self::conditional_fraction(&pair.layout, &pair.rows, query, table, Some(&parent));
             selectivity *= cond;
         }
 
@@ -227,7 +228,6 @@ impl CardinalityEstimator for DeepDbLite {
             .map(|p| p.rows.len() * p.layout.len())
             .sum();
         (pair_cells + self.root_rows.len() * self.root_layout.len()) * 8
-            + self.samples_per_pair * 0
     }
 }
 
@@ -292,7 +292,10 @@ mod tests {
         let truth = nc_exec::true_cardinality(&db, &schema, &q) as f64;
         assert_eq!(truth, 0.0);
         let guess = est.estimate(&q);
-        assert!(guess > 20.0, "conditional independence should over-estimate, got {guess}");
+        assert!(
+            guess > 20.0,
+            "conditional independence should over-estimate, got {guess}"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl MscnEstimator {
         labelled: &[(Query, f64)],
         config: &MscnConfig,
     ) -> Self {
-        assert!(!labelled.is_empty(), "MSCN needs at least one training query");
+        assert!(
+            !labelled.is_empty(),
+            "MSCN needs at least one training query"
+        );
         // Featurisation metadata.
         let mut columns = Vec::new();
         let mut dicts = HashMap::new();
@@ -311,10 +314,15 @@ mod tests {
     fn featurization_shape_is_stable() {
         let (db, schema) = setup();
         let train = training_queries(&db, &schema, 20);
-        let mscn = MscnEstimator::train(&db, schema.clone(), &train, &MscnConfig {
-            epochs: 2,
-            ..Default::default()
-        });
+        let mscn = MscnEstimator::train(
+            &db,
+            schema.clone(),
+            &train,
+            &MscnConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let q = Query::join(&["A", "B"]).filter("B", "kind", Predicate::eq(1i64));
         let f1 = mscn.featurize(&q);
         let f2 = mscn.featurize(&q);

@@ -299,7 +299,10 @@ mod tests {
         let sel = stats.selectivity(&Predicate::eq(99i64));
         assert!(sel < 0.25);
         // NULL literal matches nothing.
-        assert_eq!(stats.selectivity(&Predicate::new(CompareOp::Eq, vec![Value::Null])), 0.0);
+        assert_eq!(
+            stats.selectivity(&Predicate::new(CompareOp::Eq, vec![Value::Null])),
+            0.0
+        );
     }
 
     #[test]
@@ -318,9 +321,8 @@ mod tests {
         let guess = est.estimate(&Query::join(&["A"]).filter("A", "year", Predicate::lt(1995i64)));
         assert!(guess > 50.0 && guess < 500.0, "guess {guess}");
         // Estimates never drop below 1.
-        let guess = est.estimate(
-            &Query::join(&["A"]).filter("A", "year", Predicate::eq(1_000_000i64)),
-        );
+        let guess =
+            est.estimate(&Query::join(&["A"]).filter("A", "year", Predicate::eq(1_000_000i64)));
         assert!(guess >= 1.0);
     }
 

@@ -20,8 +20,11 @@ fn bench_inference(c: &mut Criterion) {
     nc_cfg.progressive_samples = 64;
     let model = NeuroCard::build(db, schema, &nc_cfg);
 
-    let q2 = Query::join(&["title", "cast_info"])
-        .filter("title", "production_year", Predicate::ge(2000i64));
+    let q2 = Query::join(&["title", "cast_info"]).filter(
+        "title",
+        "production_year",
+        Predicate::ge(2000i64),
+    );
     let q4 = Query::join(&["title", "cast_info", "movie_keyword", "movie_info"])
         .filter("title", "production_year", Predicate::le(2005i64))
         .filter("cast_info", "role_id", Predicate::eq(2i64));

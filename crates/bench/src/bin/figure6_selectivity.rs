@@ -31,10 +31,15 @@ fn print_cdf(name: &str, spectrum: &[f64]) {
 fn main() {
     let config = HarnessConfig::from_env();
     let light = BenchEnv::job_light(&config);
-    nc_bench::harness::print_preamble("Figure 6: query selectivity distribution", &light.name, &config);
+    nc_bench::harness::print_preamble(
+        "Figure 6: query selectivity distribution",
+        &light.name,
+        &config,
+    );
 
     let job_light = job_light_queries(&light.db, &light.schema, config.queries, config.seed);
-    let ranges = job_light_ranges_queries(&light.db, &light.schema, config.queries, config.seed + 1);
+    let ranges =
+        job_light_ranges_queries(&light.db, &light.schema, config.queries, config.seed + 1);
     let light_spec = selectivity_spectrum(&light.db, &light.schema, &job_light);
     let ranges_spec = selectivity_spectrum(&light.db, &light.schema, &ranges);
 
@@ -47,7 +52,13 @@ fn main() {
     print_cdf("JOB-light-ranges", &ranges_spec);
     print_cdf("JOB-M", &m_spec);
 
-    let median = |s: &[f64]| if s.is_empty() { 1.0 } else { s[s.len() / 2].max(1e-12) };
+    let median = |s: &[f64]| {
+        if s.is_empty() {
+            1.0
+        } else {
+            s[s.len() / 2].max(1e-12)
+        }
+    };
     println!();
     println!(
         "shape check (paper: ranges/JOB-M medians >100x lower than JOB-light): \

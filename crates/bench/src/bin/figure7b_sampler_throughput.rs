@@ -15,7 +15,11 @@ use nc_sampler::{sample_wide_batch_parallel, JoinSampler, WideLayout};
 fn main() {
     let config = HarnessConfig::from_env();
     let env = BenchEnv::job_light(&config);
-    print_preamble("Figure 7b: sampling throughput vs threads", &env.name, &config);
+    print_preamble(
+        "Figure 7b: sampling throughput vs threads",
+        &env.name,
+        &config,
+    );
 
     let sampler = JoinSampler::new(env.db.clone(), env.schema.clone());
     let layout = WideLayout::new(&env.db, &env.schema);

@@ -16,11 +16,20 @@ use neurocard::NeuroCard;
 fn main() {
     let config = HarnessConfig::from_env();
     let env = BenchEnv::job_light(&config);
-    print_preamble("Figure 7c: construction time comparison", &env.name, &config);
+    print_preamble(
+        "Figure 7c: construction time comparison",
+        &env.name,
+        &config,
+    );
 
     // --- MSCN: label generation (executing training queries) + training ---------------
     let t0 = Instant::now();
-    let training = job_light_ranges_queries(&env.db, &env.schema, config.queries.max(150), config.seed + 7);
+    let training = job_light_ranges_queries(
+        &env.db,
+        &env.schema,
+        config.queries.max(150),
+        config.seed + 7,
+    );
     let labelled: Vec<(nc_schema::Query, f64)> = training
         .iter()
         .map(|q| {
@@ -30,12 +39,22 @@ fn main() {
         .collect();
     let labelling = t0.elapsed();
     let t1 = Instant::now();
-    let _mscn = MscnEstimator::train(&env.db, env.schema.clone(), &labelled, &MscnConfig::default());
+    let _mscn = MscnEstimator::train(
+        &env.db,
+        env.schema.clone(),
+        &labelled,
+        &MscnConfig::default(),
+    );
     let mscn_train = t1.elapsed();
 
     // --- DeepDB-lite --------------------------------------------------------------------
     let t2 = Instant::now();
-    let _deepdb = DeepDbLite::build(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let _deepdb = DeepDbLite::build(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let deepdb_time = t2.elapsed();
 
     // --- NeuroCard ----------------------------------------------------------------------
@@ -51,7 +70,12 @@ fn main() {
         secs(mscn_train),
         format!("+ {} labelling true cards", secs(labelling))
     );
-    println!("{:<22} {:>14} {:>30}", "DeepDB-lite", secs(deepdb_time), "pair-model sampling");
+    println!(
+        "{:<22} {:>14} {:>30}",
+        "DeepDB-lite",
+        secs(deepdb_time),
+        "pair-model sampling"
+    );
     println!(
         "{:<22} {:>14} {:>30}",
         "NeuroCard",

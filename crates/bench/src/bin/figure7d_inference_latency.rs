@@ -25,7 +25,12 @@ fn main() {
     let queries = job_light_ranges_queries(&env.db, &env.schema, config.queries, config.seed);
     let truths = true_cardinalities(&env, &queries);
 
-    let training = job_light_ranges_queries(&env.db, &env.schema, config.queries.max(120), config.seed + 3000);
+    let training = job_light_ranges_queries(
+        &env.db,
+        &env.schema,
+        config.queries.max(120),
+        config.seed + 3000,
+    );
     let labelled: Vec<(nc_schema::Query, f64)> = training
         .iter()
         .map(|q| {
@@ -33,11 +38,24 @@ fn main() {
             (q.clone(), card.max(1.0))
         })
         .collect();
-    let mscn = MscnEstimator::train(&env.db, env.schema.clone(), &labelled, &MscnConfig::default());
-    let deepdb = DeepDbLite::build(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let mscn = MscnEstimator::train(
+        &env.db,
+        env.schema.clone(),
+        &labelled,
+        &MscnConfig::default(),
+    );
+    let deepdb = DeepDbLite::build(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let neurocard = NeuroCard::build(env.db.clone(), env.schema.clone(), &config.neurocard());
 
-    println!("{:<14} {:>12} {:>12} {:>12}", "Estimator", "min (ms)", "median (ms)", "max (ms)");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Estimator", "min (ms)", "median (ms)", "max (ms)"
+    );
     for est in [
         &mscn as &dyn CardinalityEstimator,
         &deepdb as &dyn CardinalityEstimator,
@@ -50,7 +68,10 @@ fn main() {
             .map(|d| d.as_secs_f64() * 1000.0)
             .collect();
         let (min, median, max) = latency_quantiles(ms);
-        println!("{:<14} {:>12.2} {:>12.2} {:>12.2}", result.name, min, median, max);
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>12.2}",
+            result.name, min, median, max
+        );
     }
     println!();
     println!("Paper: MSCN fastest; DeepDB 1-100ms spread; NeuroCard predictable ~12-17ms.");

@@ -14,9 +14,7 @@
 //! The shape to reproduce: NeuroCard dominates at the tail (99th/max), the data-driven
 //! methods beat the query-driven and heuristic ones, and Postgres has the worst median.
 
-use nc_baselines::{
-    DeepDbLite, IbjsEstimator, MscnConfig, MscnEstimator, PostgresLikeEstimator,
-};
+use nc_baselines::{DeepDbLite, IbjsEstimator, MscnConfig, MscnEstimator, PostgresLikeEstimator};
 use nc_bench::harness::{evaluate, print_preamble, true_cardinalities};
 use nc_bench::{BenchEnv, HarnessConfig};
 use nc_workloads::{job_light_queries, job_light_ranges_queries, print_error_table, ErrorTableRow};
@@ -28,7 +26,10 @@ fn main() {
     print_preamble("Table 2: JOB-light estimation errors", &env.name, &config);
 
     let queries = job_light_queries(&env.db, &env.schema, config.queries, config.seed);
-    println!("generated {} JOB-light queries; computing true cardinalities...", queries.len());
+    println!(
+        "generated {} JOB-light queries; computing true cardinalities...",
+        queries.len()
+    );
     let truths = true_cardinalities(&env, &queries);
 
     let mut rows = Vec::new();
@@ -37,13 +38,23 @@ fn main() {
     let r = evaluate(&postgres, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let ibjs = IbjsEstimator::new(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let ibjs = IbjsEstimator::new(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let r = evaluate(&ibjs, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
     // MSCN trains on a disjoint workload of labelled queries (the paper uses the authors'
     // published training set; here the generator with a different seed plays that role).
-    let training = job_light_ranges_queries(&env.db, &env.schema, config.queries.max(100), config.seed + 1000);
+    let training = job_light_ranges_queries(
+        &env.db,
+        &env.schema,
+        config.queries.max(100),
+        config.seed + 1000,
+    );
     let labelled: Vec<(nc_schema::Query, f64)> = training
         .iter()
         .map(|q| {
@@ -51,11 +62,21 @@ fn main() {
             (q.clone(), card.max(1.0))
         })
         .collect();
-    let mscn = MscnEstimator::train(&env.db, env.schema.clone(), &labelled, &MscnConfig::default());
+    let mscn = MscnEstimator::train(
+        &env.db,
+        env.schema.clone(),
+        &labelled,
+        &MscnConfig::default(),
+    );
     let r = evaluate(&mscn, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let deepdb = DeepDbLite::build(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let deepdb = DeepDbLite::build(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let r = evaluate(&deepdb, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 

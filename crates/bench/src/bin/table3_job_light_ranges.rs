@@ -6,9 +6,7 @@
 //! DeepDB-large 2.35 / 441 / 1e4 / 3e5; NeuroCard 1.87 / 57.1 / 375 / 8169;
 //! NeuroCard-large 1.49 / 44.0 / 300 / 4116.
 
-use nc_baselines::{
-    DeepDbLite, IbjsEstimator, MscnConfig, MscnEstimator, PostgresLikeEstimator,
-};
+use nc_baselines::{DeepDbLite, IbjsEstimator, MscnConfig, MscnEstimator, PostgresLikeEstimator};
 use nc_bench::harness::{evaluate, print_preamble, true_cardinalities};
 use nc_bench::{BenchEnv, HarnessConfig};
 use nc_workloads::{job_light_ranges_queries, print_error_table, ErrorTableRow};
@@ -17,10 +15,17 @@ use neurocard::{NeuroCard, NeuroCardConfig};
 fn main() {
     let config = HarnessConfig::from_env();
     let env = BenchEnv::job_light(&config);
-    print_preamble("Table 3: JOB-light-ranges estimation errors", &env.name, &config);
+    print_preamble(
+        "Table 3: JOB-light-ranges estimation errors",
+        &env.name,
+        &config,
+    );
 
     let queries = job_light_ranges_queries(&env.db, &env.schema, config.queries, config.seed);
-    println!("generated {} JOB-light-ranges queries; computing true cardinalities...", queries.len());
+    println!(
+        "generated {} JOB-light-ranges queries; computing true cardinalities...",
+        queries.len()
+    );
     let truths = true_cardinalities(&env, &queries);
 
     let mut rows = Vec::new();
@@ -29,11 +34,21 @@ fn main() {
     let r = evaluate(&postgres, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let ibjs = IbjsEstimator::new(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let ibjs = IbjsEstimator::new(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let r = evaluate(&ibjs, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let training = job_light_ranges_queries(&env.db, &env.schema, config.queries.max(150), config.seed + 2000);
+    let training = job_light_ranges_queries(
+        &env.db,
+        &env.schema,
+        config.queries.max(150),
+        config.seed + 2000,
+    );
     let labelled: Vec<(nc_schema::Query, f64)> = training
         .iter()
         .map(|q| {
@@ -41,19 +56,41 @@ fn main() {
             (q.clone(), card.max(1.0))
         })
         .collect();
-    let mscn = MscnEstimator::train(&env.db, env.schema.clone(), &labelled, &MscnConfig::default());
+    let mscn = MscnEstimator::train(
+        &env.db,
+        env.schema.clone(),
+        &labelled,
+        &MscnConfig::default(),
+    );
     let r = evaluate(&mscn, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let deepdb = DeepDbLite::build(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let deepdb = DeepDbLite::build(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let r = evaluate(&deepdb, &queries, &truths);
     rows.push(ErrorTableRow::new("DeepDB-lite", r.size_bytes, r.summary));
 
-    let deepdb_large = DeepDbLite::build(env.db.clone(), env.schema.clone(), config.baseline_samples * 4, config.seed);
+    let deepdb_large = DeepDbLite::build(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples * 4,
+        config.seed,
+    );
     let r = evaluate(&deepdb_large, &queries, &truths);
-    rows.push(ErrorTableRow::new("DeepDB-lite-large", r.size_bytes, r.summary));
+    rows.push(ErrorTableRow::new(
+        "DeepDB-lite-large",
+        r.size_bytes,
+        r.summary,
+    ));
 
-    println!("training NeuroCard (base, {} tuples)...", config.train_tuples);
+    println!(
+        "training NeuroCard (base, {} tuples)...",
+        config.train_tuples
+    );
     let base = NeuroCard::build(env.db.clone(), env.schema.clone(), &config.neurocard());
     let r = evaluate(&base, &queries, &truths);
     rows.push(ErrorTableRow::new("NeuroCard", r.size_bytes, r.summary));
@@ -65,7 +102,11 @@ fn main() {
     large_cfg.seed = config.seed;
     let large = NeuroCard::build(env.db.clone(), env.schema.clone(), &large_cfg);
     let r = evaluate(&large, &queries, &truths);
-    rows.push(ErrorTableRow::new("NeuroCard-large", r.size_bytes, r.summary));
+    rows.push(ErrorTableRow::new(
+        "NeuroCard-large",
+        r.size_bytes,
+        r.summary,
+    ));
 
     println!();
     print_error_table("Table 3 (measured, synthetic data)", &rows);

@@ -16,7 +16,10 @@ fn main() {
     print_preamble("Table 4: JOB-M estimation errors", &env.name, &config);
 
     let queries = job_m_queries(&env.db, &env.schema, config.queries, config.seed);
-    println!("generated {} JOB-M queries; computing true cardinalities...", queries.len());
+    println!(
+        "generated {} JOB-M queries; computing true cardinalities...",
+        queries.len()
+    );
     let truths = true_cardinalities(&env, &queries);
 
     let mut rows = Vec::new();
@@ -25,11 +28,19 @@ fn main() {
     let r = evaluate(&postgres, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    let ibjs = IbjsEstimator::new(env.db.clone(), env.schema.clone(), config.baseline_samples, config.seed);
+    let ibjs = IbjsEstimator::new(
+        env.db.clone(),
+        env.schema.clone(),
+        config.baseline_samples,
+        config.seed,
+    );
     let r = evaluate(&ibjs, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    println!("training NeuroCard on the 16-table full join ({} tuples)...", config.train_tuples);
+    println!(
+        "training NeuroCard on the 16-table full join ({} tuples)...",
+        config.train_tuples
+    );
     let model = NeuroCard::build(env.db.clone(), env.schema.clone(), &config.neurocard());
     let r = evaluate(&model, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));

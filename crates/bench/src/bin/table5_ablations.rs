@@ -44,18 +44,31 @@ fn print_row(label: &str, size: usize, p50: f64, p99: f64, paper: &str) {
 fn main() {
     let config = HarnessConfig::from_env();
     let env = BenchEnv::job_light(&config);
-    print_preamble("Table 5: ablation studies (JOB-light-ranges)", &env.name, &config);
+    print_preamble(
+        "Table 5: ablation studies (JOB-light-ranges)",
+        &env.name,
+        &config,
+    );
 
     let queries = job_light_ranges_queries(&env.db, &env.schema, config.queries, config.seed);
     let truths = true_cardinalities(&env, &queries);
     println!("{} queries\n", queries.len());
-    println!("{:<28} {:>9} {:>8} {:>10}", "Configuration", "Size", "p50", "p99");
+    println!(
+        "{:<28} {:>9} {:>8} {:>10}",
+        "Configuration", "Size", "p50", "p99"
+    );
 
     // Base configuration.
     let base_cfg = config.neurocard();
     let base = NeuroCard::build(env.db.clone(), env.schema.clone(), &base_cfg);
     let (p50, p99) = summarise(&base, &queries, &truths);
-    print_row("Base (unbiased, fact=10)", base.size_bytes(), p50, p99, "1.9 / 375");
+    print_row(
+        "Base (unbiased, fact=10)",
+        base.size_bytes(),
+        p50,
+        p99,
+        "1.9 / 375",
+    );
 
     // (A) biased sampler.
     let biased = NeuroCard::build_with(
@@ -68,10 +81,20 @@ fn main() {
         },
     );
     let (p50, p99) = summarise(&biased, &queries, &truths);
-    print_row("(A) biased sampler", biased.size_bytes(), p50, p99, "33 / 1e4");
+    print_row(
+        "(A) biased sampler",
+        biased.size_bytes(),
+        p50,
+        p99,
+        "33 / 1e4",
+    );
 
     // (B) factorization bits.
-    for (bits, paper) in [(Some(6u32), "2.2 / 2811 (10 bits)"), (Some(8), "2.0 / 936 (12 bits)"), (None, "1.6 / 375 (none)")] {
+    for (bits, paper) in [
+        (Some(6u32), "2.2 / 2811 (10 bits)"),
+        (Some(8), "2.0 / 936 (12 bits)"),
+        (None, "1.6 / 375 (none)"),
+    ] {
         let mut cfg = base_cfg.clone();
         cfg.fact_bits = bits;
         let model = NeuroCard::build(env.db.clone(), env.schema.clone(), &cfg);
@@ -84,7 +107,10 @@ fn main() {
     }
 
     // (C) model size.
-    for (d_hidden, d_emb, paper) in [(64usize, 24usize, "128;64 → 1.5 / 300"), (192, 12, "1024;16 → 1.7 / 497")] {
+    for (d_hidden, d_emb, paper) in [
+        (64usize, 24usize, "128;64 → 1.5 / 300"),
+        (192, 12, "1024;16 → 1.7 / 497"),
+    ] {
         let mut cfg = base_cfg.clone();
         cfg.d_hidden = d_hidden;
         cfg.d_emb = d_emb;
@@ -111,7 +137,13 @@ fn main() {
         config.train_tuples / env.schema.num_tables().max(1),
     );
     let (p50, p99) = summarise(&per_table, &queries, &truths);
-    print_row("(D) one AR per table", per_table.size_bytes(), p50, p99, "40 / 7e6");
+    print_row(
+        "(D) one AR per table",
+        per_table.size_bytes(),
+        p50,
+        p99,
+        "40 / 7e6",
+    );
 
     // (E) no model: uniform join samples only.
     let uniform = UniformJoinSampleEstimator::new(
@@ -121,7 +153,13 @@ fn main() {
         config.seed,
     );
     let (p50, p99) = summarise(&uniform, &queries, &truths);
-    print_row("(E) uniform join samples", uniform.size_bytes(), p50, p99, "4.0 / 3e6");
+    print_row(
+        "(E) uniform join samples",
+        uniform.size_bytes(),
+        p50,
+        p99,
+        "4.0 / 3e6",
+    );
 
     println!();
     println!("shape check: (A) and (D) should degrade most (median and tail respectively),");

@@ -21,7 +21,12 @@ use nc_schema::Query;
 use nc_workloads::{job_light_queries, q_error, ErrorSummary};
 use neurocard::{estimator::BuildOptions, NeuroCard};
 
-fn eval(model: &NeuroCard, snapshot_db: &Arc<nc_storage::Database>, env: &BenchEnv, queries: &[Query]) -> (f64, f64) {
+fn eval(
+    model: &NeuroCard,
+    snapshot_db: &Arc<nc_storage::Database>,
+    env: &BenchEnv,
+    queries: &[Query],
+) -> (f64, f64) {
     let errors: Vec<f64> = queries
         .iter()
         .map(|q| {
@@ -36,7 +41,11 @@ fn eval(model: &NeuroCard, snapshot_db: &Arc<nc_storage::Database>, env: &BenchE
 fn main() {
     let config = HarnessConfig::from_env();
     let env = BenchEnv::job_light(&config);
-    print_preamble("Table 6: update strategies (stale / fast update / retrain)", &env.name, &config);
+    print_preamble(
+        "Table 6: update strategies (stale / fast update / retrain)",
+        &env.name,
+        &config,
+    );
 
     let snapshots: Vec<Arc<nc_storage::Database>> =
         partitioned_snapshots(&env.db, &env.schema, "production_year", 5)
@@ -55,9 +64,24 @@ fn main() {
     let cfg = config.neurocard();
     let fast_tuples = (config.train_tuples / 100).max(200);
 
-    let mut stale = NeuroCard::build_with(snapshots[0].clone(), env.schema.clone(), &cfg, options.clone());
-    let mut fast = NeuroCard::build_with(snapshots[0].clone(), env.schema.clone(), &cfg, options.clone());
-    let mut retrain = NeuroCard::build_with(snapshots[0].clone(), env.schema.clone(), &cfg, options.clone());
+    let mut stale = NeuroCard::build_with(
+        snapshots[0].clone(),
+        env.schema.clone(),
+        &cfg,
+        options.clone(),
+    );
+    let mut fast = NeuroCard::build_with(
+        snapshots[0].clone(),
+        env.schema.clone(),
+        &cfg,
+        options.clone(),
+    );
+    let mut retrain = NeuroCard::build_with(
+        snapshots[0].clone(),
+        env.schema.clone(),
+        &cfg,
+        options.clone(),
+    );
 
     println!(
         "{:<12} {:>10} {:>7} | {}",
@@ -91,9 +115,21 @@ fn main() {
     rows[2].1 = format!("~{} total", secs(retrain_time));
 
     for (name, time, per_partition) in &rows {
-        let p95s: Vec<String> = per_partition.iter().map(|(_, p95)| format!("{p95:>8.2}")).collect();
-        let p50s: Vec<String> = per_partition.iter().map(|(p50, _)| format!("{p50:>8.2}")).collect();
-        println!("{:<12} {:>10} {:>7} | {}", name, time, "p95", p95s.join(" "));
+        let p95s: Vec<String> = per_partition
+            .iter()
+            .map(|(_, p95)| format!("{p95:>8.2}"))
+            .collect();
+        let p50s: Vec<String> = per_partition
+            .iter()
+            .map(|(p50, _)| format!("{p50:>8.2}"))
+            .collect();
+        println!(
+            "{:<12} {:>10} {:>7} | {}",
+            name,
+            time,
+            "p95",
+            p95s.join(" ")
+        );
         println!("{:<12} {:>10} {:>7} | {}", "", "", "p50", p50s.join(" "));
     }
 

@@ -4,7 +4,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nc_baselines::CardinalityEstimator;
-use nc_datagen::{job_light_database, job_light_schema, job_m_database, job_m_schema, DataGenConfig};
+use nc_datagen::{
+    job_light_database, job_light_schema, job_m_database, job_m_schema, DataGenConfig,
+};
 use nc_schema::{JoinSchema, Query};
 use nc_storage::Database;
 use nc_workloads::{q_error, ErrorSummary};

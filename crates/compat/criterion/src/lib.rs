@@ -1,0 +1,258 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Supports the bench surface this workspace uses — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`] and `Bencher::iter` — with a simple wall-clock
+//! measurement loop (fixed warm-up, `sample_size` timed samples, min/mean/max report)
+//! instead of criterion's statistical machinery.
+//!
+//! Passing `--test` (as `cargo test` does for harnessed bench targets) runs every
+//! benchmark body exactly once, matching real criterion's test mode.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(None, id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: Option<&str>, id: BenchmarkId, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test-mode: {label} ... ok");
+            return;
+        }
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{label}: no measurements (Bencher::iter never called)");
+            return;
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{label}: [{min:.2?} {mean:.2?} {max:.2?}] ({} samples)",
+            samples.len()
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let name = self.name.clone();
+        self.criterion
+            .run_one(Some(&name), id.into(), sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.name, p),
+            (false, None) => write!(f, "{}", self.name),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the payload.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up.
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7usize), &7usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(
+            BenchmarkId::new("job_light", 800).to_string(),
+            "job_light/800"
+        );
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,601 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the surface the workspace's property tests use — the [`proptest!`],
+//! [`prop_oneof!`] and `prop_assert*` macros, [`strategy::Strategy`] with `prop_map` /
+//! `boxed`, [`strategy::Just`], numeric-range strategies, a tiny `[c-c]{lo,hi}`
+//! character-class string strategy, tuple strategies and [`collection::vec`] — over a
+//! deterministic seeded RNG.
+//!
+//! Differences from real proptest: cases are seeded from the test's module path (stable
+//! across runs, no persistence files), and there is **no shrinking** — a failure reports
+//! the exact generated inputs instead, which the deterministic seeding makes reproducible.
+
+pub use rand;
+
+pub mod strategy {
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        type Value: fmt::Debug;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Weighted union of strategies (what [`crate::prop_oneof!`] builds).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.random_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// `&str` strategies: a character-class pattern `[<class>]{lo,hi}` (e.g. `"[a-z]{0,6}"`)
+    /// or, when the pattern contains no regex metacharacters, the literal string itself.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let spec = parse_char_class_pattern(self).unwrap_or_else(|| {
+                panic!(
+                    "proptest shim: unsupported string pattern {self:?} \
+                     (supported: literal strings and `[<class>]{{lo,hi}}`)"
+                )
+            });
+            match spec {
+                PatternSpec::Literal(s) => s,
+                PatternSpec::Class { chars, lo, hi } => {
+                    let len = rng.random_range(lo..=hi);
+                    (0..len)
+                        .map(|_| chars[rng.random_range(0..chars.len())])
+                        .collect()
+                }
+            }
+        }
+    }
+
+    enum PatternSpec {
+        Literal(String),
+        Class {
+            chars: Vec<char>,
+            lo: usize,
+            hi: usize,
+        },
+    }
+
+    fn parse_char_class_pattern(pattern: &str) -> Option<PatternSpec> {
+        if !pattern.contains(['[', ']', '{', '}', '*', '+', '?', '(', ')', '|', '\\', '.']) {
+            return Some(PatternSpec::Literal(pattern.to_string()));
+        }
+        let rest = pattern.strip_prefix('[')?;
+        let (class, quant) = rest.split_once(']')?;
+        let mut chars = Vec::new();
+        let cs: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                let (a, b) = (cs[i], cs[i + 2]);
+                if a > b {
+                    return None;
+                }
+                chars.extend((a..=b).filter(|c| c.is_ascii()));
+                i += 3;
+            } else {
+                chars.push(cs[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        let quant = quant.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match quant.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = quant.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some(PatternSpec::Class { chars, lo, hi })
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4)
+    );
+}
+
+pub mod collection {
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem` values with a size drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Default number of cases per property (override with `PROPTEST_CASES`).
+    pub const DEFAULT_CASES: u32 = 256;
+
+    /// Per-block configuration, set with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: DEFAULT_CASES,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed or rejected property-test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+        rejected: bool,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: false,
+            }
+        }
+
+        /// A `prop_assume!` rejection: the case is skipped, not failed.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: true,
+            }
+        }
+
+        pub fn is_rejection(&self) -> bool {
+            self.rejected
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `cases` generated cases of the closure; panics with the offending inputs on
+    /// the first failure. The RNG seed derives from `test_name`, so runs are stable.
+    pub fn run<F>(test_name: &str, cases: u32, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        let mut rng = StdRng::seed_from_u64(fnv1a(test_name));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < cases {
+            let (inputs, result) = case(&mut rng);
+            match result {
+                Ok(()) => accepted += 1,
+                Err(e) if e.is_rejection() => {
+                    rejected += 1;
+                    // Mirror real proptest's give-up behaviour when assumptions are
+                    // too strict to ever produce accepted cases.
+                    assert!(
+                        rejected <= cases.saturating_mul(8).saturating_add(100),
+                        "proptest `{test_name}`: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(e) => panic!(
+                    "proptest case {accepted}/{cases} of `{test_name}` failed: {e}\ninputs:\n{inputs}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of proptest's `prop` prelude module (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat, ...) { body } }`.
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(n))]` sets the
+/// case count for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (@cases $cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $cases,
+                    |__pt_rng| {
+                        // Snapshot the RNG so the inputs can be re-generated for the
+                        // failure report; the passing path never pays for formatting.
+                        let mut __pt_snapshot = __pt_rng.clone();
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                        let __pt_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (move || { $body ::std::result::Result::Ok(()) })();
+                        let __pt_inputs = if ::std::matches!(
+                            &__pt_result,
+                            ::std::result::Result::Err(e) if !e.is_rejection()
+                        ) {
+                            let mut __pt_s = String::new();
+                            $(
+                                let $arg = $crate::strategy::Strategy::generate(
+                                    &($strat), &mut __pt_snapshot,
+                                );
+                                __pt_s.push_str(&format!(
+                                    "  {} = {:?}\n", stringify!($arg), &$arg
+                                ));
+                            )+
+                            __pt_s
+                        } else {
+                            String::new()
+                        };
+                        (__pt_inputs, __pt_result)
+                    },
+                );
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@cases ($cfg).cases; $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@cases $crate::test_runner::DEFAULT_CASES; $($rest)+);
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Skips the current case (without failing) when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -10i64..10, y in 0u32..5, f in 0.0f64..1.0) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn mapped_and_union_strategies_compose(
+            v in prop::collection::vec(
+                prop_oneof![2 => Just(-1i64), 5 => (0i64..100).prop_map(|n| n * 2)],
+                0..20,
+            )
+        ) {
+            prop_assert!(v.len() < 20);
+            for x in &v {
+                prop_assert!(*x == -1 || (*x >= 0 && *x % 2 == 0));
+            }
+        }
+
+        #[test]
+        fn string_patterns_respect_class_and_length(s in "[a-c]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0i64..1000, 5..10);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_inputs() {
+        crate::test_runner::run("t", 4, |rng| {
+            use crate::strategy::Strategy;
+            let x = (0i64..100).generate(rng);
+            let r = (move || {
+                crate::prop_assert!(x < -1, "x was {}", x);
+                Ok(())
+            })();
+            (format!("  x = {x:?}\n"), r)
+        });
+    }
+}

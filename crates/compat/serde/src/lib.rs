@@ -1,0 +1,209 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The workspace builds without a crate registry, so this shim supplies the pieces the
+//! reproduction actually uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, plus enough of a data model for `serde_json::to_string_pretty` to render them.
+//!
+//! Instead of serde's visitor-based data model, [`Serialize`] lowers values directly into
+//! an owned [`Json`] tree that `serde_json` then formats. [`Deserialize`] is a marker
+//! trait only — nothing in the workspace deserialises yet; the derive keeps source
+//! compatibility so real deserialisation can be added later without touching call sites.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON tree — the serialisation data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered object (matches struct field order).
+    Object(Vec<(String, Json)>),
+}
+
+/// Types that can be lowered to a [`Json`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Marker trait: the type participates in `#[derive(Deserialize)]`.
+///
+/// No workspace code deserialises; deriving it documents intent and keeps the
+/// source compatible with the real `serde` crate.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::Float(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self) -> Json {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Json)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(entries)
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_nodes() {
+        assert_eq!(3i64.to_json(), Json::Int(3));
+        assert_eq!(3u32.to_json(), Json::UInt(3));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("x".to_string().to_json(), Json::Str("x".into()));
+        assert_eq!(None::<i64>.to_json(), Json::Null);
+        assert_eq!(
+            vec![1i64, 2].to_json(),
+            Json::Array(vec![Json::Int(1), Json::Int(2)])
+        );
+    }
+
+    #[test]
+    fn hashmap_output_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1i64);
+        m.insert("a".to_string(), 2i64);
+        match m.to_json() {
+            Json::Object(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

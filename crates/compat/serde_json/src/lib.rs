@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of `serde_json`: renders the shim's [`serde::Json`]
+//! tree as JSON text. Only the serialisation direction is implemented.
+
+use std::fmt;
+
+use serde::{Json, Serialize};
+
+/// Error type kept for signature compatibility; rendering owned trees cannot fail.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON (two-space indent, like real `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{:.1}", v));
+        } else {
+            out.push_str(&format!("{}", v));
+        }
+    } else {
+        // Real serde_json errors on non-finite floats; the reports this shim feeds
+        // only need something readable and parse-safe.
+        out.push_str("null");
+    }
+}
+
+fn write_json(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Float(f) => write_float(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_json(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Json::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(colon);
+                write_json(val, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_structure() {
+        let v = Json::Object(vec![
+            ("a".to_string(), Json::Int(1)),
+            (
+                "b".to_string(),
+                Json::Array(vec![Json::Str("x\"y".to_string()), Json::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":["x\"y",null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn floats_render_readably() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn derived_shapes_serialize_like_serde() {
+        #[derive(Serialize)]
+        struct Named {
+            id: u32,
+            label: String,
+        }
+
+        #[derive(Serialize)]
+        struct Newtype(f64);
+
+        #[derive(Serialize)]
+        struct Pair(i64, String);
+
+        #[derive(Serialize)]
+        enum Mixed {
+            Unit,
+            One(i64),
+            Two(i64, i64),
+            Fields { x: i64 },
+        }
+
+        #[derive(Serialize)]
+        struct Unit;
+
+        let named = Named {
+            id: 7,
+            label: "t".into(),
+        };
+        assert_eq!(to_string(&named).unwrap(), r#"{"id":7,"label":"t"}"#);
+        // Newtype structs serialise transparently, wider tuple structs as arrays.
+        assert_eq!(to_string(&Newtype(1.5)).unwrap(), "1.5");
+        assert_eq!(to_string(&Pair(3, "x".into())).unwrap(), r#"[3,"x"]"#);
+        assert_eq!(to_string(&Mixed::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&Mixed::One(4)).unwrap(), r#"{"One":4}"#);
+        assert_eq!(to_string(&Mixed::Two(4, 5)).unwrap(), r#"{"Two":[4,5]}"#);
+        assert_eq!(
+            to_string(&Mixed::Fields { x: 9 }).unwrap(),
+            r#"{"Fields":{"x":9}}"#
+        );
+        assert_eq!(to_string(&Unit).unwrap(), "{}");
+    }
+}

@@ -20,7 +20,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one element");
-        assert!(s.is_finite() && s >= 0.0, "skew must be a finite non-negative number");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "skew must be a finite non-negative number"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {
@@ -44,7 +47,9 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u: f64 = rng.random::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.len() - 1)
     }
 }
 
@@ -175,7 +180,10 @@ mod tests {
             total += f;
         }
         let zero_frac = zero as f64 / 5_000.0;
-        assert!((0.15..0.25).contains(&zero_frac), "zero fraction {zero_frac}");
+        assert!(
+            (0.15..0.25).contains(&zero_frac),
+            "zero fraction {zero_frac}"
+        );
         assert!(total > 5_000, "mean fanout should exceed 1");
     }
 

@@ -185,7 +185,11 @@ fn fanout_mean(base: f64, m: &Movie) -> f64 {
 
 /// Occasionally emits rows referencing a movie id that does not exist in `title`, so the
 /// full outer join has child rows without a parent.
-fn maybe_dangling_movie_id(rng: &mut StdRng, config: &DataGenConfig, n_title: usize) -> Option<i64> {
+fn maybe_dangling_movie_id(
+    rng: &mut StdRng,
+    config: &DataGenConfig,
+    n_title: usize,
+) -> Option<i64> {
     if rng.random::<f64>() < config.dangling_fraction {
         Some((n_title + 1 + rng.random_range(0..n_title.max(1))) as i64)
     } else {
@@ -193,8 +197,15 @@ fn maybe_dangling_movie_id(rng: &mut StdRng, config: &DataGenConfig, n_title: us
     }
 }
 
-fn build_cast_info(movies: &[Movie], config: &DataGenConfig, rng: &mut StdRng) -> nc_storage::Table {
-    let mut b = TableBuilder::new("cast_info", &["movie_id", "person_id", "role_id", "nr_order"]);
+fn build_cast_info(
+    movies: &[Movie],
+    config: &DataGenConfig,
+    rng: &mut StdRng,
+) -> nc_storage::Table {
+    let mut b = TableBuilder::new(
+        "cast_info",
+        &["movie_id", "person_id", "role_id", "nr_order"],
+    );
     let n_persons = (movies.len() * 3).max(50);
     let person_dist = Zipf::new(n_persons, config.skew);
     let role_zipf = Zipf::new(NUM_ROLES, config.skew);
@@ -263,7 +274,11 @@ fn build_movie_companies(
     b.finish()
 }
 
-fn build_movie_info(movies: &[Movie], config: &DataGenConfig, rng: &mut StdRng) -> nc_storage::Table {
+fn build_movie_info(
+    movies: &[Movie],
+    config: &DataGenConfig,
+    rng: &mut StdRng,
+) -> nc_storage::Table {
     let mut b = TableBuilder::new("movie_info", &["movie_id", "info_type_id", "info_length"]);
     let itype_zipf = Zipf::new(NUM_INFO_TYPES, config.skew);
     for m in movies {
@@ -405,7 +420,10 @@ mod tests {
         let b = job_light_database(&DataGenConfig::with_seed(2));
         let ca = a.expect_table("cast_info").num_rows();
         let cb = b.expect_table("cast_info").num_rows();
-        assert_ne!((ca, a.expect_table("cast_info").row(0)), (cb, b.expect_table("cast_info").row(0)));
+        assert_ne!(
+            (ca, a.expect_table("cast_info").row(0)),
+            (cb, b.expect_table("cast_info").row(0))
+        );
     }
 
     #[test]
@@ -442,7 +460,10 @@ mod tests {
         }
         let avg = |k: usize| sums[k].0 as f64 / sums[k].1.max(1) as f64;
         if sums[1].1 > 10 && sums[NUM_KINDS].1 > 10 {
-            assert!(avg(NUM_KINDS) - avg(1) > 5.0, "expected year/kind correlation");
+            assert!(
+                avg(NUM_KINDS) - avg(1) > 5.0,
+                "expected year/kind correlation"
+            );
         }
     }
 

@@ -147,7 +147,10 @@ fn max_int(db: &Database, table: &str, column: &str) -> i64 {
 }
 
 fn build_movie_link(config: &DataGenConfig, rng: &mut StdRng, n_title: usize) -> Table {
-    let mut b = TableBuilder::new("movie_link", &["movie_id", "link_type_id", "linked_movie_id"]);
+    let mut b = TableBuilder::new(
+        "movie_link",
+        &["movie_id", "link_type_id", "linked_movie_id"],
+    );
     let link_zipf = Zipf::new(NUM_LINK_TYPES, config.skew);
     for movie in 1..=n_title {
         let fanout = sample_fanout(rng, 0.7, config.skew, 0.6, 6);
@@ -253,7 +256,10 @@ fn build_company_type(n: usize) -> Table {
     ];
     let mut b = TableBuilder::new("company_type", &["id", "kind"]);
     for id in 1..=n {
-        b.push_row(vec![Value::Int(id as i64), Value::from(kinds[(id - 1) % kinds.len()])]);
+        b.push_row(vec![
+            Value::Int(id as i64),
+            Value::from(kinds[(id - 1) % kinds.len()]),
+        ]);
     }
     b.finish()
 }
@@ -286,7 +292,10 @@ fn build_comp_cast_type(n: usize) -> Table {
     let kinds = ["cast", "crew", "complete", "complete+verified"];
     let mut b = TableBuilder::new("comp_cast_type", &["id", "kind"]);
     for id in 1..=n {
-        b.push_row(vec![Value::Int(id as i64), Value::from(kinds[(id - 1) % kinds.len()])]);
+        b.push_row(vec![
+            Value::Int(id as i64),
+            Value::from(kinds[(id - 1) % kinds.len()]),
+        ]);
     }
     b.finish()
 }

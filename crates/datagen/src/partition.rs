@@ -67,12 +67,7 @@ pub fn partitioned_snapshots(
                 continue;
             }
             snapshot.add_table(restrict_to_parents(
-                db,
-                schema,
-                &snapshot,
-                table,
-                root_name,
-                last,
+                db, schema, &snapshot, table, root_name, last,
             ));
         }
         snapshots.push(snapshot);
@@ -156,7 +151,10 @@ fn restrict_to_parents(
     for r in 0..table.num_rows() {
         let v = key_col.value(r);
         let parent_exists_somewhere = !full_db
-            .index(schema.parent(table.name()).expect("non-root"), &parent_key_column(schema, table.name()))
+            .index(
+                schema.parent(table.name()).expect("non-root"),
+                &parent_key_column(schema, table.name()),
+            )
             .lookup(&v)
             .is_empty();
         let include = allowed.contains(&v) || (keep_dangling && !parent_exists_somewhere);
@@ -171,7 +169,10 @@ fn restrict_to_parents(
 fn parent_key_column(schema: &nc_schema::JoinSchema, table: &str) -> String {
     let parent = schema.parent(table).expect("non-root table");
     let edge = schema.edges_between(parent, table)[0];
-    edge.endpoint(parent).expect("edge touches parent").column.clone()
+    edge.endpoint(parent)
+        .expect("edge touches parent")
+        .column
+        .clone()
 }
 
 #[cfg(test)]

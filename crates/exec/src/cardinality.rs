@@ -25,9 +25,7 @@ pub fn true_cardinality(db: &Database, schema: &JoinSchema, query: &Query) -> u1
         .validate(schema)
         .unwrap_or_else(|e| panic!("invalid query {query}: {e}"));
     let root = query_subtree_root(schema, query);
-    count_at(db, schema, query, &root, None)
-        .into_values()
-        .sum()
+    count_at(db, schema, query, &root, None).into_values().sum()
 }
 
 /// Exact row count of the unfiltered inner join over `tables` (used for the selectivity
@@ -81,11 +79,21 @@ fn count_at(
         let edges = schema.edges_between(table, child);
         let my_cols: Vec<String> = edges
             .iter()
-            .map(|e| e.endpoint(table).expect("edge touches table").column.clone())
+            .map(|e| {
+                e.endpoint(table)
+                    .expect("edge touches table")
+                    .column
+                    .clone()
+            })
             .collect();
         let child_cols: Vec<String> = edges
             .iter()
-            .map(|e| e.endpoint(child).expect("edge touches child").column.clone())
+            .map(|e| {
+                e.endpoint(child)
+                    .expect("edge touches child")
+                    .column
+                    .clone()
+            })
             .collect();
         let map = count_at(db, schema, query, child, Some(&child_cols));
         child_maps.push((my_cols, map));
@@ -93,14 +101,20 @@ fn count_at(
 
     let parent_cols: Option<Vec<&nc_storage::Column>> = parent_edge_cols.map(|cols| {
         cols.iter()
-            .map(|c| t.column(c).unwrap_or_else(|| panic!("missing join column {table}.{c}")))
+            .map(|c| {
+                t.column(c)
+                    .unwrap_or_else(|| panic!("missing join column {table}.{c}"))
+            })
             .collect()
     });
     let child_key_cols: Vec<Vec<&nc_storage::Column>> = child_maps
         .iter()
         .map(|(cols, _)| {
             cols.iter()
-                .map(|c| t.column(c).unwrap_or_else(|| panic!("missing join column {table}.{c}")))
+                .map(|c| {
+                    t.column(c)
+                        .unwrap_or_else(|| panic!("missing join column {table}.{c}"))
+                })
                 .collect()
         })
         .collect();
@@ -260,7 +274,10 @@ mod tests {
             query_subtree_root(&schema, &Query::join(&["A", "B", "C"])),
             "A".to_string()
         );
-        assert_eq!(query_subtree_root(&schema, &Query::join(&["C"])), "C".to_string());
+        assert_eq!(
+            query_subtree_root(&schema, &Query::join(&["C"])),
+            "C".to_string()
+        );
     }
 
     #[test]

@@ -16,9 +16,9 @@ pub fn filter_mask(table: &Table, filters: &[&TableFilter]) -> Vec<bool> {
         .collect();
     let mut mask = vec![true; table.num_rows()];
     for f in relevant {
-        let col = table.column(&f.column).unwrap_or_else(|| {
-            panic!("filter references missing column {}.{}", f.table, f.column)
-        });
+        let col = table
+            .column(&f.column)
+            .unwrap_or_else(|| panic!("filter references missing column {}.{}", f.table, f.column));
         for (row, keep) in mask.iter_mut().enumerate() {
             if *keep && !f.predicate.matches(&col.value(row)) {
                 *keep = false;

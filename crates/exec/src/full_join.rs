@@ -63,8 +63,14 @@ pub fn enumerate_full_join(db: &Database, schema: &JoinSchema) -> Vec<FullJoinRo
     partials.push(vec![None]); // the root ⊥ tuple
 
     for child in order.iter().skip(1) {
-        let parent = schema.parent(child).expect("non-root has a parent").to_string();
-        let parent_idx = order.iter().position(|t| *t == parent).expect("parent visited");
+        let parent = schema
+            .parent(child)
+            .expect("non-root has a parent")
+            .to_string();
+        let parent_idx = order
+            .iter()
+            .position(|t| *t == parent)
+            .expect("parent visited");
         let edges = schema.edges_between(&parent, child);
         let parent_cols: Vec<String> = edges
             .iter()
@@ -214,7 +220,9 @@ mod tests {
         assert_eq!(row.indicator("B"), 0);
         assert_eq!(row.value(&db, "C", "y"), Value::from("d"));
         // No all-NULL row exists.
-        assert!(rows.iter().all(|r| r.assignment.iter().any(|a| a.is_some())));
+        assert!(rows
+            .iter()
+            .all(|r| r.assignment.iter().any(|a| a.is_some())));
     }
 
     #[test]

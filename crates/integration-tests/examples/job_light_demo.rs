@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p neurocard --example job_light_demo
+//! cargo run --release --example job_light_demo
 //! ```
 
 use std::sync::Arc;

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p neurocard --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use std::sync::Arc;
@@ -19,7 +19,11 @@ fn main() {
     let mut items = TableBuilder::new("items", &["order_id", "category", "qty"]);
     for i in 0..500i64 {
         let status = i % 3; // 0 = open, 1 = shipped, 2 = returned
-        orders.push_row(vec![Value::Int(i), Value::Int(status), Value::Int(2015 + i % 10)]);
+        orders.push_row(vec![
+            Value::Int(i),
+            Value::Int(status),
+            Value::Int(2015 + i % 10),
+        ]);
         // Shipped orders have more line items, and their categories depend on the year.
         let n_items = if status == 1 { 4 } else { 1 };
         for k in 0..n_items {
@@ -47,7 +51,10 @@ fn main() {
     // 3. Train a single estimator over the full outer join of both tables.
     let mut config = NeuroCardConfig::default();
     config.training_tuples = 20_000;
-    println!("training NeuroCard on {} tuples sampled from the full join...", config.training_tuples);
+    println!(
+        "training NeuroCard on {} tuples sampled from the full join...",
+        config.training_tuples
+    );
     let model = NeuroCard::build(db.clone(), schema.clone(), &config);
     println!(
         "model: {} parameters ({} KB), |full join| = {} rows\n",
@@ -69,7 +76,9 @@ fn main() {
         let estimate = model.estimate(q);
         let truth = nc_exec::true_cardinality(&db, &schema, q) as f64;
         println!("{q}");
-        println!("  estimate = {estimate:.1}   truth = {truth}   q-error = {:.2}\n",
-            (estimate.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / estimate.max(1.0)));
+        println!(
+            "  estimate = {estimate:.1}   truth = {truth}   q-error = {:.2}\n",
+            (estimate.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / estimate.max(1.0))
+        );
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p neurocard --example schema_subsetting
+//! cargo run --release --example schema_subsetting
 //! ```
 
 use std::sync::Arc;
@@ -53,7 +53,10 @@ fn main() {
     let counts = JoinCounts::compute(&db, &schema);
     for table in schema.bfs_order() {
         let tc = counts.table(table);
-        println!("  {table}: row weights {:?}, ⊥ weight {}", tc.row_weights, tc.null_weight);
+        println!(
+            "  {table}: row weights {:?}, ⊥ weight {}",
+            tc.row_weights, tc.null_weight
+        );
     }
     println!("  |full join| = {}\n", counts.full_join_rows());
 
@@ -75,12 +78,21 @@ fn main() {
     println!("\n=== Figure 4d: schema subsetting ===");
     let q1 = Query::join(&["A", "B", "C"]).filter("A", "x", Predicate::eq(2i64));
     let q2 = Query::join(&["A"]).filter("A", "x", Predicate::eq(2i64));
-    for (name, q, expected) in [("Q1 (A ⋈ B ⋈ C, A.x = 2)", &q1, 2u128), ("Q2 (A only, A.x = 2)", &q2, 1)] {
+    for (name, q, expected) in [
+        ("Q1 (A ⋈ B ⋈ C, A.x = 2)", &q1, 2u128),
+        ("Q2 (A only, A.x = 2)", &q2, 1),
+    ] {
         let plan = SubsetPlan::build(&schema, q);
         println!("  {name}: true answer {expected}");
         println!("    joined tables  : {:?}", plan.joined_tables);
         println!("    omitted tables : {:?}", plan.omitted_tables);
-        println!("    fanout keys    : {:?}", plan.fanout_keys.iter().map(|k| k.to_string()).collect::<Vec<_>>());
+        println!(
+            "    fanout keys    : {:?}",
+            plan.fanout_keys
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+        );
         assert_eq!(nc_exec::true_cardinality(&db, &schema, q), expected);
     }
 

@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p neurocard --example update_streaming
+//! cargo run --release --example update_streaming
 //! ```
 
 use std::sync::Arc;
@@ -47,18 +47,28 @@ fn main() {
         biased_sampler: false,
     };
     println!("training the initial model on snapshot 1...");
-    let stale = NeuroCard::build_with(snapshots[0].clone(), schema.clone(), &config, options.clone());
+    let stale = NeuroCard::build_with(
+        snapshots[0].clone(),
+        schema.clone(),
+        &config,
+        options.clone(),
+    );
     let mut fresh = NeuroCard::build_with(snapshots[0].clone(), schema.clone(), &config, options);
 
     let queries = vec![
-        Query::join(&["title", "cast_info"])
-            .filter("title", "production_year", Predicate::ge(1990i64)),
-        Query::join(&["title", "movie_keyword"])
-            .filter("title", "kind_id", Predicate::eq(1i64)),
+        Query::join(&["title", "cast_info"]).filter(
+            "title",
+            "production_year",
+            Predicate::ge(1990i64),
+        ),
+        Query::join(&["title", "movie_keyword"]).filter("title", "kind_id", Predicate::eq(1i64)),
         Query::join(&["title"]).filter("title", "production_year", Predicate::ge(2000i64)),
     ];
 
-    println!("\n{:<10} {:>22} {:>22}", "snapshot", "stale (mean q-error)", "fast-update (mean q-error)");
+    println!(
+        "\n{:<10} {:>22} {:>22}",
+        "snapshot", "stale (mean q-error)", "fast-update (mean q-error)"
+    );
     for (i, snapshot) in snapshots.iter().enumerate() {
         if i > 0 {
             // Fast update: re-point the sampler at the new snapshot and take a small number
@@ -73,7 +83,12 @@ fn main() {
             }
             total / queries.len() as f64
         };
-        println!("{:<10} {:>22.2} {:>22.2}", i + 1, mean(&stale), mean(&fresh));
+        println!(
+            "{:<10} {:>22.2} {:>22.2}",
+            i + 1,
+            mean(&stale),
+            mean(&fresh)
+        );
     }
     println!("\nThe stale model's error grows as new partitions change the data distribution;");
     println!("a handful of incremental gradient steps after each ingest keeps the fast-update");

@@ -37,7 +37,10 @@ fn neurocard_end_to_end_on_job_light() {
     for q in &queries {
         let truth = (nc_exec::true_cardinality(&db, &schema, q) as f64).max(1.0);
         let nc_est = model.estimate(q);
-        assert!(nc_est.is_finite() && nc_est >= 1.0, "estimate for {q} is {nc_est}");
+        assert!(
+            nc_est.is_finite() && nc_est >= 1.0,
+            "estimate for {q} is {nc_est}"
+        );
         nc_errors.push(q_error(nc_est, truth));
         pg_errors.push(q_error(postgres.estimate(q), truth));
     }
@@ -49,7 +52,10 @@ fn neurocard_end_to_end_on_job_light() {
     // nc-bench binaries); they still catch gross regressions such as broken fanout
     // scaling or unnormalised selectivities.
     assert!(nc.median < 40.0, "NeuroCard median too high: {nc}");
-    assert!(nc.max <= pg.max.max(1e4) * 3.0, "NeuroCard ({nc}) should not be far worse than Postgres-like ({pg}) at the tail");
+    assert!(
+        nc.max <= pg.max.max(1e4) * 3.0,
+        "NeuroCard ({nc}) should not be far worse than Postgres-like ({pg}) at the tail"
+    );
 }
 
 #[test]
@@ -75,7 +81,11 @@ fn estimator_handles_every_table_subset_shape() {
             "movie_keyword",
             "movie_info_idx",
         ]),
-        Query::join(&["title", "movie_info_idx"]).filter("movie_info_idx", "rating", Predicate::ge(40i64)),
+        Query::join(&["title", "movie_info_idx"]).filter(
+            "movie_info_idx",
+            "rating",
+            Predicate::ge(40i64),
+        ),
     ];
     for q in &shapes {
         let est = model.estimate(q);

@@ -93,7 +93,10 @@ fn sampled_virtual_columns_match_figure_4c() {
             seen_unmatched_c = true;
         }
     }
-    assert!(seen_unmatched_c, "the ⊥-chain row of Figure 4c was never sampled");
+    assert!(
+        seen_unmatched_c,
+        "the ⊥-chain row of Figure 4c was never sampled"
+    );
 }
 
 #[test]

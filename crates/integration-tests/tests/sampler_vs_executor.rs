@@ -15,7 +15,11 @@ use nc_storage::{Database, TableBuilder, Value};
 
 /// Builds a random 3-table chain A(x) — B(x, y) — C(y) with small domains so the full join
 /// stays enumerable.
-fn build_chain(a_keys: &[i64], b_rows: &[(i64, i64)], c_keys: &[i64]) -> (Arc<Database>, Arc<JoinSchema>) {
+fn build_chain(
+    a_keys: &[i64],
+    b_rows: &[(i64, i64)],
+    c_keys: &[i64],
+) -> (Arc<Database>, Arc<JoinSchema>) {
     let mut db = Database::new();
     let mut a = TableBuilder::new("A", &["x"]);
     for &k in a_keys {

@@ -34,7 +34,11 @@ fn job_light_pipeline_runs_for_all_estimators() {
         let result = evaluate(est, &queries, &truths);
         assert_eq!(result.latencies.len(), queries.len());
         assert!(result.summary.median >= 1.0);
-        rows.push(ErrorTableRow::new(result.name, result.size_bytes, result.summary));
+        rows.push(ErrorTableRow::new(
+            result.name,
+            result.size_bytes,
+            result.summary,
+        ));
     }
     let table = render_error_table("pipeline smoke", &rows);
     assert!(table.contains("Postgres-like"));

@@ -119,7 +119,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = NeuroCardConfig::tiny().with_seed(9).with_training_tuples(500);
+        let c = NeuroCardConfig::tiny()
+            .with_seed(9)
+            .with_training_tuples(500);
         assert_eq!(c.seed, 9);
         assert_eq!(c.training_tuples, 500);
         let l = NeuroCardConfig::large();

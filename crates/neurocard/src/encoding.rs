@@ -66,20 +66,16 @@ impl EncodedLayout {
                         .unwrap_or_else(|| panic!("missing column {}.{}", col.table, col.column));
                     ColumnDictionary::from_column(column)
                 }
-                ColumnKind::Indicator => ColumnDictionary::from_sorted_values(vec![
-                    Value::Int(0),
-                    Value::Int(1),
-                ]),
+                ColumnKind::Indicator => {
+                    ColumnDictionary::from_sorted_values(vec![Value::Int(0), Value::Int(1)])
+                }
                 ColumnKind::Fanout => {
                     let table = dict_db.expect_table(&col.table);
                     let column = table
                         .column(&col.column)
                         .unwrap_or_else(|| panic!("missing column {}.{}", col.table, col.column));
-                    let mut fanouts: Vec<i64> = column
-                        .value_counts()
-                        .values()
-                        .map(|&c| c as i64)
-                        .collect();
+                    let mut fanouts: Vec<i64> =
+                        column.value_counts().values().map(|&c| c as i64).collect();
                     fanouts.push(1); // ⊥ rows and NULL keys report fanout 1
                     fanouts.sort_unstable();
                     fanouts.dedup();
@@ -99,9 +95,7 @@ impl EncodedLayout {
                 match fact_bits {
                     // Never factorize the virtual columns: their domains are tiny and the
                     // inference code reads them as whole values.
-                    Some(bits)
-                        if matches!(col.kind, ColumnKind::Content | ColumnKind::JoinKey) =>
-                    {
+                    Some(bits) if matches!(col.kind, ColumnKind::Content | ColumnKind::JoinKey) => {
                         Factorization::new(domain, bits)
                     }
                     _ => Factorization::identity(domain),

@@ -163,11 +163,12 @@ impl NeuroCard {
         self.db = new_db.clone();
         let counts = JoinCounts::compute_shared(&new_db, &self.schema);
         self.full_join_rows = counts.full_join_rows();
-        self.trainer.set_source(TrainingSource::Unbiased(JoinSampler::with_counts(
-            new_db,
-            self.schema.clone(),
-            counts,
-        )));
+        self.trainer
+            .set_source(TrainingSource::Unbiased(JoinSampler::with_counts(
+                new_db,
+                self.schema.clone(),
+                counts,
+            )));
         let progress = self.trainer.train_tuples(tuples);
         self.refresh_stats(&progress);
         progress
@@ -268,14 +269,20 @@ mod tests {
         assert_eq!(truth, 300.0);
         let est = model.estimate(&q);
         let qerr = (est / truth).max(truth / est);
-        assert!(qerr < 3.0, "estimate {est} vs truth {truth} (q-error {qerr})");
+        assert!(
+            qerr < 3.0,
+            "estimate {est} vs truth {truth} (q-error {qerr})"
+        );
 
         // Single-table query with a filter: |σ(cls=1)(A)| = 50.
         let q = Query::join(&["A"]).filter("A", "cls", Predicate::eq(1i64));
         let truth = nc_exec::true_cardinality(&db, &schema, &q) as f64;
         let est = model.estimate(&q);
         let qerr = (est / truth).max(truth / est);
-        assert!(qerr < 4.0, "estimate {est} vs truth {truth} (q-error {qerr})");
+        assert!(
+            qerr < 4.0,
+            "estimate {est} vs truth {truth} (q-error {qerr})"
+        );
 
         // Deterministic estimates for the same query.
         assert_eq!(model.estimate(&q), model.estimate(&q));

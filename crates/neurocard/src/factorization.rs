@@ -34,7 +34,10 @@ impl Factorization {
     /// original (i.e. factorization is a no-op).
     pub fn new(domain: u32, bits: u32) -> Self {
         assert!(domain >= 1, "domain must be at least 1");
-        assert!((1..=31).contains(&bits), "factorization bits must be in 1..=31");
+        assert!(
+            (1..=31).contains(&bits),
+            "factorization bits must be in 1..=31"
+        );
         let needed_bits = 32 - (domain - 1).max(1).leading_zeros();
         let k = needed_bits.div_ceil(bits).max(1) as usize;
         // Most-significant sub-column gets the leftover high bits; the rest are full width.
@@ -77,7 +80,11 @@ impl Factorization {
 
     /// Splits an original code into its sub-column digits (most-significant first).
     pub fn split(&self, code: u32) -> Vec<u32> {
-        debug_assert!(code < self.domain, "code {code} outside domain {}", self.domain);
+        debug_assert!(
+            code < self.domain,
+            "code {code} outside domain {}",
+            self.domain
+        );
         let k = self.subdomains.len();
         if k == 1 {
             return vec![code];
@@ -111,9 +118,15 @@ impl Factorization {
     /// Returns an inclusive digit range `(dlo, dhi)`; the range is never empty when the
     /// prefix itself was drawn from valid ranges.
     pub fn digit_range(&self, lo: u32, hi: u32, prefix: &[u32], idx: usize) -> (u32, u32) {
-        assert!(lo <= hi && hi < self.domain, "invalid code range {lo}..={hi}");
+        assert!(
+            lo <= hi && hi < self.domain,
+            "invalid code range {lo}..={hi}"
+        );
         assert!(idx < self.subdomains.len());
-        assert!(prefix.len() >= idx, "prefix must cover all earlier sub-columns");
+        assert!(
+            prefix.len() >= idx,
+            "prefix must cover all earlier sub-columns"
+        );
         let lo_digits = self.split(lo);
         let hi_digits = self.split(hi);
         let tight_lo = (0..idx).all(|i| prefix[i] == lo_digits[i]);

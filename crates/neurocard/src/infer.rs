@@ -88,7 +88,10 @@ impl<'a> ProgressiveSampler<'a> {
             let idx = layout
                 .index_of(&filter.table, &filter.column)
                 .unwrap_or_else(|| {
-                    panic!("filter references unknown column {}.{}", filter.table, filter.column)
+                    panic!(
+                        "filter references unknown column {}.{}",
+                        filter.table, filter.column
+                    )
                 });
             let dict = self.encoded.dictionary(idx);
             let matching = dict.codes_matching(|v| filter.predicate.matches(v));
@@ -119,7 +122,11 @@ impl<'a> ProgressiveSampler<'a> {
             let idx = layout
                 .indicator_index(table)
                 .expect("every schema table has an indicator column");
-            let code = self.encoded.dictionary(idx).encode(&Value::Int(1)).expect("indicator 1");
+            let code = self
+                .encoded
+                .dictionary(idx)
+                .encode(&Value::Int(1))
+                .expect("indicator 1");
             constraints[idx] = Constraint::Range(code, code);
         }
 
@@ -135,12 +142,7 @@ impl<'a> ProgressiveSampler<'a> {
     }
 
     /// Monte-Carlo selectivity of the constraint set under the learned distribution.
-    fn selectivity(
-        &self,
-        constraints: &[Constraint],
-        num_samples: usize,
-        rng: &mut StdRng,
-    ) -> f64 {
+    fn selectivity(&self, constraints: &[Constraint], num_samples: usize, rng: &mut StdRng) -> f64 {
         let n_model = self.encoded.num_model_columns();
         // Every progressive sample starts as the all-wildcard tuple.
         let mut tokens: Vec<Vec<u32>> = (0..num_samples)
@@ -164,10 +166,8 @@ impl<'a> ProgressiveSampler<'a> {
                         continue;
                     }
                     let row = probs.row(s);
-                    let prefix: Vec<u32> = subcols[..sub_idx]
-                        .iter()
-                        .map(|&j| tokens[s][j])
-                        .collect();
+                    let prefix: Vec<u32> =
+                        subcols[..sub_idx].iter().map(|&j| tokens[s][j]).collect();
                     let (mass, digit) = match constraint {
                         Constraint::Mask(mask) => draw_masked(row, mask, rng),
                         Constraint::Range(lo, hi) => {
@@ -205,11 +205,7 @@ impl<'a> ProgressiveSampler<'a> {
             }
         }
 
-        let total: f64 = weights
-            .iter()
-            .zip(&fanout_div)
-            .map(|(w, f)| w / f)
-            .sum();
+        let total: f64 = weights.iter().zip(&fanout_div).map(|(w, f)| w / f).sum();
         total / num_samples as f64
     }
 }
@@ -308,7 +304,10 @@ mod tests {
         );
         let m1 = Constraint::Mask(vec![false, true, true]);
         let m2 = Constraint::Mask(vec![false, true, false]);
-        assert_eq!(intersect(&m1, &m2), Constraint::Mask(vec![false, true, false]));
+        assert_eq!(
+            intersect(&m1, &m2),
+            Constraint::Mask(vec![false, true, false])
+        );
         let m3 = Constraint::Mask(vec![true, false, false]);
         assert_eq!(intersect(&m1, &m3), Constraint::Empty);
         assert_eq!(intersect(&Constraint::Empty, &m1), Constraint::Empty);

@@ -250,12 +250,7 @@ mod tests {
         let enc = encoded(&db, &schema);
         let sampler = JoinSampler::new(db.clone(), schema.clone());
         let config = NeuroCardConfig::tiny();
-        let mut trainer = Trainer::new(
-            db.clone(),
-            enc,
-            TrainingSource::Unbiased(sampler),
-            config,
-        );
+        let mut trainer = Trainer::new(db.clone(), enc, TrainingSource::Unbiased(sampler), config);
         let progress = trainer.train_tuples(2_000);
         assert_eq!(progress.tuples, 2_000);
         assert!(progress.batches >= 2_000 / 64);

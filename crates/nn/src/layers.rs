@@ -181,7 +181,11 @@ impl Embedding {
     /// Copies the embedding of `token` into `out`.
     pub fn lookup(&self, token: u32, out: &mut [f32]) {
         let token = token as usize;
-        assert!(token <= self.domain, "token {token} outside domain {}", self.domain);
+        assert!(
+            token <= self.domain,
+            "token {token} outside domain {}",
+            self.domain
+        );
         out.copy_from_slice(self.table.value.row(token));
     }
 

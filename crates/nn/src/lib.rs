@@ -28,7 +28,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
-pub use layers::{Embedding, Linear, MaskedLinear, Param, relu, relu_backward};
+pub use layers::{relu, relu_backward, Embedding, Linear, MaskedLinear, Param};
 pub use loss::softmax_cross_entropy;
 pub use made::{MadeConfig, ResMade};
 pub use optim::{Adam, AdamConfig, Sgd};

@@ -66,7 +66,10 @@ pub struct ResMade {
 impl ResMade {
     /// Builds a model with MADE connectivity for the given configuration.
     pub fn new(config: MadeConfig) -> Self {
-        assert!(!config.domains.is_empty(), "model needs at least one column");
+        assert!(
+            !config.domains.is_empty(),
+            "model needs at least one column"
+        );
         assert!(config.d_emb > 0 && config.d_hidden > 0);
         let n = config.domains.len();
         let mut rng = seeded_rng(config.seed);
@@ -81,7 +84,8 @@ impl ResMade {
         // on columns ≤ g and feed columns > g).  With a single column there is nothing to
         // condition on; degree 0 units then feed nothing, which is fine.
         let max_degree = n.saturating_sub(2);
-        let hidden_degrees: Vec<usize> = (0..config.d_hidden).map(|h| h % (max_degree + 1)).collect();
+        let hidden_degrees: Vec<usize> =
+            (0..config.d_hidden).map(|h| h % (max_degree + 1)).collect();
 
         // Input mask: input unit u (column c = u / d_emb) connects to hidden h iff
         // degree(h) >= c.
@@ -109,8 +113,18 @@ impl ResMade {
         let blocks: Vec<(MaskedLinear, MaskedLinear)> = (0..config.num_blocks)
             .map(|_| {
                 (
-                    MaskedLinear::new(config.d_hidden, config.d_hidden, hidden_mask.clone(), &mut rng),
-                    MaskedLinear::new(config.d_hidden, config.d_hidden, hidden_mask.clone(), &mut rng),
+                    MaskedLinear::new(
+                        config.d_hidden,
+                        config.d_hidden,
+                        hidden_mask.clone(),
+                        &mut rng,
+                    ),
+                    MaskedLinear::new(
+                        config.d_hidden,
+                        config.d_hidden,
+                        hidden_mask.clone(),
+                        &mut rng,
+                    ),
                 )
             })
             .collect();
@@ -163,7 +177,10 @@ impl ResMade {
 
     /// Total number of scalar parameters.
     pub fn num_params(&self) -> usize {
-        self.embeddings.iter().map(|e| e.num_params()).sum::<usize>()
+        self.embeddings
+            .iter()
+            .map(|e| e.num_params())
+            .sum::<usize>()
             + self.input_layer.num_params()
             + self
                 .blocks
@@ -171,7 +188,11 @@ impl ResMade {
                 .map(|(a, b)| a.num_params() + b.num_params())
                 .sum::<usize>()
             + self.output_layer.num_params()
-            + self.output_bias.iter().map(|b| b.num_params()).sum::<usize>()
+            + self
+                .output_bias
+                .iter()
+                .map(|b| b.num_params())
+                .sum::<usize>()
     }
 
     /// Approximate model size in bytes (4 bytes per f32 parameter) — the "Size" column of
@@ -230,7 +251,11 @@ impl ResMade {
         let d = self.config.d_emb;
         let mut x = Matrix::zeros(rows.len(), n * d);
         for (b, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), n, "input row arity must equal the number of columns");
+            assert_eq!(
+                row.len(),
+                n,
+                "input row arity must equal the number of columns"
+            );
             let out_row = x.row_mut(b);
             for (c, &token) in row.iter().enumerate() {
                 self.embeddings[c].lookup(token, &mut out_row[c * d..(c + 1) * d]);
@@ -556,8 +581,16 @@ mod tests {
             num_blocks: 1,
             seed: 7,
         });
-        let mut adam = Adam::for_params(AdamConfig { lr: 5e-3, ..Default::default() }, &m.params());
-        let data: Vec<Vec<u32>> = (0..256).map(|i| vec![(i % 4) as u32, (i % 4) as u32]).collect();
+        let mut adam = Adam::for_params(
+            AdamConfig {
+                lr: 5e-3,
+                ..Default::default()
+            },
+            &m.params(),
+        );
+        let data: Vec<Vec<u32>> = (0..256)
+            .map(|i| vec![(i % 4) as u32, (i % 4) as u32])
+            .collect();
         let first_loss = m.forward_backward(&data, &data);
         adam.step(&mut m.params_mut());
         let mut last_loss = first_loss;
@@ -579,7 +612,10 @@ mod tests {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .unwrap()
                 .0;
-            assert_eq!(argmax as u32, k, "column 1 should copy column 0 (probs {row:?})");
+            assert_eq!(
+                argmax as u32, k,
+                "column 1 should copy column 0 (probs {row:?})"
+            );
         }
         // Log-likelihood of consistent tuples should beat inconsistent ones.
         let ll_good: f32 = m.log_likelihood(&[vec![2, 2]])[0];
@@ -621,7 +657,13 @@ mod tests {
             num_blocks: 1,
             seed: 5,
         });
-        let mut adam = Adam::for_params(AdamConfig { lr: 5e-2, ..Default::default() }, &m.params());
+        let mut adam = Adam::for_params(
+            AdamConfig {
+                lr: 5e-2,
+                ..Default::default()
+            },
+            &m.params(),
+        );
         let mut data = Vec::new();
         for _ in 0..70 {
             data.push(vec![0u32]);

@@ -46,7 +46,10 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::BadHeader => write!(f, "bad magic number or truncated header"),
             LoadError::ShapeMismatch { index } => {
-                write!(f, "parameter {index} has a different shape than the target model")
+                write!(
+                    f,
+                    "parameter {index} has a different shape than the target model"
+                )
             }
             LoadError::Truncated => write!(f, "byte stream ended before all parameters were read"),
         }

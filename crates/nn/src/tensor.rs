@@ -104,7 +104,10 @@ pub fn matmul_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// `out = a (m×k) · bᵀ (n×k)`, overwriting `out` (m×n).
 pub fn matmul_transpose_b(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    assert_eq!(a.cols, b.cols, "inner dimensions must agree (b is transposed)");
+    assert_eq!(
+        a.cols, b.cols,
+        "inner dimensions must agree (b is transposed)"
+    );
     assert_eq!(out.rows, a.rows);
     assert_eq!(out.cols, b.rows);
     let (m, k, n) = (a.rows, a.cols, b.rows);

@@ -53,7 +53,11 @@ impl BiasedSampler {
         // Root: uniform over real rows (the biased walk never starts at ⊥, another source
         // of bias versus the exact sampler).
         let root_row = rng.random_range(0..root.num_rows().max(1)) as RowId;
-        slots.push(if root.num_rows() == 0 { None } else { Some(root_row) });
+        slots.push(if root.num_rows() == 0 {
+            None
+        } else {
+            Some(root_row)
+        });
 
         for table_name in self.order.iter().skip(1) {
             let parent_name = self.schema.parent(table_name).expect("non-root");
@@ -155,11 +159,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
         let frac_root1 = |samples: &[JoinSample]| {
-            samples
-                .iter()
-                .filter(|s| s.slots[0] == Some(0))
-                .count() as f64
-                / samples.len() as f64
+            samples.iter().filter(|s| s.slots[0] == Some(0)).count() as f64 / samples.len() as f64
         };
         let biased_frac = frac_root1(&biased.sample_many(&mut rng, n));
         let exact_frac = frac_root1(&exact.sample_many(&mut rng, n));

@@ -34,14 +34,16 @@ pub fn sample_wide_batch_parallel(
     let per_thread = n / threads;
     let remainder = n % threads;
     let mut out: Vec<Vec<Vec<Value>>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let quota = per_thread + usize::from(t < remainder);
             let sampler_ref = &*sampler;
             let layout_ref = &*layout;
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(t as u64 + 1));
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(t as u64 + 1),
+                );
                 let samples = sampler_ref.sample_many(&mut rng, quota);
                 layout_ref.materialize_batch(sampler_ref.database(), &samples)
             }));
@@ -49,8 +51,7 @@ pub fn sample_wide_batch_parallel(
         for h in handles {
             out.push(h.join().expect("sampling thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.into_iter().flatten().collect()
 }
 

@@ -273,11 +273,17 @@ mod tests {
             let s = sampler.sample(&mut rng);
             // If A and B are both real, their x keys must agree.
             if let (Some(a), Some(b)) = (s.slots[0], s.slots[1]) {
-                assert_eq!(db.expect_table("A").value("x", a), db.expect_table("B").value("x", b));
+                assert_eq!(
+                    db.expect_table("A").value("x", a),
+                    db.expect_table("B").value("x", b)
+                );
             }
             // If B and C are both real, their y keys must agree.
             if let (Some(b), Some(c)) = (s.slots[1], s.slots[2]) {
-                assert_eq!(db.expect_table("B").value("y", b), db.expect_table("C").value("y", c));
+                assert_eq!(
+                    db.expect_table("B").value("y", b),
+                    db.expect_table("C").value("y", c)
+                );
             }
             assert!(s.slots.iter().any(|x| x.is_some()));
         }

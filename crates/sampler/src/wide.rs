@@ -293,10 +293,22 @@ mod tests {
         assert!(layout.fanout_index(&ColumnRef::parse("B.x")).is_some());
         assert!(layout.fanout_index(&ColumnRef::parse("Z.z")).is_none());
         let kinds: Vec<ColumnKind> = layout.columns().iter().map(|c| c.kind).collect();
-        assert_eq!(kinds.iter().filter(|k| **k == ColumnKind::Indicator).count(), 3);
-        assert_eq!(kinds.iter().filter(|k| **k == ColumnKind::Fanout).count(), 4);
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|k| **k == ColumnKind::Indicator)
+                .count(),
+            3
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == ColumnKind::Fanout).count(),
+            4
+        );
         // All base columns of this schema happen to be join keys.
-        assert_eq!(kinds.iter().filter(|k| **k == ColumnKind::JoinKey).count(), 4);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == ColumnKind::JoinKey).count(),
+            4
+        );
     }
 
     #[test]

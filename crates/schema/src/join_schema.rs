@@ -50,7 +50,10 @@ pub struct JoinEdge {
 impl JoinEdge {
     /// Creates an edge `left.table.left.column = right.table.right.column`.
     pub fn new(left: ColumnRef, right: ColumnRef) -> Self {
-        assert_ne!(left.table, right.table, "self-joins must duplicate the table first");
+        assert_ne!(
+            left.table, right.table,
+            "self-joins must duplicate the table first"
+        );
         JoinEdge { left, right }
     }
 
@@ -117,7 +120,10 @@ impl fmt::Display for SchemaError {
             SchemaError::UnknownTable(t) => write!(f, "edge references unknown table {t:?}"),
             SchemaError::DuplicateTable(t) => write!(f, "table {t:?} declared more than once"),
             SchemaError::Disconnected { unreachable } => {
-                write!(f, "join schema is not connected; unreachable: {unreachable:?}")
+                write!(
+                    f,
+                    "join schema is not connected; unreachable: {unreachable:?}"
+                )
             }
             SchemaError::Cyclic => write!(f, "join schema contains a cycle"),
             SchemaError::UnknownRoot(t) => write!(f, "root table {t:?} was not declared"),
@@ -208,10 +214,7 @@ impl JoinSchema {
                     if visited.contains(*n) {
                         // Seeing a visited neighbour that is not our parent means a cycle
                         // among table pairs.
-                        let is_parent = parent
-                            .get(&t)
-                            .map(|(p, _)| p == n)
-                            .unwrap_or(false);
+                        let is_parent = parent.get(&t).map(|(p, _)| p == n).unwrap_or(false);
                         if !is_parent {
                             return Err(SchemaError::Cyclic);
                         }
@@ -219,7 +222,10 @@ impl JoinSchema {
                     }
                     visited.insert((*n).to_string());
                     parent.insert((*n).to_string(), (t.clone(), (*idxs).clone()));
-                    children.get_mut(&t).expect("known table").push((*n).to_string());
+                    children
+                        .get_mut(&t)
+                        .expect("known table")
+                        .push((*n).to_string());
                     queue.push_back((*n).to_string());
                 }
             }
@@ -345,8 +351,7 @@ impl JoinSchema {
         };
         let a = anc(from.to_string());
         let b = anc(to.to_string());
-        let b_set: BTreeMap<&String, usize> =
-            b.iter().enumerate().map(|(i, t)| (t, i)).collect();
+        let b_set: BTreeMap<&String, usize> = b.iter().enumerate().map(|(i, t)| (t, i)).collect();
         let mut path = Vec::new();
         for (ai, t) in a.iter().enumerate() {
             path.push(t.clone());
@@ -378,8 +383,7 @@ impl JoinSchema {
         visited.insert(tables[0].clone());
         queue.push_back(tables[0].clone());
         while let Some(t) = queue.pop_front() {
-            let mut neighbours: Vec<String> =
-                self.children(&t).iter().cloned().collect();
+            let mut neighbours: Vec<String> = self.children(&t).iter().cloned().collect();
             if let Some(p) = self.parent(&t) {
                 neighbours.push(p.to_string());
             }
@@ -439,7 +443,10 @@ mod tests {
         assert_eq!(s.parent("A"), None);
         assert_eq!(s.parent_edges("B").len(), 1);
         assert_eq!(s.parent_edges("A").len(), 0);
-        assert_eq!(s.join_key_columns("B"), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(
+            s.join_key_columns("B"),
+            vec!["x".to_string(), "y".to_string()]
+        );
         assert_eq!(s.all_join_keys().len(), 4);
         assert!(s.contains("B"));
         assert!(!s.contains("D"));
@@ -490,16 +497,11 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        let err = JoinSchema::new(
-            vec!["A".into()],
-            vec![JoinEdge::parse("A.x", "B.x")],
-            "A",
-        )
-        .unwrap_err();
+        let err = JoinSchema::new(vec!["A".into()], vec![JoinEdge::parse("A.x", "B.x")], "A")
+            .unwrap_err();
         assert!(matches!(err, SchemaError::UnknownTable(_)));
 
-        let err =
-            JoinSchema::new(vec!["A".into(), "A".into()], vec![], "A").unwrap_err();
+        let err = JoinSchema::new(vec!["A".into(), "A".into()], vec![], "A").unwrap_err();
         assert!(matches!(err, SchemaError::DuplicateTable(_)));
 
         let err = JoinSchema::new(vec!["A".into(), "B".into()], vec![], "A").unwrap_err();

@@ -113,7 +113,11 @@ impl Predicate {
         match op {
             CompareOp::In => Self::isin(literals),
             _ => {
-                assert_eq!(literals.len(), 1, "binary operators take exactly one literal");
+                assert_eq!(
+                    literals.len(),
+                    1,
+                    "binary operators take exactly one literal"
+                );
                 Predicate { op, literals }
             }
         }
@@ -121,7 +125,11 @@ impl Predicate {
 
     /// The single literal of a binary predicate.  Panics on `IN`.
     pub fn literal(&self) -> &Value {
-        assert_ne!(self.op, CompareOp::In, "IN predicates have multiple literals");
+        assert_ne!(
+            self.op,
+            CompareOp::In,
+            "IN predicates have multiple literals"
+        );
         &self.literals[0]
     }
 
@@ -218,10 +226,19 @@ mod tests {
             Predicate::eq(5i64).value_bounds(),
             Some((Some(&Value::Int(5)), Some(&Value::Int(5))))
         );
-        assert_eq!(Predicate::le(5i64).value_bounds(), Some((None, Some(&Value::Int(5)))));
-        assert_eq!(Predicate::gt(5i64).value_bounds(), Some((Some(&Value::Int(5)), None)));
+        assert_eq!(
+            Predicate::le(5i64).value_bounds(),
+            Some((None, Some(&Value::Int(5))))
+        );
+        assert_eq!(
+            Predicate::gt(5i64).value_bounds(),
+            Some((Some(&Value::Int(5)), None))
+        );
         assert_eq!(Predicate::isin(vec![Value::Int(1)]).value_bounds(), None);
-        assert_eq!(Predicate::le(2005i64).render("production_year"), "production_year <= 2005");
+        assert_eq!(
+            Predicate::le(2005i64).render("production_year"),
+            "production_year <= 2005"
+        );
         assert_eq!(
             Predicate::isin(vec![Value::Int(1), Value::Int(2)]).render("kind_id"),
             "kind_id IN (1, 2)"
@@ -240,5 +257,118 @@ mod tests {
     #[should_panic(expected = "IN list must not be empty")]
     fn empty_in_panics() {
         Predicate::isin(vec![]);
+    }
+
+    #[test]
+    fn every_binary_op_agrees_with_integer_comparison() {
+        // Exhaustive check of operator semantics over a small integer grid.
+        for lit in -3i64..=3 {
+            for v in -3i64..=3 {
+                let value = Value::Int(v);
+                let cases: [(Predicate, bool); 5] = [
+                    (Predicate::eq(lit), v == lit),
+                    (Predicate::lt(lit), v < lit),
+                    (Predicate::le(lit), v <= lit),
+                    (Predicate::gt(lit), v > lit),
+                    (Predicate::ge(lit), v >= lit),
+                ];
+                for (p, expected) in cases {
+                    assert_eq!(
+                        p.matches(&value),
+                        expected,
+                        "{} on value {v}",
+                        p.render("c")
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_ops_constant_is_complete_and_distinct() {
+        assert_eq!(CompareOp::BINARY_OPS.len(), 5);
+        assert!(!CompareOp::BINARY_OPS.contains(&CompareOp::In));
+        let spellings: std::collections::HashSet<&str> =
+            CompareOp::BINARY_OPS.iter().map(|op| op.sql()).collect();
+        assert_eq!(spellings.len(), 5, "operator spellings must be distinct");
+    }
+
+    #[test]
+    fn strict_and_inclusive_ops_differ_only_at_the_literal() {
+        let lt = Predicate::lt(10i64);
+        let le = Predicate::le(10i64);
+        let gt = Predicate::gt(10i64);
+        let ge = Predicate::ge(10i64);
+        for v in [-100i64, 0, 9, 10, 11, 100] {
+            let value = Value::Int(v);
+            if v == 10 {
+                assert!(!lt.matches(&value) && le.matches(&value));
+                assert!(!gt.matches(&value) && ge.matches(&value));
+            } else {
+                assert_eq!(lt.matches(&value), le.matches(&value));
+                assert_eq!(gt.matches(&value), ge.matches(&value));
+            }
+        }
+    }
+
+    #[test]
+    fn string_equality_and_in_semantics() {
+        let p = Predicate::eq("drama");
+        assert!(p.matches(&Value::from("drama")));
+        assert!(!p.matches(&Value::from("Drama"))); // case-sensitive
+        let p = Predicate::isin(vec![Value::from("a"), Value::from("b")]);
+        assert!(p.matches(&Value::from("a")));
+        assert!(!p.matches(&Value::from("ab")));
+        assert_eq!(p.render("genre"), "genre IN (a, b)");
+    }
+
+    #[test]
+    fn in_with_duplicate_literals_still_matches_once() {
+        let p = Predicate::isin(vec![Value::Int(2), Value::Int(2), Value::Int(5)]);
+        assert!(p.matches(&Value::Int(2)));
+        assert!(p.matches(&Value::Int(5)));
+        assert!(!p.matches(&Value::Int(3)));
+    }
+
+    #[test]
+    fn matches_is_consistent_with_value_bounds() {
+        // Any value accepted by `matches` must lie inside the (conservative, inclusive)
+        // bounds reported by `value_bounds`.
+        let preds = [
+            Predicate::eq(0i64),
+            Predicate::lt(0i64),
+            Predicate::le(0i64),
+            Predicate::gt(0i64),
+            Predicate::ge(0i64),
+        ];
+        for p in &preds {
+            let (lo, hi) = p.value_bounds().expect("binary predicates have bounds");
+            for v in -5i64..=5 {
+                let value = Value::Int(v);
+                if p.matches(&value) {
+                    if let Some(lo) = lo {
+                        assert!(&value >= lo, "{} accepted {v} below bound", p.render("c"));
+                    }
+                    if let Some(hi) = hi {
+                        assert!(&value <= hi, "{} accepted {v} above bound", p.render("c"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_routes_in_through_isin_validation() {
+        let p = Predicate::new(CompareOp::In, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(p.op, CompareOp::In);
+        assert_eq!(p.literals.len(), 2);
+        let q = Predicate::new(CompareOp::Ge, vec![Value::Int(9)]);
+        assert_eq!(q.literal(), &Value::Int(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple literals")]
+    fn literal_on_in_predicate_panics() {
+        Predicate::isin(vec![Value::Int(1), Value::Int(2)]).literal();
     }
 }

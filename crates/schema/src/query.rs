@@ -62,7 +62,10 @@ impl fmt::Display for QueryError {
                 write!(f, "query tables do not form a connected join subgraph")
             }
             QueryError::FilterOnUnjoinedTable(t) => {
-                write!(f, "filter references table {t:?} which the query does not join")
+                write!(
+                    f,
+                    "filter references table {t:?} which the query does not join"
+                )
             }
             QueryError::Empty => write!(f, "query must join at least one table"),
         }
@@ -103,7 +106,8 @@ impl Query {
         column: impl Into<String>,
         predicate: Predicate,
     ) -> Self {
-        self.filters.push(TableFilter::new(table, column, predicate));
+        self.filters
+            .push(TableFilter::new(table, column, predicate));
         self
     }
 

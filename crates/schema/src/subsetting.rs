@@ -40,7 +40,10 @@ impl SubsetPlan {
             .filter(|t| query.joins(t))
             .cloned()
             .collect();
-        assert!(!joined.is_empty(), "query must join at least one schema table");
+        assert!(
+            !joined.is_empty(),
+            "query must join at least one schema table"
+        );
         let omitted: Vec<String> = schema
             .tables()
             .iter()
@@ -82,7 +85,10 @@ fn fanout_key_for_omitted(schema: &JoinSchema, omitted: &str, joined: &[String])
         .first()
         .expect("at least one joined table is required");
     let path = schema.path(omitted, target);
-    assert!(path.len() >= 2, "omitted table must differ from joined tables");
+    assert!(
+        path.len() >= 2,
+        "omitted table must differ from joined tables"
+    );
     let next = &path[1];
     let edges = schema.edges_between(omitted, next);
     assert!(

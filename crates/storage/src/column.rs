@@ -20,7 +20,10 @@ use crate::value::Value;
 pub enum ColumnData {
     /// Dense 64-bit integers with a validity mask (`false` = NULL; the slot in `values`
     /// is then meaningless but kept so indexes stay positional).
-    Int { values: Vec<i64>, validity: Vec<bool> },
+    Int {
+        values: Vec<i64>,
+        validity: Vec<bool>,
+    },
     /// Dictionary-encoded strings. `codes[i]` indexes into `pool`; validity as above.
     Str {
         codes: Vec<u32>,
@@ -311,7 +314,10 @@ mod tests {
             vec![Value::Int(1), Value::Int(2), Value::Int(3)]
         );
         let s = str_col();
-        assert_eq!(s.distinct_values(), vec![Value::from("a"), Value::from("b")]);
+        assert_eq!(
+            s.distinct_values(),
+            vec![Value::from("a"), Value::from("b")]
+        );
     }
 
     #[test]

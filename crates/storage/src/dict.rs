@@ -32,7 +32,10 @@ impl ColumnDictionary {
 
     /// Builds a dictionary from pre-sorted distinct values (asserts ordering in debug).
     pub fn from_sorted_values(values: Vec<Value>) -> Self {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be strictly sorted");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "values must be strictly sorted"
+        );
         ColumnDictionary { values }
     }
 

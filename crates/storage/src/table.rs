@@ -82,10 +82,7 @@ impl Table {
 
     /// Materialises one row as a `Vec<Value>` in column declaration order.
     pub fn row(&self, row: RowId) -> Vec<Value> {
-        self.columns
-            .iter()
-            .map(|c| c.value(row as usize))
-            .collect()
+        self.columns.iter().map(|c| c.value(row as usize)).collect()
     }
 
     /// Builds a new table containing only the given rows (in the given order), preserving
@@ -149,10 +146,7 @@ mod tests {
             "t",
             vec![
                 Column::from_values("id", &[Value::Int(1), Value::Int(2), Value::Int(3)]),
-                Column::from_values(
-                    "name",
-                    &[Value::from("a"), Value::Null, Value::from("c")],
-                ),
+                Column::from_values("name", &[Value::from("a"), Value::Null, Value::from("c")]),
             ],
         )
     }

@@ -17,6 +17,15 @@ fn arb_str_value() -> impl Strategy<Value = Value> {
     ]
 }
 
+/// Strings exercising the CSV dialect's metacharacters (commas, quotes, newlines,
+/// spaces). Digits are excluded so values cannot be re-parsed as integers.
+fn arb_tricky_str_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        6 => "[a-z ,\"\n.]{1,8}".prop_map(Value::from),
+    ]
+}
+
 proptest! {
     /// Building a column from values and reading it back is the identity.
     #[test]
@@ -98,5 +107,84 @@ proptest! {
         for r in 0..t.num_rows() {
             prop_assert_eq!(t2.row(r as u32), t.row(r as u32));
         }
+    }
+
+    /// Dictionary codes form a dense bijection: every code in `0..domain_size` decodes to
+    /// a value that encodes back to exactly that code (the reverse direction of
+    /// `dictionary_is_order_preserving`).
+    #[test]
+    fn dictionary_codes_are_a_dense_bijection(
+        values in prop::collection::vec(arb_value(), 1..150),
+    ) {
+        let col = Column::from_values("c", &values);
+        let dict = ColumnDictionary::from_column(&col);
+        // NULL always owns code 0; real values get codes 1..=distinct.
+        let distinct_non_null: std::collections::BTreeSet<&Value> =
+            values.iter().filter(|v| !v.is_null()).collect();
+        prop_assert_eq!(dict.distinct(), distinct_non_null.len());
+        prop_assert_eq!(dict.domain_size(), distinct_non_null.len() + 1);
+        for code in 0..dict.domain_size() as u32 {
+            let v = dict.decode(code);
+            prop_assert_eq!(dict.encode(&v), Some(code));
+        }
+    }
+
+    /// Values absent from the column never encode; present values always do. Holds for
+    /// string dictionaries exactly as for integer ones.
+    #[test]
+    fn dictionary_encodes_exactly_the_column_values(
+        values in prop::collection::vec(arb_str_value(), 1..100),
+        probe in "[a-z]{0,6}",
+    ) {
+        let col = Column::from_values("c", &values);
+        let dict = ColumnDictionary::from_column(&col);
+        // NULL always encodes (to the reserved code 0); a non-NULL probe encodes iff it
+        // occurs in the column.
+        prop_assert_eq!(dict.encode(&Value::Null), Some(0));
+        if !probe.is_empty() {
+            let probe = Value::from(probe);
+            prop_assert_eq!(dict.encode(&probe).is_some(), values.contains(&probe));
+        }
+        for v in &values {
+            prop_assert!(dict.encode(v).is_some());
+        }
+    }
+
+    /// CSV survives strings full of dialect metacharacters: commas, double quotes,
+    /// embedded newlines, dots and spaces all round-trip through quoting.
+    #[test]
+    fn csv_roundtrip_with_metacharacters(
+        rows in prop::collection::vec((arb_value(), arb_tricky_str_value()), 1..40),
+    ) {
+        let mut b = TableBuilder::new("t", &["n", "s"]);
+        for (x, y) in &rows {
+            b.push_row(vec![x.clone(), y.clone()]);
+        }
+        let t = b.finish();
+        let csv = write_csv_string(&t);
+        let t2 = read_csv_str("t", &csv).expect("parse back");
+        prop_assert_eq!(t2.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            prop_assert_eq!(t2.row(r as u32), t.row(r as u32));
+        }
+    }
+
+    /// write → read → write is a fixpoint: re-serialising a parsed table reproduces the
+    /// byte-identical CSV text (the serialised form is canonical).
+    #[test]
+    fn csv_write_read_write_is_fixpoint(
+        rows in prop::collection::vec(
+            (arb_value(), arb_tricky_str_value(), arb_str_value()),
+            0..30,
+        ),
+    ) {
+        let mut b = TableBuilder::new("t", &["a", "b", "c"]);
+        for (x, y, z) in &rows {
+            b.push_row(vec![x.clone(), y.clone(), z.clone()]);
+        }
+        let csv1 = write_csv_string(&b.finish());
+        let reparsed = read_csv_str("t", &csv1).expect("parse back");
+        let csv2 = write_csv_string(&reparsed);
+        prop_assert_eq!(csv1, csv2);
     }
 }

@@ -162,9 +162,23 @@ mod tests {
     fn filters_from_literals_respect_nulls_and_ops() {
         let mut rng = StdRng::seed_from_u64(9);
         let q = Query::join(&["title"]);
-        let q = add_filter_from_literal(q, "title", "production_year", true, &Value::Int(2001), &mut rng);
+        let q = add_filter_from_literal(
+            q,
+            "title",
+            "production_year",
+            true,
+            &Value::Int(2001),
+            &mut rng,
+        );
         assert_eq!(q.filters.len(), 1);
-        let q2 = add_filter_from_literal(q.clone(), "title", "episode_nr", true, &Value::Null, &mut rng);
+        let q2 = add_filter_from_literal(
+            q.clone(),
+            "title",
+            "episode_nr",
+            true,
+            &Value::Null,
+            &mut rng,
+        );
         assert_eq!(q2.filters.len(), 1, "NULL literals must not create filters");
         let q3 = add_filter_from_literal(q, "title", "kind_id", false, &Value::Int(2), &mut rng);
         assert_eq!(q3.filters[1].predicate.op, CompareOp::Eq);

@@ -60,7 +60,8 @@ pub fn job_light_queries(
         // Range filter on production_year (present in most JOB-light queries).
         if rng.random::<f64>() < 0.8 {
             let year = &tuple[&("title".to_string(), "production_year".to_string())];
-            query = add_filter_from_literal(query, "title", "production_year", true, year, &mut rng);
+            query =
+                add_filter_from_literal(query, "title", "production_year", true, year, &mut rng);
         }
         // Equality filter on title.kind_id for some queries.
         if rng.random::<f64>() < 0.5 {

@@ -66,7 +66,8 @@ pub fn job_light_ranges_queries(
             chosen.push(pick);
             let (table, column, supports_range) = *pick;
             let literal = &tuple[&(table.to_string(), column.to_string())];
-            query = add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
+            query =
+                add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
         }
         if query.filters.len() < 2 {
             continue;
@@ -105,7 +106,10 @@ mod tests {
                 })
                 .count();
         }
-        assert!(range_ops > 5, "expected a healthy number of range predicates");
+        assert!(
+            range_ops > 5,
+            "expected a healthy number of range predicates"
+        );
     }
 
     #[test]

@@ -55,7 +55,8 @@ pub fn job_m_queries(
             chosen.push(pick);
             let (table, column, supports_range) = *pick;
             let literal = &tuple[&(table.to_string(), column.to_string())];
-            query = add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
+            query =
+                add_filter_from_literal(query, table, column, supports_range, literal, &mut rng);
         }
         if query.filters.is_empty() {
             continue;
@@ -87,7 +88,13 @@ mod tests {
             if q.tables.iter().any(|t| {
                 matches!(
                     t.as_str(),
-                    "name" | "role_type" | "company_name" | "company_type" | "keyword" | "info_type" | "comp_cast_type"
+                    "name"
+                        | "role_type"
+                        | "company_name"
+                        | "company_type"
+                        | "keyword"
+                        | "info_type"
+                        | "comp_cast_type"
                 )
             }) {
                 multi_key += 1;
@@ -95,7 +102,10 @@ mod tests {
             let truth = nc_exec::true_cardinality(&db, &schema, q);
             assert!(truth > 0, "query {q} should be non-empty");
         }
-        assert!(max_tables >= 4, "expected some wide queries, got max {max_tables}");
+        assert!(
+            max_tables >= 4,
+            "expected some wide queries, got max {max_tables}"
+        );
         assert!(multi_key > 0, "expected at least one multi-key join query");
     }
 }

@@ -128,4 +128,93 @@ mod tests {
     fn empty_errors_panic() {
         ErrorSummary::from_errors(&[]);
     }
+
+    #[test]
+    fn q_error_is_symmetric() {
+        // Swapping estimate and truth never changes the Q-error, including when one or
+        // both sides are clamped up to 1.
+        let values = [0.0, 0.3, 1.0, 2.5, 10.0, 1e6];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    q_error(a, b),
+                    q_error(b, a),
+                    "q_error not symmetric for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cardinality_is_clamped() {
+        // An empty result (truth = 0) with an empty estimate is a perfect answer.
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        // Estimating zero for a non-empty result scores as if the estimate were 1.
+        assert_eq!(q_error(0.0, 50.0), 50.0);
+        assert_eq!(q_error(50.0, 0.0), 50.0);
+        // Sub-1 fractional estimates are clamped the same way.
+        assert_eq!(q_error(0.25, 4.0), 4.0);
+        assert_eq!(q_error(0.25, 0.75), 1.0);
+    }
+
+    #[test]
+    fn q_error_never_below_one() {
+        for (e, t) in [(0.0, 0.0), (0.5, 0.6), (1.0, 1.0), (3.0, 2.0), (1e-9, 1e9)] {
+            assert!(q_error(e, t) >= 1.0, "q_error({e}, {t}) < 1");
+        }
+    }
+
+    #[test]
+    fn single_error_summary_collapses_to_that_error() {
+        let s = ErrorSummary::from_errors(&[7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert!((s.geometric_mean - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_error_percentiles_interpolate() {
+        let s = ErrorSummary::from_errors(&[1.0, 3.0]);
+        assert_eq!(s.median, 2.0);
+        // p95 of two points interpolates 95% of the way between them.
+        assert!((s.p95 - 2.9).abs() < 1e-12);
+        assert!((s.p99 - 2.98).abs() < 1e-12);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let asc: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let mut desc = asc.clone();
+        desc.reverse();
+        assert_eq!(
+            ErrorSummary::from_errors(&asc),
+            ErrorSummary::from_errors(&desc)
+        );
+    }
+
+    #[test]
+    fn identical_errors_have_flat_quantiles() {
+        let s = ErrorSummary::from_errors(&[4.0; 33]);
+        assert_eq!((s.median, s.p95, s.p99, s.max), (4.0, 4.0, 4.0, 4.0));
+        assert!((s.geometric_mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_fractions() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(quantile(&v, -0.5), 1.0);
+        assert_eq!(quantile(&v, 1.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_between_ranks() {
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        // pos = 0.95 * 3 = 2.85 → between 30 and 40.
+        assert!((quantile(&v, 0.95) - 38.5).abs() < 1e-12);
+        assert_eq!(quantile(&v, 0.5), 25.0);
+    }
 }
