@@ -29,7 +29,7 @@ fn print_cdf(name: &str, spectrum: &[f64]) {
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let light = BenchEnv::job_light(&config);
     nc_bench::harness::print_preamble(
         "Figure 6: query selectivity distribution",

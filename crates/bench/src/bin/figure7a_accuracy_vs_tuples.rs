@@ -23,7 +23,7 @@ fn p99(model: &NeuroCard, queries: &[Query], truths: &[f64]) -> f64 {
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble("Figure 7a: accuracy vs tuples trained", &env.name, &config);
 

@@ -1,19 +1,30 @@
 //! Reproduces **Figure 7b**: training-tuple sampling throughput versus the number of
-//! sampler threads.
+//! sampler threads — and quantifies what the persistent worker pool buys over the old
+//! spawn-threads-per-batch scheme.
 //!
 //! The paper reports ~40K tuples/s peak with four threads saturating the GPU consumer.
 //! Here there is no GPU and a single CPU core, so the absolute numbers and the saturation
 //! point differ; what is preserved is that the sampler itself parallelises and the
 //! per-thread cost is dominated by index lookups.
+//!
+//! Two measurements:
+//!
+//! 1. tuples/second versus worker count, drawn through a persistent [`SamplerPool`] in
+//!    training-sized batches (the pipeline the trainer actually runs),
+//! 2. spawn-per-batch (the legacy [`sample_wide_batch_parallel`] wrapper, which stands up
+//!    and tears down its threads on every call) versus one long-lived pool, across batch
+//!    sizes.  The smaller the batch, the more the fixed spawn/join cost dominates and the
+//!    larger the pool's advantage.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use nc_bench::harness::print_preamble;
 use nc_bench::{BenchEnv, HarnessConfig};
-use nc_sampler::{sample_wide_batch_parallel, JoinSampler, WideLayout};
+use nc_sampler::{sample_wide_batch_parallel, JoinSampler, SamplerPool, WideLayout};
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble(
         "Figure 7b: sampling throughput vs threads",
@@ -21,26 +32,114 @@ fn main() {
         &config,
     );
 
-    let sampler = JoinSampler::new(env.db.clone(), env.schema.clone());
-    let layout = WideLayout::new(&env.db, &env.schema);
-    let tuples = (config.train_tuples / 2).max(2_000);
+    let sampler = Arc::new(JoinSampler::new(env.db.clone(), env.schema.clone()));
+    let layout = Arc::new(WideLayout::new(&env.db, &env.schema));
+    let tuples = if config.smoke {
+        2_000
+    } else {
+        (config.train_tuples / 2).max(2_000)
+    };
 
+    // --- 1. Throughput vs worker count (persistent pool, pipelined submission) ----------
+    let batch = 1_024.min(tuples);
     println!("{:>8} {:>16} {:>14}", "threads", "tuples/second", "elapsed");
     for threads in [1usize, 2, 4, 8] {
+        // Construct the pool outside the timer: this table reports steady-state sampling
+        // throughput (pool amortisation is measured separately below).
+        let pool = SamplerPool::new(sampler.clone(), layout.clone(), threads, config.seed, None);
         let start = Instant::now();
-        let batch = sample_wide_batch_parallel(&sampler, &layout, tuples, threads, config.seed);
+        let mut drawn = 0usize;
+        let tickets: Vec<_> = batch_sizes(tuples, batch)
+            .enumerate()
+            .map(|(i, n)| pool.submit_indexed(i as u64, n))
+            .collect();
+        for t in tickets {
+            drawn += t.wait().len();
+        }
         let elapsed = start.elapsed();
-        let throughput = batch.len() as f64 / elapsed.as_secs_f64();
+        assert_eq!(drawn, tuples);
         println!(
             "{:>8} {:>16.0} {:>13.2}s",
             threads,
-            throughput,
+            drawn as f64 / elapsed.as_secs_f64(),
             elapsed.as_secs_f64()
         );
     }
+
+    // --- 2. Spawn-per-batch vs persistent pool ------------------------------------------
+    // Four threads make the per-batch spawn/join cost clearly visible even on a single
+    // core: the spawn path pays it `batches` times, the pool once.
+    let threads = config.sampler_threads.max(4);
+    let compare_tuples = if config.smoke {
+        16_384
+    } else {
+        tuples.max(16_384)
+    };
+    println!();
+    println!("spawn-per-batch vs persistent pool ({threads} threads, {compare_tuples} tuples):");
+    println!(
+        "{:>10} {:>8} {:>16} {:>16} {:>9}",
+        "batch", "batches", "spawn tuples/s", "pool tuples/s", "speedup"
+    );
+    for batch in [64usize, 128, 512, 2_048] {
+        let batches = compare_tuples / batch;
+
+        // Best-of-3 per path: single-core hosts schedule the worker threads noisily, and
+        // the best repetition is the least scheduler-polluted estimate of each path's cost.
+        let spawn_rate = best_rate(3, batches * batch, || {
+            for _ in 0..batches {
+                let rows =
+                    sample_wide_batch_parallel(&sampler, &layout, batch, threads, config.seed);
+                assert_eq!(rows.len(), batch);
+            }
+        });
+
+        // Pool construction is inside the timing: amortising it is the whole point.
+        let pool_rate = best_rate(3, batches * batch, || {
+            let pool =
+                SamplerPool::new(sampler.clone(), layout.clone(), threads, config.seed, None);
+            let tickets: Vec<_> = (0..batches)
+                .map(|b| pool.submit_indexed(b as u64, batch))
+                .collect();
+            for t in tickets {
+                assert_eq!(t.wait().len(), batch);
+            }
+        });
+
+        println!(
+            "{:>10} {:>8} {:>16.0} {:>16.0} {:>8.2}x",
+            batch,
+            batches,
+            spawn_rate,
+            pool_rate,
+            pool_rate / spawn_rate
+        );
+    }
+
     println!();
     println!("Paper (V100 + 32 vCPUs): 1→4 threads scale throughput to ~40K tuples/s, after");
-    println!("which the GPU consumer is saturated.  On this single-core host the curve is");
-    println!("flat-to-slightly-decreasing; the interesting number is the absolute per-core");
-    println!("sampling rate, which bounds training cost exactly as in §7.4.");
+    println!("which the GPU consumer is saturated.  The pool-vs-spawn column is this");
+    println!("reproduction's addition: at training batch sizes (≤512) the fixed per-batch");
+    println!("thread spawn/join cost dominates and the persistent pool wins; at large");
+    println!("batches the two converge because sampling itself dominates.");
+}
+
+/// Highest tuples/second over `reps` runs of `work` drawing `tuples` tuples each.
+fn best_rate(reps: usize, tuples: usize, mut work: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            tuples as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Splits `total` into `chunk`-sized batches plus a remainder.
+fn batch_sizes(total: usize, chunk: usize) -> impl Iterator<Item = usize> {
+    let full = total / chunk;
+    let rem = total % chunk;
+    (0..full)
+        .map(move |_| chunk)
+        .chain(std::iter::once(rem).filter(|r| *r > 0))
 }

@@ -18,7 +18,7 @@ fn latency_quantiles(mut ms: Vec<f64>) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble("Figure 7d: inference latency CDF", &env.name, &config);
 

@@ -34,7 +34,7 @@ fn describe(env: &BenchEnv) -> (usize, u128, usize, usize) {
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     nc_bench::harness::print_preamble("Table 1: workload characteristics", "all", &config);
 
     println!(

@@ -21,7 +21,7 @@ use nc_workloads::{job_light_queries, job_light_ranges_queries, print_error_tabl
 use neurocard::NeuroCard;
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble("Table 2: JOB-light estimation errors", &env.name, &config);
 

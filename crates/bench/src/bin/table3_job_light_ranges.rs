@@ -13,7 +13,7 @@ use nc_workloads::{job_light_ranges_queries, print_error_table, ErrorTableRow};
 use neurocard::{NeuroCard, NeuroCardConfig};
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble(
         "Table 3: JOB-light-ranges estimation errors",

@@ -11,7 +11,7 @@ use nc_workloads::{job_m_queries, print_error_table, ErrorTableRow};
 use neurocard::NeuroCard;
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_m(&config);
     print_preamble("Table 4: JOB-M estimation errors", &env.name, &config);
 

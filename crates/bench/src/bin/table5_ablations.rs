@@ -42,7 +42,7 @@ fn print_row(label: &str, size: usize, p50: f64, p99: f64, paper: &str) {
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble(
         "Table 5: ablation studies (JOB-light-ranges)",

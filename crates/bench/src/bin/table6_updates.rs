@@ -39,7 +39,7 @@ fn eval(
 }
 
 fn main() {
-    let config = HarnessConfig::from_env();
+    let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble(
         "Table 6: update strategies (stale / fast update / retrain)",

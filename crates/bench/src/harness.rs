@@ -25,8 +25,15 @@ pub struct HarnessConfig {
     pub psamples: usize,
     /// Sample budget for the sampling-based baselines.
     pub baseline_samples: usize,
+    /// NeuroCard sampler pool threads.
+    pub sampler_threads: usize,
+    /// NeuroCard training prefetch depth (batches sampled ahead of training).
+    pub prefetch_depth: usize,
     /// Global seed.
     pub seed: u64,
+    /// Whether this is a `--smoke` run (tiny budgets; used by CI to execute, not just
+    /// compile, the experiment binaries).
+    pub smoke: bool,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -45,7 +52,25 @@ impl HarnessConfig {
             train_tuples: env_usize("NC_TRAIN_TUPLES", 30_000),
             psamples: env_usize("NC_PSAMPLES", 64),
             baseline_samples: env_usize("NC_SAMPLES_BASELINE", 4_000),
+            sampler_threads: env_usize("NC_SAMPLER_THREADS", 2),
+            prefetch_depth: env_usize("NC_PREFETCH", 1),
             seed: env_usize("NC_SEED", 42) as u64,
+            smoke: false,
+        }
+    }
+
+    /// Reads the environment configuration, then applies command-line flags: `--smoke`
+    /// switches to the [`HarnessConfig::tiny`] budgets so the binary finishes in seconds.
+    /// This is the entry point every experiment binary uses, and what CI invokes to
+    /// *run* (not merely compile) the benches.
+    pub fn from_cli() -> Self {
+        if std::env::args().skip(1).any(|a| a == "--smoke") {
+            HarnessConfig {
+                smoke: true,
+                ..Self::tiny()
+            }
+        } else {
+            Self::from_env()
         }
     }
 
@@ -57,7 +82,10 @@ impl HarnessConfig {
             train_tuples: 3_000,
             psamples: 32,
             baseline_samples: 800,
+            sampler_threads: 2,
+            prefetch_depth: 1,
             seed: 42,
+            smoke: false,
         }
     }
 
@@ -75,6 +103,8 @@ impl HarnessConfig {
         let mut cfg = NeuroCardConfig::default();
         cfg.training_tuples = self.train_tuples;
         cfg.progressive_samples = self.psamples;
+        cfg.sampler_threads = self.sampler_threads;
+        cfg.prefetch_depth = self.prefetch_depth;
         cfg.seed = self.seed;
         cfg
     }
@@ -167,8 +197,16 @@ pub fn print_preamble(experiment: &str, env_name: &str, config: &HarnessConfig) 
     println!("=== {experiment} ===");
     println!("workload: {env_name}");
     println!(
-        "scale: title_rows={} queries={} train_tuples={} psamples={} seed={}",
-        config.title_rows, config.queries, config.train_tuples, config.psamples, config.seed
+        "scale: title_rows={} queries={} train_tuples={} psamples={} sampler_threads={} \
+         prefetch={} seed={}{}",
+        config.title_rows,
+        config.queries,
+        config.train_tuples,
+        config.psamples,
+        config.sampler_threads,
+        config.prefetch_depth,
+        config.seed,
+        if config.smoke { " (smoke run)" } else { "" }
     );
     println!(
         "note: data is the synthetic IMDB substitute (see DESIGN.md §1); absolute numbers \
@@ -202,9 +240,16 @@ mod tests {
     fn env_parsing_defaults() {
         let c = HarnessConfig::from_env();
         assert!(c.title_rows > 0 && c.queries > 0);
+        assert!(c.sampler_threads > 0);
+        assert!(!c.smoke);
         let dg = c.datagen();
         assert_eq!(dg.title_rows, c.title_rows);
         let nc = c.neurocard();
         assert_eq!(nc.training_tuples, c.train_tuples);
+        assert_eq!(nc.sampler_threads, c.sampler_threads);
+        assert_eq!(nc.prefetch_depth, c.prefetch_depth);
+        // The test harness is not a smoke run, so from_cli falls back to the env path.
+        let cli = HarnessConfig::from_cli();
+        assert_eq!(cli.train_tuples, c.train_tuples);
     }
 }

@@ -15,7 +15,12 @@
 //! | `NC_TRAIN_TUPLES` | NeuroCard training tuples | 30000 |
 //! | `NC_PSAMPLES` | progressive samples per query | 64 |
 //! | `NC_SAMPLES_BASELINE` | per-query / per-template samples for IBJS, DeepDB-lite, uniform-sample baselines | 4000 |
+//! | `NC_SAMPLER_THREADS` | NeuroCard sampler pool worker threads | 2 |
+//! | `NC_PREFETCH` | training batches prefetched ahead of the one being trained on | 1 |
 //! | `NC_SEED` | global seed | 42 |
+//!
+//! Passing `--smoke` on the command line overrides everything with the tiny test budgets;
+//! CI uses it to execute the key binaries end-to-end rather than just compiling them.
 
 pub mod harness;
 

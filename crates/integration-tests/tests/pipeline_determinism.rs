@@ -1,0 +1,88 @@
+//! Cross-crate determinism contract of the pipelined training path: for a fixed
+//! `(seed, sampler_threads)` pair, the training sample stream — and therefore the trained
+//! model and its estimates — is identical at every prefetch depth, and the persistent
+//! [`SamplerPool`] reproduces the legacy one-shot [`sample_wide_batch_parallel`] wrapper
+//! exactly.
+
+use std::sync::Arc;
+
+use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+use nc_sampler::{
+    derive_stream_seed, sample_wide_batch_parallel, JoinSampler, SamplerPool, WideLayout,
+};
+use nc_schema::{Predicate, Query};
+use neurocard::{NeuroCard, NeuroCardConfig};
+
+fn job_light_env() -> (Arc<nc_storage::Database>, Arc<nc_schema::JoinSchema>) {
+    let datagen = DataGenConfig {
+        title_rows: 120,
+        ..DataGenConfig::tiny()
+    };
+    (
+        Arc::new(job_light_database(&datagen)),
+        Arc::new(job_light_schema()),
+    )
+}
+
+#[test]
+fn pool_reproduces_legacy_wrapper_on_job_light() {
+    let (db, schema) = job_light_env();
+    let sampler = Arc::new(JoinSampler::new(db.clone(), schema.clone()));
+    let layout = Arc::new(WideLayout::new(&db, &schema));
+    for threads in [1usize, 3] {
+        let pool = SamplerPool::new(sampler.clone(), layout.clone(), threads, 42, None);
+        let pooled = pool.submit_indexed(0, 300).wait().into_wide();
+        let legacy = sample_wide_batch_parallel(&sampler, &layout, 300, threads, 42);
+        assert_eq!(pooled, legacy, "threads={threads}");
+    }
+}
+
+#[test]
+fn prefetch_depth_never_changes_estimates() {
+    let (db, schema) = job_light_env();
+    let query = Query::join(&["title", "cast_info"]).filter(
+        "title",
+        "production_year",
+        Predicate::ge(2000i64),
+    );
+
+    let build = |depth: usize| {
+        let mut config = NeuroCardConfig::tiny();
+        config.training_tuples = 2_000;
+        config.sampler_threads = 2;
+        config.prefetch_depth = depth;
+        NeuroCard::build(db.clone(), schema.clone(), &config)
+    };
+
+    let base = build(0);
+    let base_bytes = base.model_bytes();
+    let base_estimate = base.estimate(&query);
+    for depth in [1usize, 2] {
+        let other = build(depth);
+        assert_eq!(
+            base_bytes,
+            other.model_bytes(),
+            "prefetch depth {depth} changed the trained model"
+        );
+        assert_eq!(
+            base_estimate,
+            other.estimate(&query),
+            "prefetch depth {depth} changed an estimate"
+        );
+    }
+}
+
+#[test]
+fn stream_seeds_distinct_across_training_scale_grid() {
+    // The trainer derives one stream per (batch, worker); a realistic training run's
+    // whole grid must be collision-free.
+    let mut seen = std::collections::HashSet::new();
+    for batch in 0..2_000u64 {
+        for worker in 0..8u64 {
+            assert!(
+                seen.insert(derive_stream_seed(42, batch, worker)),
+                "seed collision at batch={batch} worker={worker}"
+            );
+        }
+    }
+}

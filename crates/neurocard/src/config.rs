@@ -29,8 +29,16 @@ pub struct NeuroCardConfig {
     /// Number of progressive samples drawn per query at inference time (§7.2 uses 512; the
     /// synthetic workloads reach stable estimates with fewer).
     pub progressive_samples: usize,
-    /// Number of sampler threads used to produce training batches.
+    /// Number of sampler threads used to produce training batches.  Together with `seed`
+    /// this fixes the training sample stream exactly; see `prefetch_depth`.
     pub sampler_threads: usize,
+    /// Number of training batches the sampler pool keeps in flight *ahead* of the batch
+    /// currently being trained on (0 = no prefetch: sample, then train, strictly
+    /// alternating).  With depth ≥ 1 the pool samples and encodes batch `k+1` while the
+    /// model runs forward/backward on batch `k`.  The sample stream is a pure function of
+    /// `(seed, sampler_threads)`; the prefetch depth never changes training results, only
+    /// wall-clock overlap.
+    pub prefetch_depth: usize,
     /// Whether raw join-key columns are part of the learned tuple.  The paper's
     /// configurations leave them out: queries never filter them, the join semantics are
     /// carried entirely by the indicator/fanout virtual columns, and keys are the
@@ -54,6 +62,7 @@ impl Default for NeuroCardConfig {
             wildcard_skip_prob: 0.25,
             progressive_samples: 100,
             sampler_threads: 1,
+            prefetch_depth: 1,
             model_join_keys: false,
             seed: 42,
         }
@@ -74,6 +83,7 @@ impl NeuroCardConfig {
             wildcard_skip_prob: 0.25,
             progressive_samples: 50,
             sampler_threads: 1,
+            prefetch_depth: 1,
             model_join_keys: false,
             seed: 7,
         }
@@ -115,6 +125,9 @@ mod tests {
         assert!(c.training_tuples >= c.batch_size);
         assert!(c.fact_bits.unwrap() >= 4);
         assert!(c.wildcard_skip_prob > 0.0 && c.wildcard_skip_prob < 1.0);
+        assert!(c.sampler_threads >= 1);
+        // Depth 1 by default: sample/encode batch k+1 while batch k trains.
+        assert_eq!(c.prefetch_depth, 1);
     }
 
     #[test]

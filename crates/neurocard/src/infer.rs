@@ -199,14 +199,40 @@ impl<'a> ProgressiveSampler<'a> {
                     }
                     let digits: Vec<u32> = subcols.iter().map(|&j| tokens[s][j]).collect();
                     let value = self.encoded.decode_wide(wide_idx, &digits);
-                    let fanout = value.as_int().unwrap_or(1).max(1) as f64;
-                    fanout_div[s] *= fanout;
+                    fanout_div[s] *= fanout_multiplier(&value);
                 }
             }
         }
 
         let total: f64 = weights.iter().zip(&fanout_div).map(|(w, f)| w / f).sum();
         total / num_samples as f64
+    }
+}
+
+/// The downscaling factor a drawn fanout-column value contributes (Eq. 9 of the paper).
+///
+/// Fanout dictionaries are built from integer occurrence counts plus the NULL code, so a
+/// model draw decodes to either `Value::Int` or — when the model puts (untrained,
+/// near-zero) mass on the NULL token — `Value::Null`, which divides by 1 like the ⊥-row
+/// convention.  Any *other* value type means the wide index passed here was not a fanout
+/// column, i.e. an encoding-layout bug; the old `as_int().unwrap_or(1)` silently coerced
+/// that to fanout 1 and masked the bug, so it is now a debug assertion (with the same
+/// neutral fallback in release builds, where aborting an estimate would be worse than a
+/// conservative answer).
+fn fanout_multiplier(value: &Value) -> f64 {
+    match value {
+        Value::Null => 1.0,
+        other => match other.as_int() {
+            Some(f) => f.max(1) as f64,
+            None => {
+                debug_assert!(
+                    false,
+                    "fanout column decoded to non-integer {other:?}; the wide index does \
+                     not refer to a fanout column"
+                );
+                1.0
+            }
+        },
     }
 }
 
@@ -287,6 +313,27 @@ fn draw_range(probs: &[f32], lo: usize, hi: usize, rng: &mut StdRng) -> (f64, u3
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fanout_multiplier_handles_int_null_and_floor() {
+        assert_eq!(fanout_multiplier(&Value::Int(7)), 7.0);
+        // Fanouts below 1 (impossible in a well-formed dictionary, but cheap to floor)
+        // must never *inflate* the estimate through division.
+        assert_eq!(fanout_multiplier(&Value::Int(0)), 1.0);
+        assert_eq!(fanout_multiplier(&Value::Int(-3)), 1.0);
+        // The NULL token is reachable: FanoutDraw samples the model's full conditional,
+        // which includes the (untrained) NULL code.  It divides by 1, like ⊥ rows.
+        assert_eq!(fanout_multiplier(&Value::Null), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-integer")]
+    fn fanout_multiplier_rejects_non_integer_values() {
+        // Regression: `as_int().unwrap_or(1)` used to coerce a string — i.e. a wide index
+        // that is not a fanout column at all — to fanout 1, masking encoding bugs.
+        fanout_multiplier(&Value::from("oops"));
+    }
 
     #[test]
     fn intersect_rules() {

@@ -1,7 +1,14 @@
 //! Maximum-likelihood training of the autoregressive model on streamed join samples
 //! (paper §3.2 and §2.2: "repeatedly requesting batches of sampled tuples from the
 //! sampler").
+//!
+//! Training is pipelined (paper §4.1, Figure 7b): a persistent [`SamplerPool`] samples
+//! *and encodes* batch `k+1` on its worker threads while the trainer thread runs
+//! forward/backward on batch `k`.  The sample stream is a pure function of
+//! `(seed, sampler_threads)` — the prefetch depth changes only wall-clock overlap, never
+//! results (see [`nc_sampler::pool`] for the determinism contract).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,8 +16,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use nc_nn::{Adam, AdamConfig, ResMade};
-use nc_sampler::{sample_wide_batch_parallel, BiasedSampler, JoinSampler, WideLayout};
-use nc_storage::{Database, Value};
+use nc_sampler::{
+    derive_stream_seed, BatchEncoder, BatchTicket, BiasedSampler, JoinSampler, SamplerPool,
+};
+use nc_storage::Database;
 
 use crate::config::NeuroCardConfig;
 use crate::encoding::EncodedLayout;
@@ -24,27 +33,6 @@ pub enum TrainingSource {
 }
 
 impl TrainingSource {
-    /// Draws `n` wide-layout tuples.
-    pub fn sample_batch(
-        &self,
-        db: &Database,
-        layout: &WideLayout,
-        n: usize,
-        threads: usize,
-        seed: u64,
-    ) -> Vec<Vec<Value>> {
-        match self {
-            TrainingSource::Unbiased(sampler) => {
-                sample_wide_batch_parallel(sampler, layout, n, threads, seed)
-            }
-            TrainingSource::Biased(sampler) => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let samples = sampler.sample_many(&mut rng, n);
-                layout.materialize_batch(db, &samples)
-            }
-        }
-    }
-
     /// `|J|` if known (the biased sampler has no principled normalising constant, so the
     /// caller must compute it separately via [`nc_sampler::JoinCounts`]).
     pub fn full_join_rows(&self) -> Option<u128> {
@@ -56,20 +44,40 @@ impl TrainingSource {
 }
 
 /// Progress statistics of a training run.
+///
+/// When a call trains zero batches (`train_tuples(0)`), `batches == 0` and both losses
+/// are `0.0` — callers must check `batches` before interpreting the losses.
 #[derive(Debug, Clone)]
 pub struct TrainProgress {
     /// Tuples consumed by this call.
     pub tuples: usize,
     /// Mini-batches processed.
     pub batches: usize,
-    /// Mean negative log-likelihood (nats/tuple) of the first processed batch.
+    /// Mean negative log-likelihood (nats/tuple) of the first processed batch; `0.0` if
+    /// no batch ran.
     pub first_loss: f32,
-    /// Mean negative log-likelihood of the last processed batch.
+    /// Mean negative log-likelihood of the last processed batch; `0.0` if no batch ran.
     pub last_loss: f32,
-    /// Wall-clock time spent sampling training data.
+    /// Wall-clock time the trainer thread spent waiting on sampled-and-encoded batches.
+    /// With prefetching this is only the *stall* time not hidden behind compute, so
+    /// `sampling_time + training_time` is the pipeline's critical path, not the total
+    /// sampling work.
     pub sampling_time: Duration,
     /// Wall-clock time spent in forward/backward/optimizer work.
     pub training_time: Duration,
+}
+
+impl TrainProgress {
+    fn empty(tuples: usize) -> Self {
+        TrainProgress {
+            tuples,
+            batches: 0,
+            first_loss: 0.0,
+            last_loss: 0.0,
+            sampling_time: Duration::ZERO,
+            training_time: Duration::ZERO,
+        }
+    }
 }
 
 /// Streams batches from a [`TrainingSource`] into a [`ResMade`] model.
@@ -82,7 +90,12 @@ pub struct Trainer {
     rng: StdRng,
     config: NeuroCardConfig,
     tuples_trained: usize,
-    batch_seed: u64,
+    /// Monotonic batch index; together with `config.seed` it determines every batch's
+    /// RNG streams, across `train_tuples` calls and source swaps.
+    batch_counter: u64,
+    /// Persistent sampling workers (unbiased sources only; the biased ablation sampler
+    /// stays on the serial path).
+    pool: Option<SamplerPool>,
 }
 
 impl Trainer {
@@ -108,16 +121,38 @@ impl Trainer {
             &model.params(),
         );
         let rng = StdRng::seed_from_u64(config.seed ^ 0x7261_696E);
-        Trainer {
+        let mut trainer = Trainer {
             db,
             encoded,
             source,
             model,
             optimizer,
             rng,
-            batch_seed: config.seed,
             config,
             tuples_trained: 0,
+            batch_counter: 0,
+            pool: None,
+        };
+        trainer.pool = trainer.make_pool();
+        trainer
+    }
+
+    /// Builds the persistent sampler pool for the current source, with token encoding
+    /// moved behind the pool boundary so it overlaps the trainer's compute.
+    fn make_pool(&self) -> Option<SamplerPool> {
+        match &self.source {
+            TrainingSource::Unbiased(sampler) => {
+                let encoded = self.encoded.clone();
+                let encoder: BatchEncoder = Arc::new(move |rows| encoded.encode_batch(rows));
+                Some(SamplerPool::new(
+                    Arc::new(sampler.clone()),
+                    Arc::new(self.encoded.layout().clone()),
+                    self.config.sampler_threads,
+                    self.config.seed,
+                    Some(encoder),
+                ))
+            }
+            TrainingSource::Biased(_) => None,
         }
     }
 
@@ -142,81 +177,128 @@ impl Trainer {
     }
 
     /// Replaces the training source (used by the update strategies of §7.6: after a new
-    /// partition is ingested, fresh samples must come from the new snapshot).
+    /// partition is ingested, fresh samples must come from the new snapshot).  The worker
+    /// pool is rebuilt over the new source; the batch counter keeps advancing, so streams
+    /// never repeat across the swap.
     pub fn set_source(&mut self, source: TrainingSource) {
+        // Drop the old pool before building the new one so its workers exit first.
+        self.pool = None;
         self.source = source;
+        self.pool = self.make_pool();
     }
 
     /// Streams `tuples` training tuples through the model (maximum-likelihood steps with
     /// wildcard skipping) and returns progress statistics.
+    ///
+    /// With an unbiased source, sampling and encoding run on the persistent worker pool
+    /// with `config.prefetch_depth` batches kept in flight ahead of the one being trained
+    /// on; the biased ablation source samples serially on the trainer thread.
     pub fn train_tuples(&mut self, tuples: usize) -> TrainProgress {
+        let mut progress = TrainProgress::empty(tuples);
+        if tuples == 0 {
+            return progress;
+        }
+        // The per-batch sizes, planned up front so tickets can be submitted ahead.
         let batch_size = self.config.batch_size.max(1);
-        let mut remaining = tuples;
-        let mut batches = 0usize;
-        let mut first_loss = f32::NAN;
-        let mut last_loss = f32::NAN;
-        let mut sampling_time = Duration::ZERO;
-        let mut training_time = Duration::ZERO;
+        let full = tuples / batch_size;
+        let mut sizes = vec![batch_size; full];
+        if tuples % batch_size > 0 {
+            sizes.push(tuples % batch_size);
+        }
+        if self.pool.is_some() {
+            self.train_pipelined(&sizes, &mut progress);
+        } else {
+            self.train_serial(&sizes, &mut progress);
+        }
+        progress
+    }
 
-        while remaining > 0 {
-            let n = remaining.min(batch_size);
-            remaining -= n;
-            self.batch_seed = self.batch_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-
+    /// Pipelined path: the pool samples and encodes up to `prefetch_depth + 1` batches
+    /// while the trainer thread consumes them in submission order.
+    fn train_pipelined(&mut self, sizes: &[usize], progress: &mut TrainProgress) {
+        let depth = self.config.prefetch_depth;
+        let mut pending: VecDeque<BatchTicket> = VecDeque::new();
+        let mut next = 0usize;
+        for &n in sizes {
+            while pending.len() <= depth && next < sizes.len() {
+                let pool = self.pool.as_ref().expect("pipelined path has a pool");
+                pending.push_back(pool.submit_indexed(self.batch_counter, sizes[next]));
+                self.batch_counter += 1;
+                next += 1;
+            }
+            let ticket = pending.pop_front().expect("a ticket is always in flight");
             let t0 = Instant::now();
-            let wide_rows = self.source.sample_batch(
-                &self.db,
-                self.encoded.layout(),
-                n,
-                self.config.sampler_threads,
-                self.batch_seed,
-            );
-            sampling_time += t0.elapsed();
+            let targets = ticket.wait().into_encoded();
+            progress.sampling_time += t0.elapsed();
 
             let t1 = Instant::now();
-            let targets = self.encoded.encode_batch(&wide_rows);
-            // Wildcard skipping: most batches use the varied-rate scheme (covering heavily
-            // masked inputs, which is what low-filter queries condition on at inference
-            // time); the rest use the configured fixed rate so lightly-masked inputs stay
-            // well represented too.
-            let inputs = if self.rng.random::<f32>() < 0.75 {
-                self.model
-                    .apply_wildcard_skipping_varied(&targets, &mut self.rng)
-            } else {
-                self.model.apply_wildcard_skipping(
-                    &targets,
-                    self.config.wildcard_skip_prob,
-                    &mut self.rng,
-                )
+            let loss = self.train_step(&targets);
+            progress.training_time += t1.elapsed();
+            self.record_batch(progress, loss, n);
+        }
+    }
+
+    /// Serial path (biased ablation source only — unbiased sources always train through
+    /// the pool): sample, encode and train strictly alternating on the trainer thread.
+    fn train_serial(&mut self, sizes: &[usize], progress: &mut TrainProgress) {
+        for &n in sizes {
+            let seed = derive_stream_seed(self.config.seed, self.batch_counter, 0);
+            self.batch_counter += 1;
+
+            let t0 = Instant::now();
+            let TrainingSource::Biased(sampler) = &self.source else {
+                unreachable!("unbiased sources train on the pool path")
             };
-            let loss = self.model.forward_backward(&inputs, &targets);
-            self.optimizer.step(&mut self.model.params_mut());
-            training_time += t1.elapsed();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = sampler.sample_many(&mut rng, n);
+            let wide_rows = self.encoded.layout().materialize_batch(&self.db, &samples);
+            let targets = self.encoded.encode_batch(&wide_rows);
+            progress.sampling_time += t0.elapsed();
 
-            if batches == 0 {
-                first_loss = loss;
-            }
-            last_loss = loss;
-            batches += 1;
-            self.tuples_trained += n;
+            let t1 = Instant::now();
+            let loss = self.train_step(&targets);
+            progress.training_time += t1.elapsed();
+            self.record_batch(progress, loss, n);
         }
+    }
 
-        TrainProgress {
-            tuples,
-            batches,
-            first_loss,
-            last_loss,
-            sampling_time,
-            training_time,
+    /// One maximum-likelihood step over an encoded batch.
+    fn train_step(&mut self, targets: &[Vec<u32>]) -> f32 {
+        // Wildcard skipping: most batches use the varied-rate scheme (covering heavily
+        // masked inputs, which is what low-filter queries condition on at inference
+        // time); the rest use the configured fixed rate so lightly-masked inputs stay
+        // well represented too.
+        let inputs = if self.rng.random::<f32>() < 0.75 {
+            self.model
+                .apply_wildcard_skipping_varied(targets, &mut self.rng)
+        } else {
+            self.model.apply_wildcard_skipping(
+                targets,
+                self.config.wildcard_skip_prob,
+                &mut self.rng,
+            )
+        };
+        let loss = self.model.forward_backward(&inputs, targets);
+        self.optimizer.step(&mut self.model.params_mut());
+        loss
+    }
+
+    fn record_batch(&mut self, progress: &mut TrainProgress, loss: f32, n: usize) {
+        if progress.batches == 0 {
+            progress.first_loss = loss;
         }
+        progress.last_loss = loss;
+        progress.batches += 1;
+        self.tuples_trained += n;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nc_sampler::WideLayout;
     use nc_schema::{JoinEdge, JoinSchema};
-    use nc_storage::TableBuilder;
+    use nc_storage::{TableBuilder, Value};
 
     fn tiny() -> (Arc<Database>, Arc<JoinSchema>) {
         let mut db = Database::new();
@@ -287,5 +369,91 @@ mod tests {
         let p2 = trainer.train_tuples(200);
         assert!(p2.last_loss.is_finite());
         assert_eq!(trainer.tuples_trained(), 700);
+    }
+
+    #[test]
+    fn zero_tuples_returns_zeroed_progress() {
+        let (db, schema) = tiny();
+        let enc = encoded(&db, &schema);
+        let sampler = JoinSampler::new(db.clone(), schema.clone());
+        let mut trainer = Trainer::new(
+            db.clone(),
+            enc,
+            TrainingSource::Unbiased(sampler),
+            NeuroCardConfig::tiny(),
+        );
+        let progress = trainer.train_tuples(0);
+        assert_eq!(progress.tuples, 0);
+        assert_eq!(progress.batches, 0);
+        assert_eq!(progress.first_loss, 0.0);
+        assert_eq!(progress.last_loss, 0.0);
+        assert_eq!(progress.sampling_time, Duration::ZERO);
+        assert_eq!(progress.training_time, Duration::ZERO);
+        assert_eq!(trainer.tuples_trained(), 0);
+        // A later real call is unaffected.
+        let p = trainer.train_tuples(128);
+        assert_eq!(p.batches, 2);
+        assert!(p.first_loss.is_finite() && p.first_loss != 0.0);
+    }
+
+    fn train_model_bytes(threads: usize, depth: usize, tuples: usize) -> bytes::Bytes {
+        let (db, schema) = tiny();
+        let enc = encoded(&db, &schema);
+        let sampler = JoinSampler::new(db.clone(), schema.clone());
+        let mut config = NeuroCardConfig::tiny();
+        config.sampler_threads = threads;
+        config.prefetch_depth = depth;
+        let mut trainer = Trainer::new(db, enc, TrainingSource::Unbiased(sampler), config);
+        trainer.train_tuples(tuples);
+        nc_nn::serialize::model_to_bytes(&trainer.into_model())
+    }
+
+    #[test]
+    fn prefetch_depth_never_changes_the_trained_model() {
+        // The determinism contract: (seed, threads) fixes the sample stream, so training
+        // with prefetch depths 0, 1 and 2 must produce bit-identical models.
+        let base = train_model_bytes(2, 0, 600);
+        for depth in [1usize, 2, 5] {
+            assert_eq!(
+                base,
+                train_model_bytes(2, depth, 600),
+                "prefetch depth {depth} changed the trained model"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_is_part_of_the_stream_contract() {
+        // Different worker counts chunk batches differently, so they are *allowed* to
+        // produce different streams — and in practice do.
+        let one = train_model_bytes(1, 1, 600);
+        let two = train_model_bytes(2, 1, 600);
+        assert_ne!(one, two);
+        // But each is reproducible.
+        assert_eq!(two, train_model_bytes(2, 1, 600));
+    }
+
+    #[test]
+    fn multiple_train_calls_continue_the_stream() {
+        // 600 tuples in one call == 300 + 300 in two calls: the batch counter persists.
+        let (db, schema) = tiny();
+        let enc = encoded(&db, &schema);
+        let mk = |db: &Arc<Database>, schema: &Arc<JoinSchema>| {
+            Trainer::new(
+                db.clone(),
+                enc.clone(),
+                TrainingSource::Unbiased(JoinSampler::new(db.clone(), schema.clone())),
+                NeuroCardConfig::tiny(),
+            )
+        };
+        let mut once = mk(&db, &schema);
+        once.train_tuples(640);
+        let mut twice = mk(&db, &schema);
+        twice.train_tuples(320);
+        twice.train_tuples(320);
+        assert_eq!(
+            nc_nn::serialize::model_to_bytes(once.model()),
+            nc_nn::serialize::model_to_bytes(twice.model())
+        );
     }
 }

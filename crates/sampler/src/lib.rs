@@ -16,19 +16,25 @@
 //! 3. [`wide`] — sampled assignments are materialised into "wide tuples" over the full-join
 //!    column layout, including the paper's two kinds of *virtual columns*: per-table
 //!    indicators `1_T` and per-join-key fanouts `F_{T.k}` (§6),
-//! 4. [`parallel`] — sampling is embarrassingly parallel; a small helper fans batches out
-//!    over threads (Figure 7b),
-//! 5. [`biased`] — an intentionally *biased* IBJS-style sampler used only by the ablation
+//! 4. [`pool`] — sampling is embarrassingly parallel; a persistent worker pool keeps
+//!    long-lived threads fed over channels so the training loop can prefetch batches
+//!    (Figure 7b).  [`parallel`] is the legacy one-shot wrapper over the pool,
+//! 5. [`seed`] — deterministic SplitMix64 derivation of per-`(batch, worker)` RNG streams,
+//! 6. [`biased`] — an intentionally *biased* IBJS-style sampler used only by the ablation
 //!    study (Table 5, row A).
 
 pub mod biased;
 pub mod join_counts;
 pub mod parallel;
+pub mod pool;
 pub mod sampler;
+pub mod seed;
 pub mod wide;
 
 pub use biased::BiasedSampler;
 pub use join_counts::JoinCounts;
 pub use parallel::sample_wide_batch_parallel;
+pub use pool::{BatchEncoder, BatchTicket, PoolBatch, SamplerPool};
 pub use sampler::{JoinSample, JoinSampler};
+pub use seed::derive_stream_seed;
 pub use wide::{ColumnKind, WideColumn, WideLayout};

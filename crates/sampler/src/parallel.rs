@@ -1,22 +1,27 @@
 //! Parallel batch sampling (paper §4.1, "Parallel sampling"; evaluated in Figure 7b).
 //!
-//! Once the join count tables are computed, sampling threads only read shared state, so
-//! producing a training batch parallelises trivially.  Each thread gets an independent,
-//! deterministically derived PRNG stream; the result is the concatenation of the per-thread
-//! batches, so the output is reproducible for a fixed `(seed, threads)` pair.
+//! This is the legacy one-shot entry point: it spawns scoped threads per call — the
+//! spawn-per-batch scheme the persistent [`crate::pool::SamplerPool`] exists to replace —
+//! but shares the pool's chunking ([`crate::pool::chunk_quotas`]) and stream derivation
+//! ([`derive_stream_seed`] over `(seed, batch 0, worker)`), so its output is identical to
+//! `pool.submit_indexed(0, n)` for the same `(seed, threads)`.  Callers with more than
+//! one batch to draw should hold a [`crate::pool::SamplerPool`] instead.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nc_storage::Value;
 
+use crate::pool::chunk_quotas;
 use crate::sampler::JoinSampler;
+use crate::seed::derive_stream_seed;
 use crate::wide::WideLayout;
 
 /// Draws `n` wide-layout tuples using `threads` sampling threads.
 ///
 /// The sampler and layout are shared read-only across threads (the join counts are behind
-/// an `Arc`).  With `threads == 1` this is equivalent to sequential sampling.
+/// an `Arc`).  With `threads == 1` this is equivalent to sequential sampling; the result
+/// for any `threads` equals the corresponding [`crate::pool::SamplerPool`] batch `0`.
 pub fn sample_wide_batch_parallel(
     sampler: &JoinSampler,
     layout: &WideLayout,
@@ -25,28 +30,24 @@ pub fn sample_wide_batch_parallel(
     seed: u64,
 ) -> Vec<Vec<Value>> {
     let threads = threads.max(1);
-    if threads == 1 || n < threads * 4 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let samples = sampler.sample_many(&mut rng, n);
-        return layout.materialize_batch(sampler.database(), samples.as_slice());
+    let chunk = |worker: u64, quota: usize| {
+        let mut rng = StdRng::seed_from_u64(derive_stream_seed(seed, 0, worker));
+        let samples = sampler.sample_many(&mut rng, quota);
+        layout.materialize_batch(sampler.database(), &samples)
+    };
+    if threads == 1 {
+        // Sequential fast path: exactly worker 0's stream for batch 0.
+        return chunk(0, n);
     }
-
-    let per_thread = n / threads;
-    let remainder = n % threads;
     let mut out: Vec<Vec<Vec<Value>>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let quota = per_thread + usize::from(t < remainder);
-            let sampler_ref = &*sampler;
-            let layout_ref = &*layout;
-            handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(t as u64 + 1),
-                );
-                let samples = sampler_ref.sample_many(&mut rng, quota);
-                layout_ref.materialize_batch(sampler_ref.database(), &samples)
-            }));
+        for (worker, quota) in chunk_quotas(n, threads).enumerate() {
+            if quota == 0 {
+                continue;
+            }
+            let chunk = &chunk;
+            handles.push(scope.spawn(move || chunk(worker as u64, quota)));
         }
         for h in handles {
             out.push(h.join().expect("sampling thread panicked"));
@@ -110,7 +111,24 @@ mod tests {
     }
 
     #[test]
-    fn small_requests_fall_back_to_sequential() {
+    fn single_thread_fast_path_matches_pool_chunking() {
+        use crate::pool::SamplerPool;
+        let (db, schema) = tiny();
+        let sampler = JoinSampler::new(db.clone(), schema.clone());
+        let layout = WideLayout::new(&db, &schema);
+        let seq = sample_wide_batch_parallel(&sampler, &layout, 64, 1, 5);
+        let pool = SamplerPool::new(
+            Arc::new(sampler.clone()),
+            Arc::new(layout.clone()),
+            1,
+            5,
+            None,
+        );
+        assert_eq!(seq, pool.submit_indexed(0, 64).wait().into_wide());
+    }
+
+    #[test]
+    fn small_requests_still_return_requested_size() {
         let (db, schema) = tiny();
         let sampler = JoinSampler::new(db.clone(), schema.clone());
         let layout = WideLayout::new(&db, &schema);

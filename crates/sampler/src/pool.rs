@@ -1,0 +1,402 @@
+//! Persistent sampling worker pool (paper §4.1, "Parallel sampling"; Figure 7b).
+//!
+//! Training cost is dominated by repeatedly requesting batches of sampled tuples (§2.2),
+//! and spawning OS threads per batch — what [`crate::sample_wide_batch_parallel`] did
+//! originally — wastes a fixed spawn/join cost on every batch.  [`SamplerPool`] keeps
+//! `threads` long-lived workers fed over channels instead: a batch request is split into
+//! one chunk per worker, each worker samples (and optionally encodes) its chunk with a
+//! private RNG stream, and the chunks are reassembled in worker order.
+//!
+//! # Determinism contract
+//!
+//! Worker `t`'s stream for batch `b` is seeded with
+//! [`derive_stream_seed`]`(seed, b, t)` and its chunk size is a pure function of
+//! `(n, threads)`, so the assembled batch depends only on `(seed, threads, b, n)` — not on
+//! scheduling, the number of batches in flight, or whether the caller prefetches.  A fixed
+//! `(seed, threads)` pair therefore yields an identical sample stream at any prefetch
+//! depth, and [`crate::sample_wide_batch_parallel`] (a thin wrapper over this module's
+//! chunking) produces exactly the pool's batch `0` for the same arguments.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nc_storage::Value;
+
+use crate::sampler::JoinSampler;
+use crate::seed::derive_stream_seed;
+use crate::wide::WideLayout;
+
+/// Post-processing a worker applies to its materialised chunk before handing it back —
+/// in practice token encoding, so that encoding overlaps the consumer's compute.
+pub type BatchEncoder = Arc<dyn Fn(&[Vec<Value>]) -> Vec<Vec<u32>> + Send + Sync>;
+
+/// A completed batch: wide rows, or encoded tokens when the pool has an encoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolBatch {
+    /// Materialised wide-layout rows (pool built without an encoder).
+    Wide(Vec<Vec<Value>>),
+    /// Token-encoded rows (pool built with an encoder).
+    Encoded(Vec<Vec<u32>>),
+}
+
+impl PoolBatch {
+    /// Unwraps the wide rows; panics if the pool encoded the batch.
+    pub fn into_wide(self) -> Vec<Vec<Value>> {
+        match self {
+            PoolBatch::Wide(rows) => rows,
+            PoolBatch::Encoded(_) => panic!("pool was built with an encoder; batch is encoded"),
+        }
+    }
+
+    /// Unwraps the encoded tokens; panics if the pool did not encode.
+    pub fn into_encoded(self) -> Vec<Vec<u32>> {
+        match self {
+            PoolBatch::Encoded(tokens) => tokens,
+            PoolBatch::Wide(_) => panic!("pool was built without an encoder; batch is wide"),
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            PoolBatch::Wide(rows) => rows.len(),
+            PoolBatch::Encoded(tokens) => tokens.len(),
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum ChunkPayload {
+    Wide(Vec<Vec<Value>>),
+    Encoded(Vec<Vec<u32>>),
+}
+
+struct Job {
+    quota: usize,
+    stream_seed: u64,
+    reply: Sender<(usize, ChunkPayload)>,
+}
+
+/// Handle to one in-flight batch; [`BatchTicket::wait`] blocks until every worker chunk
+/// has arrived and assembles them in worker order.
+pub struct BatchTicket {
+    batch_index: u64,
+    expected: usize,
+    encoded: bool,
+    rx: Receiver<(usize, ChunkPayload)>,
+}
+
+impl BatchTicket {
+    /// The batch index this ticket was submitted under.
+    pub fn batch_index(&self) -> u64 {
+        self.batch_index
+    }
+
+    /// Blocks until the batch is complete and returns it.
+    ///
+    /// Chunks are reassembled in worker order regardless of completion order, so the
+    /// result is independent of scheduling.
+    pub fn wait(self) -> PoolBatch {
+        let mut chunks: Vec<Option<ChunkPayload>> = Vec::new();
+        chunks.resize_with(self.expected, || None);
+        for _ in 0..self.expected {
+            let (worker, payload) = self
+                .rx
+                .recv()
+                .expect("sampler pool worker dropped a chunk (worker panicked?)");
+            chunks[worker] = Some(payload);
+        }
+        if self.encoded {
+            let mut out = Vec::new();
+            for c in chunks {
+                match c.expect("all chunks received") {
+                    ChunkPayload::Encoded(tokens) => out.extend(tokens),
+                    ChunkPayload::Wide(_) => unreachable!("encoder pool produced wide chunk"),
+                }
+            }
+            PoolBatch::Encoded(out)
+        } else {
+            let mut out = Vec::new();
+            for c in chunks {
+                match c.expect("all chunks received") {
+                    ChunkPayload::Wide(rows) => out.extend(rows),
+                    ChunkPayload::Encoded(_) => unreachable!("plain pool produced encoded chunk"),
+                }
+            }
+            PoolBatch::Wide(out)
+        }
+    }
+}
+
+/// A persistent pool of sampling workers over one `(sampler, layout)` pair.
+///
+/// Workers live until the pool is dropped; queued jobs are drained before the workers
+/// exit, so tickets submitted before the drop remain waitable.
+pub struct SamplerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    seed: u64,
+    encoded: bool,
+}
+
+impl SamplerPool {
+    /// Spawns `threads` workers sharing `sampler`/`layout`, with streams rooted at `seed`.
+    ///
+    /// When `encoder` is provided, workers encode their chunk after materialising it and
+    /// the pool yields [`PoolBatch::Encoded`] batches.
+    pub fn new(
+        sampler: Arc<JoinSampler>,
+        layout: Arc<WideLayout>,
+        threads: usize,
+        seed: u64,
+        encoder: Option<BatchEncoder>,
+    ) -> Self {
+        let threads = threads.max(1);
+        let encoded = encoder.is_some();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let (tx, rx) = channel::<Job>();
+            let sampler = sampler.clone();
+            let layout = layout.clone();
+            let encoder = encoder.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(worker, rx, &sampler, &layout, encoder.as_deref())
+            }));
+            senders.push(tx);
+        }
+        SamplerPool {
+            senders,
+            handles,
+            seed,
+            encoded,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submits a batch under an explicit batch index.  Callers own the batch numbering
+    /// (the trainer's counter persists across pool rebuilds on source swaps), so the pool
+    /// deliberately keeps no sequencing state of its own.
+    ///
+    /// The result depends only on `(seed, threads, batch_index, n)`; submitting the same
+    /// index twice reproduces the same batch.
+    pub fn submit_indexed(&self, batch_index: u64, n: usize) -> BatchTicket {
+        let (reply_tx, reply_rx) = channel();
+        let mut expected = 0usize;
+        for (worker, quota) in chunk_quotas(n, self.threads()).enumerate() {
+            if quota == 0 {
+                continue;
+            }
+            self.senders[worker]
+                .send(Job {
+                    quota,
+                    stream_seed: derive_stream_seed(self.seed, batch_index, worker as u64),
+                    reply: reply_tx.clone(),
+                })
+                .expect("sampler pool worker exited while pool is alive");
+            expected += 1;
+        }
+        // Quotas are front-loaded, so the workers that received a job are exactly
+        // 0..expected and chunk assembly can index by raw worker id.
+        BatchTicket {
+            batch_index,
+            expected,
+            encoded: self.encoded,
+            rx: reply_rx,
+        }
+    }
+}
+
+impl Drop for SamplerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets each worker drain its queue and exit.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-worker chunk sizes for a batch of `n` rows over `threads` workers: `n / threads`
+/// each, with the remainder spread over the first workers (front-loaded, so zero quotas
+/// can only trail).  Shared with the legacy spawn-per-batch wrapper so both produce the
+/// same chunking.
+pub(crate) fn chunk_quotas(n: usize, threads: usize) -> impl Iterator<Item = usize> {
+    let per = n / threads;
+    let rem = n % threads;
+    (0..threads).map(move |t| per + usize::from(t < rem))
+}
+
+fn worker_loop(
+    worker: usize,
+    rx: Receiver<Job>,
+    sampler: &JoinSampler,
+    layout: &WideLayout,
+    encoder: Option<&(dyn Fn(&[Vec<Value>]) -> Vec<Vec<u32>> + Send + Sync)>,
+) {
+    // `recv` keeps returning queued jobs after the pool drops its senders, so in-flight
+    // tickets stay waitable during shutdown.
+    while let Ok(job) = rx.recv() {
+        let mut rng = StdRng::seed_from_u64(job.stream_seed);
+        let samples = sampler.sample_many(&mut rng, job.quota);
+        let rows = layout.materialize_batch(sampler.database(), &samples);
+        let payload = match encoder {
+            Some(enc) => ChunkPayload::Encoded(enc(&rows)),
+            None => ChunkPayload::Wide(rows),
+        };
+        // The ticket may have been dropped without waiting; that is not an error.
+        let _ = job.reply.send((worker, payload));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::sample_wide_batch_parallel;
+    use nc_schema::{JoinEdge, JoinSchema};
+    use nc_storage::{Database, TableBuilder};
+
+    fn tiny() -> (Arc<JoinSampler>, Arc<WideLayout>) {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "v"]);
+        for i in 0..25 {
+            a.push_row(vec![Value::Int(i % 5), Value::Int(i)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "w"]);
+        for i in 0..40 {
+            b.push_row(vec![Value::Int(i % 7), Value::Int(i * 10)]);
+        }
+        db.add_table(b.finish());
+        let schema = Arc::new(
+            JoinSchema::new(
+                vec!["A".into(), "B".into()],
+                vec![JoinEdge::parse("A.x", "B.x")],
+                "A",
+            )
+            .unwrap(),
+        );
+        let db = Arc::new(db);
+        let layout = Arc::new(WideLayout::new(&db, &schema));
+        let sampler = Arc::new(JoinSampler::new(db, schema));
+        (sampler, layout)
+    }
+
+    #[test]
+    fn pool_batches_are_deterministic_per_index() {
+        let (sampler, layout) = tiny();
+        let pool = SamplerPool::new(sampler, layout, 3, 11, None);
+        let a = pool.submit_indexed(4, 100).wait().into_wide();
+        let b = pool.submit_indexed(4, 100).wait().into_wide();
+        assert_eq!(a, b);
+        let c = pool.submit_indexed(5, 100).wait().into_wide();
+        assert_ne!(a, c, "distinct batch indices must give distinct batches");
+    }
+
+    #[test]
+    fn pool_matches_legacy_wrapper_at_batch_zero() {
+        let (sampler, layout) = tiny();
+        for threads in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 3, 64, 257] {
+                let pool = SamplerPool::new(sampler.clone(), layout.clone(), threads, 9, None);
+                let pooled = pool.submit_indexed(0, n).wait().into_wide();
+                let legacy = sample_wide_batch_parallel(&sampler, &layout, n, threads, 9);
+                assert_eq!(pooled, legacy, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_flight_depth_does_not_change_results() {
+        let (sampler, layout) = tiny();
+        // Serial: submit, wait, submit, wait ...
+        let pool = SamplerPool::new(sampler.clone(), layout.clone(), 2, 21, None);
+        let serial: Vec<_> = (0..6u64)
+            .map(|b| pool.submit_indexed(b, 33).wait().into_wide())
+            .collect();
+        // Pipelined: all six in flight at once, waited in order.
+        let pool2 = SamplerPool::new(sampler, layout, 2, 21, None);
+        let tickets: Vec<_> = (0..6u64).map(|b| pool2.submit_indexed(b, 33)).collect();
+        let pipelined: Vec<_> = tickets.into_iter().map(|t| t.wait().into_wide()).collect();
+        assert_eq!(serial, pipelined);
+    }
+
+    #[test]
+    fn tickets_carry_their_batch_index() {
+        let (sampler, layout) = tiny();
+        let pool = SamplerPool::new(sampler, layout, 2, 3, None);
+        let t0 = pool.submit_indexed(0, 10);
+        let t1 = pool.submit_indexed(1, 10);
+        assert_eq!(t0.batch_index(), 0);
+        assert_eq!(t1.batch_index(), 1);
+        assert_ne!(t0.wait().into_wide(), t1.wait().into_wide());
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn encoder_runs_inside_workers() {
+        let (sampler, layout) = tiny();
+        let width = layout.len();
+        // A stand-in encoder: row -> [row length] per row.
+        let encoder: BatchEncoder =
+            Arc::new(move |rows| rows.iter().map(|r| vec![r.len() as u32]).collect());
+        let pool = SamplerPool::new(sampler, layout, 3, 5, Some(encoder));
+        let tokens = pool.submit_indexed(0, 50).wait().into_encoded();
+        assert_eq!(tokens.len(), 50);
+        assert!(tokens.iter().all(|t| t == &vec![width as u32]));
+    }
+
+    #[test]
+    #[should_panic(expected = "built with an encoder")]
+    fn wide_unwrap_of_encoded_batch_panics() {
+        let (sampler, layout) = tiny();
+        let encoder: BatchEncoder = Arc::new(|rows| rows.iter().map(|_| vec![0]).collect());
+        let pool = SamplerPool::new(sampler, layout, 1, 5, Some(encoder));
+        pool.submit_indexed(0, 2).wait().into_wide();
+    }
+
+    #[test]
+    fn tickets_survive_pool_shutdown() {
+        let (sampler, layout) = tiny();
+        let pool = SamplerPool::new(sampler.clone(), layout.clone(), 2, 17, None);
+        let expect = pool.submit_indexed(0, 40).wait().into_wide();
+        let ticket = pool.submit_indexed(0, 40);
+        drop(pool); // joins workers; queued job must be drained first
+        assert_eq!(ticket.wait().into_wide(), expect);
+    }
+
+    #[test]
+    fn dropping_unwaited_tickets_does_not_hang_shutdown() {
+        let (sampler, layout) = tiny();
+        let pool = SamplerPool::new(sampler, layout, 4, 1, None);
+        for b in 0..8u64 {
+            drop(pool.submit_indexed(b, 16));
+        }
+        drop(pool); // must not deadlock or panic
+    }
+
+    #[test]
+    fn zero_and_tiny_batches() {
+        let (sampler, layout) = tiny();
+        let pool = SamplerPool::new(sampler, layout, 8, 2, None);
+        assert!(pool.submit_indexed(0, 0).wait().is_empty());
+        let batch = pool.submit_indexed(0, 3).wait();
+        assert_eq!(batch.len(), 3);
+        let rows = batch.into_wide();
+        for row in &rows {
+            assert!(!row.is_empty());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic derivation of per-worker PRNG stream seeds.
+//!
+//! Every sampling thread needs its own independent RNG stream, and the streams must be a
+//! pure function of `(seed, batch_index, worker_index)` so that a training run is
+//! reproducible regardless of how batches are scheduled across a worker pool.
+//!
+//! The previous scheme derived thread seeds as `seed ^ C·(t+1)` while the trainer advanced
+//! its per-batch seed by adding the same constant `C`, so seeds across `(batch, worker)`
+//! pairs were linearly related: batch `b`, worker `t` and batch `b+1`, worker `t-1` could
+//! collide outright, and even non-colliding seeds differed by structured low-entropy
+//! deltas.  This module replaces it with a SplitMix64-style finalizer applied to each
+//! component in sequence, which decorrelates the streams.
+
+/// The SplitMix64 output mix (Stafford's Mix13 finalizer): a bijection on `u64` that
+/// avalanche-mixes its input.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Golden-ratio increment used by SplitMix64 to separate consecutive states.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the RNG seed of worker `worker_index` for batch `batch_index` of the stream
+/// rooted at `seed`.
+///
+/// Properties relied on by the sampler pool and the trainer:
+///
+/// * pure function of its three arguments (no hidden state), so any scheduling of the
+///   `(batch, worker)` grid over threads reproduces the same streams,
+/// * each argument passes through a full avalanche mix before the next is absorbed, so the
+///   linear relations of the old `xor`/`add` scheme cannot produce collisions across
+///   adjacent batches and workers.
+#[inline]
+pub fn derive_stream_seed(seed: u64, batch_index: u64, worker_index: u64) -> u64 {
+    let mut z = splitmix64_mix(seed.wrapping_add(GOLDEN_GAMMA));
+    z = splitmix64_mix(z ^ batch_index.wrapping_add(GOLDEN_GAMMA));
+    splitmix64_mix(z ^ worker_index.wrapping_add(GOLDEN_GAMMA))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_over_batch_worker_grid() {
+        // Regression for the old `seed ^ C*(t+1)` / `seed += C` scheme: every (batch,
+        // worker) pair must get a distinct seed over a large grid, for several roots.
+        for root in [0u64, 1, 42, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let mut seen = HashSet::new();
+            for batch in 0..512u64 {
+                for worker in 0..32u64 {
+                    assert!(
+                        seen.insert(derive_stream_seed(root, batch, worker)),
+                        "collision at root={root} batch={batch} worker={worker}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn old_scheme_collides_but_new_does_not() {
+        // The concrete failure mode: under the old derivation, batch seeds advance by
+        // GOLDEN_GAMMA while thread seeds xor multiples of it, so (batch b, thread t)
+        // and (batch b', thread t') could share a stream.  Demonstrate the old collision
+        // and assert the new scheme separates the same pair.
+        let seed = 42u64;
+        let old = |batch: u64, t: u64| {
+            let batch_seed = seed.wrapping_add(GOLDEN_GAMMA.wrapping_mul(batch + 1));
+            batch_seed ^ GOLDEN_GAMMA.wrapping_mul(t + 1)
+        };
+        // Old: thread 0 never mixes (xor C·1 vs add C) — adjacent batches' thread seeds
+        // overlap: batch b thread t == batch b+? thread t'? Exhibit one concrete equality.
+        let mut old_seen = std::collections::HashMap::new();
+        let mut old_collision = None;
+        'outer: for batch in 0..64u64 {
+            for t in 0..8u64 {
+                if let Some(prev) = old_seen.insert(old(batch, t), (batch, t)) {
+                    old_collision = Some((prev, (batch, t)));
+                    break 'outer;
+                }
+            }
+        }
+        let ((b1, t1), (b2, t2)) = old_collision.expect("old scheme should collide");
+        assert_ne!((b1, t1), (b2, t2));
+        assert_ne!(
+            derive_stream_seed(seed, b1, t1),
+            derive_stream_seed(seed, b2, t2),
+            "new scheme must separate the pair that collided under the old scheme"
+        );
+    }
+
+    #[test]
+    fn different_roots_give_different_streams() {
+        let a = derive_stream_seed(1, 0, 0);
+        let b = derive_stream_seed(2, 0, 0);
+        assert_ne!(a, b);
+        // Deterministic.
+        assert_eq!(derive_stream_seed(7, 3, 1), derive_stream_seed(7, 3, 1));
+    }
+
+    #[test]
+    fn mix_is_a_bijection_probe() {
+        // Not a proof, but distinct inputs in a window must map to distinct outputs.
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64_mix(i)));
+        }
+    }
+}

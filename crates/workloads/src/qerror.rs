@@ -4,7 +4,14 @@ use serde::{Deserialize, Serialize};
 
 /// Multiplicative error between an estimate and the truth; both are lower-bounded by 1, so
 /// the minimum attainable Q-error is 1.
+///
+/// A non-finite estimate or truth (NaN or ±∞) scores `f64::INFINITY`: `f64::max` returns
+/// its non-NaN operand, so the old `estimate.max(1.0)` clamp silently mapped a NaN
+/// estimate to 1.0 and let a broken estimator report a *perfect* Q-error.
 pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    if !estimate.is_finite() || !truth.is_finite() {
+        return f64::INFINITY;
+    }
     let e = estimate.max(1.0);
     let t = truth.max(1.0);
     (e / t).max(t / e)
@@ -32,7 +39,7 @@ impl ErrorSummary {
     pub fn from_errors(errors: &[f64]) -> Self {
         assert!(!errors.is_empty(), "cannot summarise zero errors");
         let mut sorted = errors.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Q-errors are finite"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Q-errors are never NaN"));
         let geometric_mean =
             (sorted.iter().map(|e| e.max(1.0).ln()).sum::<f64>() / sorted.len() as f64).exp();
         ErrorSummary {
@@ -155,6 +162,38 @@ mod tests {
         // Sub-1 fractional estimates are clamped the same way.
         assert_eq!(q_error(0.25, 4.0), 4.0);
         assert_eq!(q_error(0.25, 0.75), 1.0);
+    }
+
+    #[test]
+    fn non_finite_estimates_score_infinity() {
+        // Regression: `f64::max` returns the non-NaN operand, so `NaN.max(1.0) == 1.0`
+        // used to make a NaN-emitting estimator look perfect.
+        assert_eq!(q_error(f64::NAN, 100.0), f64::INFINITY);
+        assert_eq!(q_error(f64::INFINITY, 100.0), f64::INFINITY);
+        assert_eq!(q_error(f64::NEG_INFINITY, 100.0), f64::INFINITY);
+        // Broken truths are just as suspect.
+        assert_eq!(q_error(100.0, f64::NAN), f64::INFINITY);
+        assert_eq!(q_error(100.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(q_error(f64::NAN, f64::NAN), f64::INFINITY);
+        // Still symmetric, and never NaN.
+        for (e, t) in [
+            (f64::NAN, 3.0),
+            (f64::INFINITY, 0.0),
+            (f64::NAN, f64::INFINITY),
+        ] {
+            assert_eq!(q_error(e, t), q_error(t, e));
+            assert!(!q_error(e, t).is_nan());
+        }
+    }
+
+    #[test]
+    fn summaries_propagate_infinite_errors() {
+        // An infinite Q-error must surface in the summary (sorting stays well-defined
+        // because INFINITY, unlike NaN, is comparable).
+        let s = ErrorSummary::from_pairs(&[(10.0, 10.0), (f64::NAN, 10.0)]);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.geometric_mean, f64::INFINITY);
+        assert_eq!(s.count, 2);
     }
 
     #[test]
