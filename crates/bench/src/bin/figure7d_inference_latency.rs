@@ -1,9 +1,17 @@
 //! Reproduces **Figure 7d**: per-query inference latency CDF of MSCN, DeepDB and NeuroCard
-//! on JOB-light-ranges queries.
+//! on JOB-light-ranges queries — and benchmarks NeuroCard's inference fast path (PR 3)
+//! against the pre-optimization reference path.
 //!
 //! Paper: MSCN is fastest (a tiny feed-forward net), DeepDB spans ~1–100 ms depending on
 //! query complexity, NeuroCard sits at a predictable ~10–20 ms.  The orderings (MSCN ≪
 //! NeuroCard, DeepDB's wide spread) are the reproduced shape.
+//!
+//! The fast-path section reports old-vs-new p50/p99 latency and progressive-sample
+//! throughput, asserts the two paths return **bit-identical** estimates (the determinism
+//! contract), and writes a machine-readable `BENCH_inference.json` (path overridable via
+//! `NC_BENCH_JSON`) so CI can track the perf trajectory.
+
+use std::time::Instant;
 
 use nc_baselines::{CardinalityEstimator, DeepDbLite, MscnConfig, MscnEstimator};
 use nc_bench::harness::{evaluate, print_preamble, true_cardinalities};
@@ -15,6 +23,28 @@ fn latency_quantiles(mut ms: Vec<f64>) -> (f64, f64, f64) {
     ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pick = |q: f64| ms[((ms.len() - 1) as f64 * q).round() as usize];
     (pick(0.0), pick(0.5), pick(1.0))
+}
+
+/// Latency distribution and throughput of one inference path over a workload.
+struct PathStats {
+    p50_us: f64,
+    p99_us: f64,
+    total_secs: f64,
+    samples_per_sec: f64,
+}
+
+fn path_stats(mut latencies_us: Vec<f64>, psamples: usize) -> PathStats {
+    let total_secs = latencies_us.iter().sum::<f64>() / 1e6;
+    let total_samples = (latencies_us.len() * psamples) as f64;
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Nearest-rank quantile over the (now sorted) latencies.
+    let pick = |q: f64| latencies_us[((latencies_us.len() - 1) as f64 * q).round() as usize];
+    PathStats {
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        total_secs,
+        samples_per_sec: total_samples / total_secs.max(1e-12),
+    }
 }
 
 fn main() {
@@ -75,4 +105,90 @@ fn main() {
     }
     println!();
     println!("Paper: MSCN fastest; DeepDB 1-100ms spread; NeuroCard predictable ~12-17ms.");
+
+    // --- NeuroCard inference fast path vs pre-PR-3 reference path ---------------------
+    let rounds = if config.smoke { 2 } else { 4 };
+    let mut ref_us = Vec::with_capacity(rounds * queries.len());
+    let mut fast_us = Vec::with_capacity(rounds * queries.len());
+    let mut scratch = neurocard::SamplerScratch::new();
+    for _ in 0..rounds {
+        for query in &queries {
+            let start = Instant::now();
+            let est_ref = neurocard.estimate_with_samples_reference(query, config.psamples);
+            ref_us.push(start.elapsed().as_secs_f64() * 1e6);
+            let start = Instant::now();
+            let est_fast =
+                neurocard.estimate_with_samples_scratch(query, config.psamples, &mut scratch);
+            fast_us.push(start.elapsed().as_secs_f64() * 1e6);
+            // The determinism contract, enforced on every benchmark run.
+            assert!(
+                est_ref == est_fast,
+                "fast path diverged from reference on {query}: {est_ref} vs {est_fast}"
+            );
+        }
+    }
+    let start = Instant::now();
+    let batch_estimates = neurocard.estimate_batch(&queries);
+    let batch_secs = start.elapsed().as_secs_f64();
+    let sequential: Vec<f64> = queries
+        .iter()
+        .map(|q| neurocard.estimate_with_samples(q, config.psamples))
+        .collect();
+    assert_eq!(
+        batch_estimates, sequential,
+        "estimate_batch diverged from sequential estimates"
+    );
+
+    let reference = path_stats(ref_us, config.psamples);
+    let fast = path_stats(fast_us, config.psamples);
+    let speedup = reference.total_secs / fast.total_secs.max(1e-12);
+    let batch_samples_per_sec = (queries.len() * config.psamples) as f64 / batch_secs.max(1e-12);
+
+    println!();
+    println!("NeuroCard fast path (PR 3) vs reference path, {rounds} rounds:");
+    println!(
+        "{:<22} {:>12} {:>12} {:>16}",
+        "Path", "p50 (us)", "p99 (us)", "samples/sec"
+    );
+    println!(
+        "{:<22} {:>12.0} {:>12.0} {:>16.0}",
+        "reference (pre-PR3)", reference.p50_us, reference.p99_us, reference.samples_per_sec
+    );
+    println!(
+        "{:<22} {:>12.0} {:>12.0} {:>16.0}",
+        "fast path", fast.p50_us, fast.p99_us, fast.samples_per_sec
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>16.0}",
+        "estimate_batch", "-", "-", batch_samples_per_sec
+    );
+    println!("single-query speedup: {speedup:.2}x (determinism verified: estimates bit-identical)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"inference\",\n  \"smoke\": {},\n  \"queries\": {},\n  \
+         \"psamples\": {},\n  \"rounds\": {},\n  \"reference\": {{ \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }},\n  \"fastpath\": {{ \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }},\n  \
+         \"batch\": {{ \"total_secs\": {:.4}, \"samples_per_sec\": {:.0} }},\n  \
+         \"single_query_speedup\": {:.2}\n}}\n",
+        config.smoke,
+        queries.len(),
+        config.psamples,
+        rounds,
+        reference.p50_us,
+        reference.p99_us,
+        reference.samples_per_sec,
+        fast.p50_us,
+        fast.p99_us,
+        fast.samples_per_sec,
+        batch_secs,
+        batch_samples_per_sec,
+        speedup,
+    );
+    let json_path =
+        std::env::var("NC_BENCH_JSON").unwrap_or_else(|_| "BENCH_inference.json".to_string());
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
 }

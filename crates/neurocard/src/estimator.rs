@@ -7,13 +7,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use nc_sampler::{BiasedSampler, JoinCounts, JoinSampler, WideLayout};
+use nc_sampler::{derive_stream_seed, BiasedSampler, JoinCounts, JoinSampler, WideLayout};
 use nc_schema::{JoinSchema, Query};
 use nc_storage::Database;
 
 use crate::config::NeuroCardConfig;
 use crate::encoding::EncodedLayout;
-use crate::infer::ProgressiveSampler;
+use crate::infer::{EstimateError, ProgressiveSampler, SamplerScratch};
 use crate::train::{TrainProgress, Trainer, TrainingSource};
 
 /// Construction and size statistics of a built estimator (the "Size" / timing columns of
@@ -131,18 +131,138 @@ impl NeuroCard {
 
     /// Estimates with an explicit progressive-sample budget.
     pub fn estimate_with_samples(&self, query: &Query, num_samples: usize) -> f64 {
-        let sampler = ProgressiveSampler::new(
+        let mut rng = self.query_rng(query);
+        self.sampler().estimate(query, num_samples, &mut rng)
+    }
+
+    /// [`NeuroCard::estimate`], returning an error instead of panicking when the query is
+    /// invalid or filters a column the wide layout does not model (e.g. a raw join key
+    /// with `model_join_keys = false`).
+    pub fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        self.try_estimate_with_samples(query, self.config.progressive_samples)
+    }
+
+    /// [`NeuroCard::estimate_with_samples`] with caller-owned scratch buffers: the
+    /// zero-allocation entry point for serving loops that estimate many queries on one
+    /// thread.  Identical results to [`NeuroCard::estimate_with_samples`].
+    pub fn estimate_with_samples_scratch(
+        &self,
+        query: &Query,
+        num_samples: usize,
+        scratch: &mut SamplerScratch,
+    ) -> f64 {
+        let mut rng = self.query_rng(query);
+        self.sampler()
+            .estimate_with_scratch(query, num_samples, &mut rng, scratch)
+    }
+
+    /// [`NeuroCard::estimate_with_samples`] with a `Result` instead of panics.
+    pub fn try_estimate_with_samples(
+        &self,
+        query: &Query,
+        num_samples: usize,
+    ) -> Result<f64, EstimateError> {
+        let mut rng = self.query_rng(query);
+        self.sampler().try_estimate(query, num_samples, &mut rng)
+    }
+
+    /// Estimates a batch of independent queries, fanning them out across threads.
+    ///
+    /// Each worker reuses one [`SamplerScratch`] across its queries, and every query's RNG
+    /// is derived purely from `(config.seed, query)` — so the results are **identical** to
+    /// calling [`NeuroCard::estimate`] sequentially, regardless of thread count or
+    /// scheduling (the `inference_fastpath` integration test pins this).
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        self.estimate_batch_with_samples(queries, self.config.progressive_samples)
+    }
+
+    /// [`NeuroCard::estimate_batch`] with an explicit progressive-sample budget.
+    pub fn estimate_batch_with_samples(&self, queries: &[Query], num_samples: usize) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let sampler = self.sampler();
+        // Per-query seeds are computed up front so worker threads need no access to the
+        // estimator itself (the trainer's sampler pool is not shareable across threads).
+        let seeds: Vec<u64> = queries.iter().map(|q| self.query_seed(q)).collect();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        let mut results = vec![0.0f64; queries.len()];
+        if threads <= 1 {
+            let mut scratch = SamplerScratch::new();
+            for ((query, seed), out) in queries.iter().zip(&seeds).zip(results.iter_mut()) {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                *out = sampler.estimate_with_scratch(query, num_samples, &mut rng, &mut scratch);
+            }
+            return results;
+        }
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((queries, seeds), outs) in queries
+                .chunks(chunk)
+                .zip(seeds.chunks(chunk))
+                .zip(results.chunks_mut(chunk))
+            {
+                let sampler = &sampler;
+                scope.spawn(move || {
+                    let mut scratch = SamplerScratch::new();
+                    for ((query, seed), out) in queries.iter().zip(seeds).zip(outs.iter_mut()) {
+                        let mut rng = StdRng::seed_from_u64(*seed);
+                        *out = sampler.estimate_with_scratch(
+                            query,
+                            num_samples,
+                            &mut rng,
+                            &mut scratch,
+                        );
+                    }
+                });
+            }
+        });
+        results
+    }
+
+    /// Estimates through the pre-fast-path inference code (kept as the determinism
+    /// baseline; `figure7d` uses it for the old-vs-new latency comparison).
+    pub fn estimate_with_samples_reference(&self, query: &Query, num_samples: usize) -> f64 {
+        let mut rng = self.query_rng(query);
+        self.sampler()
+            .estimate_reference(query, num_samples, &mut rng)
+    }
+
+    /// The progressive-sampling engine over the trained model.
+    fn sampler(&self) -> ProgressiveSampler<'_> {
+        ProgressiveSampler::new(
             self.trainer.model(),
             &self.encoded,
             &self.schema,
             self.full_join_rows,
-        );
-        // Deterministic per-query randomness: the same query always yields the same
-        // estimate for a given model, which makes the experiments reproducible.
+        )
+    }
+
+    /// Seed of the per-query RNG stream: a pure function of `(config.seed, query)`, mixed
+    /// through the same SplitMix64 finalizer discipline as the sampler pool's worker
+    /// streams ([`nc_sampler::derive_stream_seed`]), so per-query streams are decorrelated
+    /// and identical whether the query runs sequentially or inside [`NeuroCard::
+    /// estimate_batch`] on any thread.
+    ///
+    /// Note: PR 3 deliberately changed this derivation from the earlier `seed ^ hash`
+    /// (which left structured low-entropy relations between query streams, the same
+    /// weakness the pool's seed rework fixed in PR 2), so *absolute* estimates differ
+    /// from pre-PR-3 builds for the same `config.seed`.  The inference determinism
+    /// contract is about the sampling *algorithm*: both in-tree paths (fast and
+    /// reference) are driven from this same derived seed and must agree bit-for-bit.
+    fn query_seed(&self, query: &Query) -> u64 {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         query.render().hash(&mut hasher);
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ hasher.finish());
-        sampler.estimate(query, num_samples, &mut rng)
+        derive_stream_seed(self.config.seed, hasher.finish(), 0)
+    }
+
+    /// Deterministic per-query randomness: the same query always yields the same
+    /// estimate for a given model, which makes the experiments reproducible.
+    fn query_rng(&self, query: &Query) -> StdRng {
+        StdRng::seed_from_u64(self.query_seed(query))
     }
 
     /// Continues training on additional tuples sampled from the *current* database
@@ -286,6 +406,52 @@ mod tests {
 
         // Deterministic estimates for the same query.
         assert_eq!(model.estimate(&q), model.estimate(&q));
+    }
+
+    #[test]
+    fn batch_estimates_match_sequential_and_try_estimate_reports_errors() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(1_000);
+        let model = NeuroCard::build(db, schema, &config);
+
+        let queries = vec![
+            Query::join(&["A", "B"]),
+            Query::join(&["A"]).filter("A", "cls", Predicate::eq(1i64)),
+            Query::join(&["A", "B"]).filter("B", "tag", Predicate::le(2i64)),
+            Query::join(&["B"]),
+        ];
+        let sequential: Vec<f64> = queries.iter().map(|q| model.estimate(q)).collect();
+        let batch = model.estimate_batch(&queries);
+        assert_eq!(sequential, batch, "batch API must be bit-identical");
+
+        // try_estimate agrees with estimate on valid queries...
+        assert_eq!(model.try_estimate(&queries[0]), Ok(sequential[0]));
+        // ...and reports (not panics) filters on unmodelled columns: join keys are left
+        // out of the wide layout under the default `model_join_keys = false`.
+        let bad = Query::join(&["A", "B"]).filter("A", "x", Predicate::eq(0i64));
+        assert_eq!(
+            model.try_estimate(&bad),
+            Err(crate::infer::EstimateError::UnknownColumn {
+                table: "A".into(),
+                column: "x".into(),
+            })
+        );
+        // Invalid queries (schema-level) surface as InvalidQuery.
+        let invalid = Query::join(&["A"]).filter("B", "tag", Predicate::eq(1i64));
+        assert!(matches!(
+            model.try_estimate(&invalid),
+            Err(crate::infer::EstimateError::InvalidQuery(_))
+        ));
+        assert!(model.estimate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn estimate_still_panics_on_unknown_columns() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(500);
+        let model = NeuroCard::build(db, schema, &config);
+        model.estimate(&Query::join(&["A", "B"]).filter("A", "x", Predicate::eq(0i64)));
     }
 
     #[test]

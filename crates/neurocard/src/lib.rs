@@ -47,5 +47,5 @@ pub use config::NeuroCardConfig;
 pub use encoding::EncodedLayout;
 pub use estimator::{EstimatorStats, NeuroCard};
 pub use factorization::Factorization;
-pub use infer::ProgressiveSampler;
+pub use infer::{EstimateError, ProgressiveSampler, SamplerScratch};
 pub use train::{TrainProgress, Trainer, TrainingSource};

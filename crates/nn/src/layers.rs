@@ -4,8 +4,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::tensor::{
-    add_bias, column_sums_accumulate, matmul, matmul_transpose_a_accumulate, matmul_transpose_b,
-    Matrix,
+    add_bias, column_sums_accumulate, matmul, matmul_transpose_a_accumulate,
+    matmul_transpose_b_blocked, Matrix,
 };
 
 /// A trainable parameter tensor: value and accumulated gradient of identical shape.
@@ -73,11 +73,12 @@ impl Linear {
         add_bias(out, self.bias.value.row(0));
     }
 
-    /// Backward pass: accumulates `dW += xᵀ·dy`, `db += Σ dy`, and writes `dx = dy·Wᵀ`.
+    /// Backward pass: accumulates `dW += xᵀ·dy`, `db += Σ dy`, and writes `dx = dy·Wᵀ`
+    /// (via the blocked kernel, bit-identical to the naive one).
     pub fn backward(&mut self, x: &Matrix, dy: &Matrix, dx: &mut Matrix) {
         matmul_transpose_a_accumulate(x, dy, &mut self.weight.grad);
         column_sums_accumulate(dy, self.bias.grad.row_mut(0));
-        matmul_transpose_b(dy, &self.weight.value, dx);
+        matmul_transpose_b_blocked(dy, &self.weight.value, dx);
     }
 
     /// Total number of scalar parameters.

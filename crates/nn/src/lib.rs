@@ -30,6 +30,6 @@ pub mod tensor;
 
 pub use layers::{relu, relu_backward, Embedding, Linear, MaskedLinear, Param};
 pub use loss::softmax_cross_entropy;
-pub use made::{MadeConfig, ResMade};
+pub use made::{InferenceScratch, MadeConfig, ResMade};
 pub use optim::{Adam, AdamConfig, Sgd};
 pub use tensor::Matrix;

@@ -43,6 +43,14 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[u32], dlogits: &mut Mat
 /// Row-wise softmax probabilities (used at inference time by progressive sampling).
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    softmax_rows_into(logits, &mut out);
+    out
+}
+
+/// [`softmax_rows`] into a caller-owned buffer (resized to match), so the inference hot
+/// path can reuse one probability matrix across forward passes.
+pub fn softmax_rows_into(logits: &Matrix, out: &mut Matrix) {
+    out.resize(logits.rows(), logits.cols());
     for b in 0..logits.rows() {
         let row = logits.row(b);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -58,7 +66,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -122,6 +129,21 @@ mod tests {
         }
         assert!(p.get(0, 2) > p.get(0, 0));
         assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_into_matches_and_reuses_buffer() {
+        let logits = Matrix::from_vec(2, 3, vec![0.0, 1.0, 2.0, -1.0, 0.5, -1.0]);
+        let fresh = softmax_rows(&logits);
+        // A stale, wrongly-shaped buffer must be resized and fully overwritten.
+        let mut reused = Matrix::from_vec(1, 5, vec![9.0; 5]);
+        softmax_rows_into(&logits, &mut reused);
+        assert_eq!(fresh, reused);
+        // And bit-identical on a second reuse.
+        softmax_rows_into(&logits, &mut reused);
+        for (a, b) in fresh.data().iter().zip(reused.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

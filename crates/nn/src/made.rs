@@ -20,8 +20,10 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::layers::{relu, relu_backward, seeded_rng, Embedding, MaskedLinear, Param};
-use crate::loss::{softmax_cross_entropy, softmax_rows};
-use crate::tensor::{column_sums_accumulate, Matrix};
+use crate::loss::{softmax_cross_entropy, softmax_rows, softmax_rows_into};
+use crate::tensor::{
+    add_bias, column_sums_accumulate, gemm_nt, matmul_blocked, matmul_col_range, Matrix,
+};
 
 /// Hyper-parameters of a [`ResMade`] model.
 #[derive(Debug, Clone)]
@@ -301,25 +303,32 @@ impl ResMade {
     }
 
     /// Logits of column `col` given per-row context vectors (weight-tied to the embedding).
+    ///
+    /// The head is one GEMM against the first `domain` rows of the embedding table (the
+    /// `domain + 1`-th row is the MASK token, which is never a prediction target) plus the
+    /// per-column bias.
     fn logits_for(&self, ctx: &Matrix, col: usize) -> Matrix {
         let d = self.config.d_emb;
         let domain = self.config.domains[col];
-        let emb = &self.embeddings[col].table.value;
-        let bias = self.output_bias[col].value.row(0);
-        let mut logits = Matrix::zeros(ctx.rows(), domain);
-        for b in 0..ctx.rows() {
-            let c = &ctx.row(b)[col * d..(col + 1) * d];
-            let out = logits.row_mut(b);
-            for (v, out_v) in out.iter_mut().enumerate() {
-                let e = emb.row(v);
-                let mut acc = 0.0f32;
-                for (a, b_) in c.iter().zip(e) {
-                    acc += a * b_;
-                }
-                *out_v = acc + bias[v];
-            }
+        let batch = ctx.rows();
+        // Gather the column's context slice into a compact batch × d matrix for the GEMM.
+        let mut head_ctx = Matrix::zeros(batch, d);
+        for b in 0..batch {
+            head_ctx
+                .row_mut(b)
+                .copy_from_slice(&ctx.row(b)[col * d..(col + 1) * d]);
         }
-        let _ = domain;
+        let mut logits = Matrix::zeros(batch, domain);
+        let emb = &self.embeddings[col].table.value;
+        gemm_nt(
+            batch,
+            domain,
+            d,
+            head_ctx.data(),
+            &emb.data()[..domain * d],
+            logits.data_mut(),
+        );
+        add_bias(&mut logits, self.output_bias[col].value.row(0));
         logits
     }
 
@@ -474,12 +483,155 @@ impl ResMade {
     /// Columns at positions `>= col` of `inputs` are ignored by construction of the masks,
     /// so callers conventionally fill them with MASK tokens.  Returns a `batch × domain`
     /// matrix of probabilities.
+    ///
+    /// Convenience wrapper over [`ResMade::conditional_probs_into`]; hot callers (the
+    /// progressive sampler) should use the `_into` variant with a reused
+    /// [`InferenceScratch`] instead, which performs zero allocations in steady state.
     pub fn conditional_probs(&self, inputs: &[Vec<u32>], col: usize) -> Matrix {
+        let n = self.num_columns();
+        let mut flat = Vec::with_capacity(inputs.len() * n);
+        for row in inputs {
+            assert_eq!(
+                row.len(),
+                n,
+                "input row arity must equal the number of columns"
+            );
+            flat.extend_from_slice(row);
+        }
+        let mut scratch = InferenceScratch::new();
+        self.conditional_probs_into(&flat, col, &mut scratch)
+            .clone()
+    }
+
+    /// Embeds a flat `batch × num_columns` token buffer into the input matrix `x`
+    /// (resized; allocation reused across calls).
+    pub fn embed_flat_into(&self, tokens: &[u32], x: &mut Matrix) {
+        let n = self.num_columns();
+        let d = self.config.d_emb;
+        assert_eq!(
+            tokens.len() % n,
+            0,
+            "flat token buffer length must be a multiple of the column count"
+        );
+        let batch = tokens.len() / n;
+        x.resize(batch, n * d);
+        for b in 0..batch {
+            let row_tokens = &tokens[b * n..(b + 1) * n];
+            let out_row = x.row_mut(b);
+            for (c, &token) in row_tokens.iter().enumerate() {
+                self.embeddings[c].lookup(token, &mut out_row[c * d..(c + 1) * d]);
+            }
+        }
+    }
+
+    /// Inference-only trunk: embeddings matrix `x` → final hidden activations in `h`.
+    ///
+    /// Unlike [`ResMade::forward_trunk`] this keeps no per-layer activations (nothing to
+    /// backprop through), reuses the three caller-owned buffers, and runs the blocked GEMM
+    /// kernels — all bit-identical to the naive kernels the training path uses.
+    fn trunk_hidden(&self, x: &Matrix, h: &mut Matrix, a: &mut Matrix, b: &mut Matrix) {
+        let batch = x.rows();
+        let h_dim = self.config.d_hidden;
+        h.resize(batch, h_dim);
+        matmul_blocked(x, &self.input_layer.inner.weight.value, h);
+        add_bias(h, self.input_layer.inner.bias.value.row(0));
+        relu(h);
+        for (w1, w2) in &self.blocks {
+            a.resize(batch, h_dim);
+            matmul_blocked(h, &w1.inner.weight.value, a);
+            add_bias(a, w1.inner.bias.value.row(0));
+            relu(a);
+            b.resize(batch, h_dim);
+            matmul_blocked(a, &w2.inner.weight.value, b);
+            add_bias(b, w2.inner.bias.value.row(0));
+            relu(b);
+            for (o, v) in h.data_mut().iter_mut().zip(b.data()) {
+                *o += v;
+            }
+        }
+    }
+
+    /// The seed (pre-fast-path) inference forward, kept verbatim as the baseline the
+    /// determinism contract is pinned against and `figure7d` benchmarks against: fresh
+    /// allocations per call, the full-width output layer (contexts for *every* column),
+    /// and the scalar weight-tied logit loop.
+    ///
+    /// Bit-identical to [`ResMade::conditional_probs_into`] — only the compute profile
+    /// differs.
+    pub fn conditional_probs_reference(&self, inputs: &[Vec<u32>], col: usize) -> Matrix {
         assert!(col < self.num_columns());
         let x = self.embed(inputs);
         let acts = self.forward_trunk(&x);
-        let logits = self.logits_for(&acts.ctx, col);
+        let d = self.config.d_emb;
+        let domain = self.config.domains[col];
+        let emb = &self.embeddings[col].table.value;
+        let bias = self.output_bias[col].value.row(0);
+        let mut logits = Matrix::zeros(x.rows(), domain);
+        for b in 0..x.rows() {
+            let c = &acts.ctx.row(b)[col * d..(col + 1) * d];
+            let out = logits.row_mut(b);
+            for (v, out_v) in out.iter_mut().enumerate() {
+                let e = emb.row(v);
+                let mut acc = 0.0f32;
+                for (a, b_) in c.iter().zip(e) {
+                    acc += a * b_;
+                }
+                *out_v = acc + bias[v];
+            }
+        }
         softmax_rows(&logits)
+    }
+
+    /// Zero-allocation [`ResMade::conditional_probs`]: `tokens` is a flat
+    /// `batch × num_columns` buffer, all intermediates live in `scratch`, and the returned
+    /// reference points into `scratch.probs`.
+    ///
+    /// Two inference-specific optimisations over the training-path forward:
+    ///
+    /// * the output layer computes **only** column `col`'s `d_emb`-wide context slice
+    ///   ([`matmul_col_range`]) instead of all `num_columns · d_emb` outputs,
+    /// * the logit head is one blocked GEMM against the embedding table ([`gemm_nt`]).
+    ///
+    /// Both are bit-for-bit equal to the naive path (`conditional_probs_into_matches_
+    /// training_path_bitwise` pins this), which is what keeps progressive-sampling
+    /// estimates exactly reproducible across the old and new inference code.
+    pub fn conditional_probs_into<'s>(
+        &self,
+        tokens: &[u32],
+        col: usize,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s Matrix {
+        assert!(col < self.num_columns());
+        let d = self.config.d_emb;
+        let domain = self.config.domains[col];
+        self.embed_flat_into(tokens, &mut scratch.x);
+        self.trunk_hidden(&scratch.x, &mut scratch.h, &mut scratch.a, &mut scratch.b);
+        let batch = scratch.x.rows();
+        scratch.ctx.resize(batch, d);
+        matmul_col_range(
+            &scratch.h,
+            &self.output_layer.inner.weight.value,
+            col * d,
+            (col + 1) * d,
+            &mut scratch.ctx,
+        );
+        add_bias(
+            &mut scratch.ctx,
+            &self.output_layer.inner.bias.value.row(0)[col * d..(col + 1) * d],
+        );
+        scratch.logits.resize(batch, domain);
+        let emb = &self.embeddings[col].table.value;
+        gemm_nt(
+            batch,
+            domain,
+            d,
+            scratch.ctx.data(),
+            &emb.data()[..domain * d],
+            scratch.logits.data_mut(),
+        );
+        add_bias(&mut scratch.logits, self.output_bias[col].value.row(0));
+        softmax_rows_into(&scratch.logits, &mut scratch.probs);
+        &scratch.probs
     }
 
     /// Log-likelihood (nats) of complete tuples under the model; used by tests.
@@ -495,6 +647,53 @@ impl ResMade {
             }
         }
         ll
+    }
+}
+
+/// Reusable buffers for the zero-allocation inference forward pass
+/// ([`ResMade::conditional_probs_into`]).
+///
+/// Create one per serving thread and reuse it across forward passes, sub-columns and
+/// queries; every buffer is resized in place (allocations only grow, never shrink), so
+/// steady-state inference performs no heap allocation at all.  The scratch is not tied to
+/// a model: it adapts to whatever shapes the next call needs, so one scratch can serve
+/// several models of different sizes.
+#[derive(Debug, Clone)]
+pub struct InferenceScratch {
+    /// Embedded inputs (`batch × n·d_emb`).
+    x: Matrix,
+    /// Running hidden state (`batch × d_hidden`).
+    h: Matrix,
+    /// First activation inside a residual block.
+    a: Matrix,
+    /// Second activation inside a residual block.
+    b: Matrix,
+    /// Context slice of the queried column (`batch × d_emb`).
+    ctx: Matrix,
+    /// Logits of the queried column (`batch × domain`).
+    logits: Matrix,
+    /// Softmax probabilities returned to the caller.
+    probs: Matrix,
+}
+
+impl InferenceScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        InferenceScratch {
+            x: Matrix::zeros(0, 0),
+            h: Matrix::zeros(0, 0),
+            a: Matrix::zeros(0, 0),
+            b: Matrix::zeros(0, 0),
+            ctx: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            probs: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for InferenceScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -689,5 +888,73 @@ mod tests {
     fn wrong_arity_input_panics() {
         let m = make(vec![4, 3], 1);
         m.conditional_probs(&[vec![0u32]], 0);
+    }
+
+    #[test]
+    fn conditional_probs_into_matches_training_path_bitwise() {
+        let m = ResMade::new(MadeConfig {
+            domains: vec![4, 9, 3, 17, 5],
+            d_emb: 6,
+            d_hidden: 24,
+            num_blocks: 2,
+            seed: 11,
+        });
+        let mut scratch = InferenceScratch::new();
+        // Varying batch sizes through ONE reused scratch, with MASK tokens mixed in the
+        // way progressive sampling produces them.
+        for (round, &batch) in [7usize, 1, 13, 4].iter().enumerate() {
+            let rows: Vec<Vec<u32>> = (0..batch)
+                .map(|b| {
+                    (0..m.num_columns())
+                        .map(|c| {
+                            if (b + c + round) % 3 == 0 {
+                                m.mask_token(c)
+                            } else {
+                                ((b * 31 + c * 7 + round) % m.domain(c)) as u32
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+            for col in 0..m.num_columns() {
+                // The reference is the seed path: full-batch allocation, full-width
+                // output layer, scalar weight-tied logit loop.  The fast path must
+                // reproduce it bit-for-bit — this is the model-level half of the
+                // progressive sampler's determinism contract.
+                let naive = m.conditional_probs_reference(&rows, col);
+                let fast = m.conditional_probs_into(&flat, col, &mut scratch);
+                assert_eq!(
+                    (fast.rows(), fast.cols()),
+                    (batch, m.domain(col)),
+                    "shape at col {col}"
+                );
+                for (i, (a, b)) in naive.data().iter().zip(fast.data()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "round {round} col {col} element {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embed_flat_matches_row_embedding() {
+        let m = make(vec![4, 3, 5], 6);
+        let rows = vec![vec![1u32, 2, 0], vec![3, 0, 4], vec![4, 3, 5]]; // incl. MASKs
+        let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+        let mut x = Matrix::zeros(0, 0);
+        m.embed_flat_into(&flat, &mut x);
+        assert_eq!(x, m.embed(&rows));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the column count")]
+    fn embed_flat_rejects_ragged_buffers() {
+        let m = make(vec![4, 3], 1);
+        let mut x = Matrix::zeros(0, 0);
+        m.embed_flat_into(&[0u32, 1, 2], &mut x);
     }
 }

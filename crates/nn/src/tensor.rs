@@ -72,6 +72,26 @@ impl Matrix {
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// Reshapes to `rows × cols`, reusing the existing allocation when it is large
+    /// enough.  This is what lets the inference scratch buffers survive across calls with
+    /// varying batch sizes without ever re-allocating.
+    ///
+    /// **Contents are unspecified after a resize** (stale values may remain; only newly
+    /// grown capacity is zero).  Every kernel that writes into a resized buffer
+    /// (`matmul_blocked`, `gemm_nt`, `matmul_col_range` via `fill_zero`, embedding
+    /// lookups, row-wise softmax) overwrites it fully, which is what makes skipping the
+    /// memset safe — use [`Matrix::fill_zero`] first if zeroes are needed.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if len <= self.data.len() {
+            self.data.truncate(len);
+        } else {
+            self.data.resize(len, 0.0);
+        }
+    }
 }
 
 /// `out = a (m×k) · b (k×n)`, overwriting `out` (m×n).
@@ -100,6 +120,142 @@ pub fn matmul_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             }
         }
     }
+}
+
+/// `out = a (m×k) · b (k×n)`, bit-identical to [`matmul`] but register-blocked for the
+/// short-fat shapes of the inference hot path (`m` = live progressive samples, `k` =
+/// `d_hidden`).
+///
+/// The kernel processes `NR` output columns at a time so each `a[i][p]` load is amortised
+/// over `NR` independent accumulator chains.  Every output element still accumulates its
+/// products in ascending-`p` order with the same skip of zero `a` entries as the naive
+/// kernel, so the result is **bit-for-bit equal** to [`matmul`] — a property the inference
+/// determinism contract relies on and `blocked_kernels_match_naive_bitwise` pins.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.cols);
+    // 32 output columns per block = 4–8 independent SIMD accumulator chains, enough to
+    // hide FMA latency; each chain still accumulates in ascending-p order.
+    const NR: usize = 32;
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i in 0..m {
+        let a_row = &a.data[i * k..(i + 1) * k];
+        let out_row = &mut out.data[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [0.0f32; NR];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[p * n + j..p * n + j + NR];
+                for (c, &b_pj) in acc.iter_mut().zip(b_row) {
+                    *c += a_ip * b_pj;
+                }
+            }
+            out_row[j..j + NR].copy_from_slice(&acc);
+            j += NR;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                acc += a_ip * b.data[p * n + j];
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// `out = a · b[:, lo..hi]` — the column slice `lo..hi` of [`matmul`]'s result, without
+/// computing the other columns.
+///
+/// The inference path uses this for the output layer: a progressive-sampling forward pass
+/// only ever reads the context vector of **one** model column, so computing all
+/// `n_cols · d_emb` outputs (as training must) wastes a factor `n_cols` of the output-layer
+/// GEMM.  Accumulation order per element matches [`matmul`] exactly (ascending `p`, zero
+/// `a` entries skipped), so the slice is bit-for-bit the one the full product would yield.
+pub fn matmul_col_range(a: &Matrix, b: &Matrix, lo: usize, hi: usize, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert!(lo <= hi && hi <= b.cols, "column slice out of bounds");
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, hi - lo);
+    let (m, k, w, bn) = (a.rows, a.cols, hi - lo, b.cols);
+    out.fill_zero();
+    for i in 0..m {
+        let a_row = &a.data[i * k..(i + 1) * k];
+        let out_row = &mut out.data[i * w..(i + 1) * w];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[p * bn + lo..p * bn + hi];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Slice-level `out (m×n) = a (m×k) · bᵀ (n×k)` kernel, register-blocked over `NR` rows of
+/// `b` at a time.
+///
+/// This backs the weight-tied logit heads: `a` is the batch of per-column context vectors,
+/// `b` the first `n` rows of the column's embedding table.  Taking slices (rather than
+/// [`Matrix`]) lets callers use a *prefix* of a taller matrix as `b` — the embedding table
+/// has `domain + 1` rows but logits only cover `domain` values.  Each output element is a
+/// plain ascending-`k` dot product, so results are bit-for-bit equal to
+/// [`matmul_transpose_b`].
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k, "a too short for m×k");
+    assert!(b.len() >= n * k, "b too short for n×k");
+    assert!(out.len() >= m * n, "out too short for m×n");
+    const NR: usize = 4;
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let out_row = &mut out[i * n..i * n + n];
+        let mut j = 0;
+        while j + NR <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut acc = [0.0f32; NR];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                acc[0] += a_ip * b0[p];
+                acc[1] += a_ip * b1[p];
+                acc[2] += a_ip * b2[p];
+                acc[3] += a_ip * b3[p];
+            }
+            out_row[j..j + NR].copy_from_slice(&acc);
+            j += NR;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// `out = a (m×k) · bᵀ (n×k)` via the blocked [`gemm_nt`] kernel; drop-in faster
+/// replacement for [`matmul_transpose_b`] (bit-identical results).
+pub fn matmul_transpose_b_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols, b.cols,
+        "inner dimensions must agree (b is transposed)"
+    );
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.rows);
+    gemm_nt(a.rows, b.rows, a.cols, &a.data, &b.data, &mut out.data);
 }
 
 /// `out = a (m×k) · bᵀ (n×k)`, overwriting `out` (m×n).
@@ -250,6 +406,117 @@ mod tests {
         let mut out = Matrix::zeros(1, 3);
         elementwise_mul_accumulate(&a, &b, &mut out);
         assert!(approx_eq(out.data(), &[4., 10., 18.]));
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dependency in this crate's tests).
+    fn lcg_matrix(rows: usize, cols: usize, seed: &mut u64) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| {
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Map to roughly [-1, 1], with exact zeros sprinkled in to exercise the
+                // zero-skip branches.
+                let v = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0;
+                if (*seed >> 20) & 0xF == 0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_bitwise_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn resize_reuses_allocation_without_memset() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let capacity = m.data().as_ptr();
+        // Same or smaller element count: no reallocation, contents unspecified (stale).
+        m.resize(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        m.resize(1, 4);
+        assert_eq!((m.rows(), m.cols()), (1, 4));
+        assert_eq!(m.data().as_ptr(), capacity, "no reallocation on shrink");
+        // Growth zero-fills only the new tail; the caller owns full overwrites.
+        m.resize(2, 4);
+        assert_eq!(&m.data()[4..], &[0.0; 4]);
+        m.fill_zero();
+        assert!(m.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_bitwise() {
+        // The inference fast path substitutes the blocked kernels for the naive ones; the
+        // determinism contract therefore needs bit-for-bit (not approximate) agreement,
+        // across shapes that exercise full blocks, remainders, and degenerate dims.
+        let mut seed = 0x5EED_u64;
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 5),
+            (3, 16, 8),
+            (4, 24, 30),
+            (5, 32, 97),
+            (17, 6, 4),
+            (2, 180, 33),
+        ] {
+            let a = lcg_matrix(m, k, &mut seed);
+            let b = lcg_matrix(k, n, &mut seed);
+            let mut naive = Matrix::zeros(m, n);
+            matmul(&a, &b, &mut naive);
+            let mut blocked = Matrix::zeros(m, n);
+            blocked.data_mut().iter_mut().for_each(|v| *v = f32::NAN); // must be overwritten
+            matmul_blocked(&a, &b, &mut blocked);
+            assert_bitwise_eq(&naive, &blocked, &format!("matmul {m}x{k}x{n}"));
+
+            // Column-slice kernel equals the corresponding slice of the full product.
+            let lo = n / 3;
+            let hi = (2 * n / 3).max(lo);
+            let mut sliced = Matrix::zeros(m, hi - lo);
+            matmul_col_range(&a, &b, lo, hi, &mut sliced);
+            for i in 0..m {
+                for (jj, j) in (lo..hi).enumerate() {
+                    assert_eq!(
+                        sliced.get(i, jj).to_bits(),
+                        naive.get(i, j).to_bits(),
+                        "matmul_col_range {m}x{k}x{n} [{lo}..{hi}] at ({i},{j})"
+                    );
+                }
+            }
+
+            // Aᵀ-style head kernel: a (m×k) · bᵀ (n×k).
+            let bt = lcg_matrix(n, k, &mut seed);
+            let mut nt_naive = Matrix::zeros(m, n);
+            matmul_transpose_b(&a, &bt, &mut nt_naive);
+            let mut nt_blocked = Matrix::zeros(m, n);
+            matmul_transpose_b_blocked(&a, &bt, &mut nt_blocked);
+            assert_bitwise_eq(&nt_naive, &nt_blocked, &format!("gemm_nt {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_nt_accepts_prefix_of_taller_b() {
+        // The logit head passes the first `domain` rows of a `(domain+1)`-row embedding
+        // table; gemm_nt must only read the prefix it was told about.
+        let mut seed = 99u64;
+        let a = lcg_matrix(3, 6, &mut seed);
+        let table = lcg_matrix(5, 6, &mut seed); // 5 rows, use only first 4
+        let mut out = vec![0.0f32; 3 * 4];
+        gemm_nt(3, 4, 6, a.data(), &table.data()[..4 * 6], &mut out);
+        let mut expected = Matrix::zeros(3, 5);
+        matmul_transpose_b(&a, &table, &mut expected);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(out[i * 4 + j].to_bits(), expected.get(i, j).to_bits());
+            }
+        }
     }
 
     #[test]
