@@ -1,0 +1,188 @@
+//! Benchmarks the **serving layer** (PR 4): a long-lived `EstimatorService` over an
+//! artifact-loaded model, driven by N client threads at configurable concurrency.
+//!
+//! What it measures, per worker count:
+//!
+//! * p50 / p99 request latency (queue wait + compute, from the service's own accounting),
+//! * sustained queries/sec across all clients,
+//! * and it **asserts** the service's determinism contract on every run: each estimate
+//!   must be bit-identical to a sequential `EstimatorCore::estimate` of the same query,
+//!   regardless of worker count or interleaving.
+//!
+//! The model is loaded through the full persistence path (train → artifact bytes →
+//! service), so this binary doubles as the end-to-end artifact smoke test, and with
+//! `--save-artifact <path>` (or `NC_SAVE_ARTIFACT`) it exports the trained artifact —
+//! CI runs it first and feeds the cached artifact to the table1–3 smoke runs.
+//!
+//! Knobs: `NC_SERVE_WORKERS` (comma list of worker counts, default `1,2,4`),
+//! `NC_SERVE_CLIENTS` (client threads, default 4), `NC_SERVE_ROUNDS` (workload
+//! repetitions per client, default 3), `NC_SERVE_QUEUE` (queue depth, default 32).
+//! Writes a machine-readable `BENCH_serve.json` (path overridable via
+//! `NC_BENCH_SERVE_JSON`).
+
+use std::time::Instant;
+
+use nc_bench::harness::{build_or_load_neurocard, print_preamble};
+use nc_bench::{BenchEnv, HarnessConfig};
+use nc_serve::{EstimatorService, ServiceConfig};
+use nc_workloads::job_light_queries;
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One row of `BENCH_serve.json` (serialised via the serde shim, like `HarnessConfig`).
+#[derive(serde::Serialize)]
+struct RunResult {
+    workers: usize,
+    served: usize,
+    p50_us: f64,
+    p99_us: f64,
+    queries_per_sec: f64,
+}
+
+/// The machine-readable benchmark record CI archives.
+#[derive(serde::Serialize)]
+struct ServeBenchRecord {
+    bench: String,
+    smoke: bool,
+    queries: usize,
+    psamples: usize,
+    clients: usize,
+    rounds: usize,
+    queue_depth: usize,
+    artifact_bytes: usize,
+    runs: Vec<RunResult>,
+}
+
+fn main() {
+    let config = HarnessConfig::from_cli();
+    let env = BenchEnv::job_light(&config);
+    print_preamble(
+        "Serve bench: concurrent estimator service",
+        &env.name,
+        &config,
+    );
+
+    let worker_counts = env_list("NC_SERVE_WORKERS", &[1, 2, 4]);
+    let clients = env_usize("NC_SERVE_CLIENTS", if config.smoke { 3 } else { 4 });
+    let rounds = env_usize("NC_SERVE_ROUNDS", 3);
+    let queue_depth = env_usize("NC_SERVE_QUEUE", 32);
+
+    // Train (or load from the artifact cache), then force the full persistence path:
+    // everything below serves from parsed artifact bytes, never from the trainer.
+    let model = build_or_load_neurocard(&env, &config);
+    let artifact_bytes = model.to_artifact().to_bytes();
+    println!(
+        "artifact: {} bytes ({} params, |J| = {})\n",
+        artifact_bytes.len(),
+        model.stats().num_params,
+        model.full_join_rows()
+    );
+
+    let queries = job_light_queries(&env.db, &env.schema, config.queries, config.seed);
+    let core = neurocard::ModelArtifact::from_bytes(&artifact_bytes)
+        .expect("round-tripping the just-written artifact")
+        .to_core()
+        .expect("loading the just-written weights");
+    let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>14}",
+        "Workers", "served", "p50 (us)", "p99 (us)", "queries/sec"
+    );
+    let mut results = Vec::new();
+    for &workers in &worker_counts {
+        let service = EstimatorService::from_artifact_bytes(
+            &artifact_bytes,
+            ServiceConfig {
+                workers,
+                queue_depth,
+                default_samples: Some(config.psamples),
+            },
+        )
+        .expect("starting the service from artifact bytes");
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                let handle = service.handle();
+                let queries = &queries;
+                let sequential = &sequential;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        // Each client walks the workload at a different offset so the
+                        // queue sees interleaved, not lock-step, request streams.
+                        for i in 0..queries.len() {
+                            let idx = (i + client + round) % queries.len();
+                            let est = handle
+                                .estimate_with_samples(&queries[idx], config.psamples)
+                                .expect("workload queries are valid");
+                            assert!(
+                                est.to_bits() == sequential[idx].to_bits(),
+                                "service diverged from sequential estimate on query {idx}: \
+                                 {est} vs {}",
+                                sequential[idx]
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let stats = service.shutdown();
+        let qps = stats.served as f64 / wall.max(1e-12);
+        println!(
+            "{:<10} {:>10} {:>12.0} {:>12.0} {:>14.0}",
+            workers, stats.served, stats.p50_us, stats.p99_us, qps
+        );
+        results.push(RunResult {
+            workers,
+            served: stats.served,
+            p50_us: stats.p50_us,
+            p99_us: stats.p99_us,
+            queries_per_sec: qps,
+        });
+    }
+
+    println!();
+    println!(
+        "determinism verified: every served estimate was bit-identical to the sequential \
+         core (workers ∈ {worker_counts:?}, {clients} clients, {rounds} rounds)"
+    );
+
+    let record = ServeBenchRecord {
+        bench: "serve".to_string(),
+        smoke: config.smoke,
+        queries: queries.len(),
+        psamples: config.psamples,
+        clients,
+        rounds,
+        queue_depth,
+        artifact_bytes: artifact_bytes.len(),
+        runs: results,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serialisation");
+    let json_path =
+        std::env::var("NC_BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

@@ -15,10 +15,9 @@
 //! methods beat the query-driven and heuristic ones, and Postgres has the worst median.
 
 use nc_baselines::{DeepDbLite, IbjsEstimator, MscnConfig, MscnEstimator, PostgresLikeEstimator};
-use nc_bench::harness::{evaluate, print_preamble, true_cardinalities};
+use nc_bench::harness::{build_or_load_neurocard, evaluate, print_preamble, true_cardinalities};
 use nc_bench::{BenchEnv, HarnessConfig};
 use nc_workloads::{job_light_queries, job_light_ranges_queries, print_error_table, ErrorTableRow};
-use neurocard::NeuroCard;
 
 fn main() {
     let config = HarnessConfig::from_cli();
@@ -80,8 +79,7 @@ fn main() {
     let r = evaluate(&deepdb, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 
-    println!("training NeuroCard ({} tuples)...", config.train_tuples);
-    let model = NeuroCard::build(env.db.clone(), env.schema.clone(), &config.neurocard());
+    let model = build_or_load_neurocard(&env, &config);
     let r = evaluate(&model, &queries, &truths);
     rows.push(ErrorTableRow::new(r.name, r.size_bytes, r.summary));
 

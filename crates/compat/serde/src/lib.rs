@@ -2,18 +2,20 @@
 //!
 //! The workspace builds without a crate registry, so this shim supplies the pieces the
 //! reproduction actually uses: `#[derive(Serialize, Deserialize)]` on plain structs and
-//! enums, plus enough of a data model for `serde_json::to_string_pretty` to render them.
+//! enums, plus enough of a data model for `serde_json::to_string_pretty` to render them
+//! and `serde_json::from_str` to parse them back.
 //!
 //! Instead of serde's visitor-based data model, [`Serialize`] lowers values directly into
-//! an owned [`Json`] tree that `serde_json` then formats. [`Deserialize`] is a marker
-//! trait only — nothing in the workspace deserialises yet; the derive keeps source
-//! compatibility so real deserialisation can be added later without touching call sites.
+//! an owned [`Json`] tree that `serde_json` then formats, and [`Deserialize`] lifts values
+//! back out of a parsed [`Json`] tree via [`Deserialize::from_json`].  The derive macros
+//! generate both directions, so `#[derive(Serialize, Deserialize)]` types round-trip
+//! through JSON text (the artifact manifest and `HarnessConfig` rely on this).
 
 use std::collections::{BTreeMap, HashMap};
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// An owned JSON tree — the serialisation data model of this shim.
+/// An owned JSON tree — the (de)serialisation data model of this shim.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     Null,
@@ -27,23 +29,163 @@ pub enum Json {
     Object(Vec<(String, Json)>),
 }
 
+impl Json {
+    /// Short description of the node kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::UInt(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
 /// Types that can be lowered to a [`Json`] tree.
 pub trait Serialize {
     fn to_json(&self) -> Json;
 }
 
-/// Marker trait: the type participates in `#[derive(Deserialize)]`.
+/// Error produced by [`Deserialize::from_json`] (and `serde_json::from_str`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An error with a rendered message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be lifted back out of a [`Json`] tree.
 ///
-/// No workspace code deserialises; deriving it documents intent and keeps the
-/// source compatible with the real `serde` crate.
-pub trait Deserialize<'de>: Sized {}
+/// The `'de` lifetime exists only for signature compatibility with real serde (this shim
+/// always deserialises from an owned tree).
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs a value from a parsed [`Json`] node.
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+/// Helper functions the `#[derive(Deserialize)]` expansion calls into.
+pub mod de {
+    use super::{DeError, Json};
+
+    static NULL: Json = Json::Null;
+
+    /// A "found X, expected Y while reading Z" error.
+    pub fn unexpected(ty: &str, expected: &str, v: &Json) -> DeError {
+        DeError(format!("{ty}: expected {expected}, found {}", v.kind()))
+    }
+
+    /// An unknown enum variant error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> DeError {
+        DeError(format!("{ty}: unknown variant {variant:?}"))
+    }
+
+    /// Looks up a struct field inside an object node.  Missing fields resolve to `null`
+    /// so `Option<T>` fields default to `None`.
+    pub fn field<'a>(v: &'a Json, ty: &str, name: &str) -> Result<&'a Json, DeError> {
+        match v {
+            Json::Object(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(unexpected(ty, "an object", other)),
+        }
+    }
+
+    /// Expects an array of exactly `arity` elements (tuple structs / tuple variants).
+    pub fn tuple<'a>(v: &'a Json, ty: &str, arity: usize) -> Result<&'a [Json], DeError> {
+        match v {
+            Json::Array(items) if items.len() == arity => Ok(items),
+            Json::Array(items) => Err(DeError(format!(
+                "{ty}: expected an array of {arity} elements, found {}",
+                items.len()
+            ))),
+            other => Err(unexpected(ty, "an array", other)),
+        }
+    }
+
+    /// Expects an array of any length.
+    pub fn array<'a>(v: &'a Json, ty: &str) -> Result<&'a [Json], DeError> {
+        match v {
+            Json::Array(items) => Ok(items),
+            other => Err(unexpected(ty, "an array", other)),
+        }
+    }
+
+    /// Expects an object node and returns its entries.
+    pub fn object<'a>(v: &'a Json, ty: &str) -> Result<&'a [(String, Json)], DeError> {
+        match v {
+            Json::Object(entries) => Ok(entries),
+            other => Err(unexpected(ty, "an object", other)),
+        }
+    }
+
+    /// Signed integer payload of a numeric node (floats must be integral).
+    pub fn as_i64(v: &Json, ty: &str) -> Result<i64, DeError> {
+        match v {
+            Json::Int(i) => Ok(*i),
+            Json::UInt(u) => {
+                i64::try_from(*u).map_err(|_| DeError(format!("{ty}: integer {u} overflows i64")))
+            }
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.22e18 => Ok(*f as i64),
+            other => Err(unexpected(ty, "an integer", other)),
+        }
+    }
+
+    /// Unsigned integer payload of a numeric node.
+    pub fn as_u64(v: &Json, ty: &str) -> Result<u64, DeError> {
+        match v {
+            Json::UInt(u) => Ok(*u),
+            Json::Int(i) => {
+                u64::try_from(*i).map_err(|_| DeError(format!("{ty}: integer {i} is negative")))
+            }
+            // `u64::MAX as f64` rounds up to 2^64 exactly; requiring f < 2^64 keeps the
+            // cast lossless instead of letting Rust's saturating cast hide an overflow.
+            Json::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < u64::MAX as f64 => {
+                Ok(*f as u64)
+            }
+            other => Err(unexpected(ty, "an unsigned integer", other)),
+        }
+    }
+
+    /// Float payload of any numeric node.
+    pub fn as_f64(v: &Json, ty: &str) -> Result<f64, DeError> {
+        match v {
+            Json::Float(f) => Ok(*f),
+            Json::Int(i) => Ok(*i as f64),
+            Json::UInt(u) => Ok(*u as f64),
+            other => Err(unexpected(ty, "a number", other)),
+        }
+    }
+}
 
 macro_rules! impl_ser_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_json(&self) -> Json { Json::Int(*self as i64) }
         }
-        impl<'de> Deserialize<'de> for $t {}
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let i = de::as_i64(v, stringify!($t))?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError(format!(concat!("value {} does not fit in ", stringify!($t)), i))
+                })
+            }
+        }
     )*};
 }
 impl_ser_int!(i8, i16, i32, i64, isize);
@@ -53,38 +195,82 @@ macro_rules! impl_ser_uint {
         impl Serialize for $t {
             fn to_json(&self) -> Json { Json::UInt(*self as u64) }
         }
-        impl<'de> Deserialize<'de> for $t {}
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let u = de::as_u64(v, stringify!($t))?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError(format!(concat!("value {} does not fit in ", stringify!($t)), u))
+                })
+            }
+        }
     )*};
 }
 impl_ser_uint!(u8, u16, u32, u64, usize);
 
-macro_rules! impl_ser_float {
-    ($($t:ty),*) => {$(
-        impl Serialize for $t {
-            fn to_json(&self) -> Json { Json::Float(*self as f64) }
-        }
-        impl<'de> Deserialize<'de> for $t {}
-    )*};
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
 }
-impl_ser_float!(f32, f64);
+impl<'de> Deserialize<'de> for f64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        de::as_f64(v, "f64")
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        // Serialisation widened the f32 exactly; narrowing back is lossless for values
+        // that originated as f32 and rounds to nearest otherwise.
+        Ok(de::as_f64(v, "f32")? as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)
     }
 }
-impl<'de> Deserialize<'de> for bool {}
+impl<'de> Deserialize<'de> for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(de::unexpected("bool", "a boolean", other)),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_json(&self) -> Json {
         Json::Str(self.clone())
     }
 }
-impl<'de> Deserialize<'de> for String {}
+impl<'de> Deserialize<'de> for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(de::unexpected("String", "a string", other)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_json(&self) -> Json {
         Json::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(de::unexpected("Arc<str>", "a string", other)),
+        }
     }
 }
 
@@ -120,14 +306,25 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json(&self) -> Json {
         Json::Array(self.iter().map(Serialize::to_json).collect())
     }
 }
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        de::array(v, "Vec")?.iter().map(T::from_json).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_json(&self) -> Json {
@@ -140,11 +337,28 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
         Json::Array(vec![self.0.to_json(), self.1.to_json()])
     }
 }
-impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let items = de::tuple(v, "tuple", 2)?;
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_json(&self) -> Json {
         Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let items = de::tuple(v, "tuple", 3)?;
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
     }
 }
 
@@ -155,6 +369,23 @@ impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
                 .map(|(k, v)| (k.to_string(), v.to_json()))
                 .collect(),
         )
+    }
+}
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        de::object(v, "BTreeMap")?
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError(format!("BTreeMap: unparsable key {k:?}")))?;
+                Ok((key, V::from_json(val)?))
+            })
+            .collect()
     }
 }
 
@@ -169,10 +400,33 @@ impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
         Json::Object(entries)
     }
 }
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        de::object(v, "HashMap")?
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError(format!("HashMap: unparsable key {k:?}")))?;
+                Ok((key, V::from_json(val)?))
+            })
+            .collect()
+    }
+}
 
 impl Serialize for Json {
     fn to_json(&self) -> Json {
         self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Json {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }
 
@@ -205,5 +459,53 @@ mod tests {
             }
             other => panic!("expected object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn primitives_round_trip_through_from_json() {
+        assert_eq!(i64::from_json(&3i64.to_json()), Ok(3));
+        assert_eq!(u32::from_json(&7u32.to_json()), Ok(7));
+        // Cross-kind coercions: UInt -> i64, Int -> u64, integers -> floats.
+        assert_eq!(i64::from_json(&Json::UInt(9)), Ok(9));
+        assert_eq!(u64::from_json(&Json::Int(9)), Ok(9));
+        assert_eq!(f64::from_json(&Json::Int(2)), Ok(2.0));
+        assert_eq!(f32::from_json(&Json::Float(2e-3f32 as f64)), Ok(2e-3f32));
+        assert!(u8::from_json(&Json::Int(300)).is_err());
+        assert!(u64::from_json(&Json::Int(-1)).is_err());
+        assert_eq!(bool::from_json(&Json::Bool(true)), Ok(true));
+        assert_eq!(String::from_json(&Json::Str("s".into())), Ok("s".into()));
+        assert!(String::from_json(&Json::Int(1)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip_through_from_json() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_json(&v.to_json()), Ok(v));
+        assert_eq!(Option::<u32>::from_json(&Json::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_json(&Json::UInt(4)), Ok(Some(4)));
+        let pair = ("x".to_string(), 9u64);
+        assert_eq!(
+            <(String, u64)>::from_json(&pair.to_json()),
+            Ok(pair.clone())
+        );
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), (pair.0.clone(), vec![1usize, 2]));
+        assert_eq!(
+            BTreeMap::<String, (String, Vec<usize>)>::from_json(&m.to_json()),
+            Ok(m)
+        );
+        let a: std::sync::Arc<str> = std::sync::Arc::from("hello");
+        assert_eq!(
+            std::sync::Arc::<str>::from_json(&Json::Str("hello".into())),
+            Ok(a)
+        );
+    }
+
+    #[test]
+    fn errors_carry_messages() {
+        let e = Vec::<u32>::from_json(&Json::Int(1)).unwrap_err();
+        assert!(e.to_string().contains("expected an array"));
+        let e = de::unknown_variant("Op", "Nope");
+        assert!(e.to_string().contains("unknown variant"));
     }
 }

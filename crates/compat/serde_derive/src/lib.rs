@@ -286,6 +286,101 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input, "Deserialize");
     let name = &parsed.name;
-    let out = format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}");
+    let body = match &parsed.shape {
+        Shape::Struct { fields } if fields.is_empty() => {
+            // Unit / empty struct: serialised as `{}`; accept any node.
+            format!("let _ = __v; Ok({name} {{}})")
+        }
+        Shape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(::serde::de::field(__v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        // Match the Serialize direction: a newtype struct is its inner value, a wider
+        // tuple struct an array.
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_json(__v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_json(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de::tuple(__v, \"{name}\", {arity})?;\n        Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_json(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_json(&__items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = ::serde::de::tuple(__val, \"{name}::{vname}\", {n})?; Ok({name}::{vname}({})) }},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json(::serde::de::field(__val, \"{name}::{vname}\", \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n            \
+                 ::serde::Json::Str(__s) => match __s.as_str() {{\n                \
+                 {unit}\n                \
+                 __other => Err(::serde::de::unknown_variant(\"{name}\", __other)),\n            \
+                 }},\n            \
+                 ::serde::Json::Object(__entries) if __entries.len() == 1 => {{\n                \
+                 let (__k, __val) = &__entries[0];\n                \
+                 match __k.as_str() {{\n                    \
+                 {data}\n                    \
+                 __other => Err(::serde::de::unknown_variant(\"{name}\", __other)),\n                \
+                 }}\n            \
+                 }},\n            \
+                 __other => Err(::serde::de::unexpected(\"{name}\", \"an enum value\", __other)),\n        \
+                 }}",
+                unit = unit_arms.join("\n                "),
+                data = data_arms.join("\n                    "),
+            )
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n    \
+         fn from_json(__v: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n        \
+         {body}\n    }}\n}}"
+    );
     out.parse().expect("serde_derive generated invalid Rust")
 }

@@ -1,17 +1,24 @@
 //! Offline, API-compatible subset of `serde_json`: renders the shim's [`serde::Json`]
-//! tree as JSON text. Only the serialisation direction is implemented.
+//! tree as JSON text and parses JSON text back into the tree ([`from_str`]).
 
 use std::fmt;
 
-use serde::{Json, Serialize};
+use serde::{Deserialize, Json, Serialize};
 
-/// Error type kept for signature compatibility; rendering owned trees cannot fail.
+/// Serialisation of owned trees cannot fail; parsing reports a message and the byte
+/// offset it failed at.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn at(msg: impl Into<String>, pos: usize) -> Self {
+        Error(format!("{} at byte {pos}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.0)
     }
 }
 
@@ -29,6 +36,204 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_json(&value.to_json(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Json`] tree.
+pub fn parse(s: &str) -> Result<Json, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::at("trailing characters after JSON value", pos));
+    }
+    Ok(v)
+}
+
+/// Parses JSON text and deserialises it into `T` via [`serde::Deserialize::from_json`].
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let tree = parse(s)?;
+    T::from_json(&tree).map_err(|e| Error(e.to_string()))
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::at(format!("expected {lit:?}"), *pos))
+    }
+}
+
+/// Nesting ceiling: parsing is recursive, and section payloads come from disk, so a
+/// hostile `[[[[...` must fail with an Error instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::at("JSON nesting too deep", *pos));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::at("unexpected end of input", *pos)),
+        Some(b'n') => expect(b, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(Error::at("expected ',' or ']'", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::at("expected ':'", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(entries));
+                    }
+                    _ => return Err(Error::at("expected ',' or '}'", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::at("expected a string", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::at("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::at("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::at("invalid \\u escape", *pos))?;
+                        // Surrogate pairs are not produced by the writer; reject them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| Error::at("non-scalar \\u escape", *pos))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::at("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input is a &str, so boundaries are
+                // valid).  Only look at the next <= 4 bytes: validating the whole tail
+                // per character would make string parsing quadratic.
+                let end = (*pos + 4).min(b.len());
+                let s = std::str::from_utf8(&b[*pos..end])
+                    .or_else(|e| std::str::from_utf8(&b[*pos..*pos + e.valid_up_to()]))
+                    .expect("input was a str");
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+    if text.is_empty() || text == "-" {
+        return Err(Error::at("expected a number", start));
+    }
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(if i >= 0 {
+                // Mirror the writer: unsigned sources emit UInt.  Either node
+                // deserialises into any numeric type, so the distinction is cosmetic.
+                Json::UInt(i as u64)
+            } else {
+                Json::Int(i)
+            });
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| Error::at(format!("invalid number {text:?}"), start))
 }
 
 fn write_escaped(s: &str, out: &mut String) {
@@ -145,6 +350,102 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::Object(vec![
+            ("a".to_string(), Json::UInt(1)),
+            (
+                "b".to_string(),
+                Json::Array(vec![
+                    Json::Str("x\"y\n".to_string()),
+                    Json::Null,
+                    Json::Bool(false),
+                    Json::Float(2.5),
+                    Json::Int(-3),
+                ]),
+            ),
+            ("c".to_string(), Json::Object(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+        // Unicode escapes and large integers.
+        assert_eq!(
+            parse("\"\\u00e9\"").unwrap(),
+            Json::Str("\u{e9}".to_string())
+        );
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 1").is_err());
+    }
+
+    #[test]
+    fn hostile_inputs_fail_without_crashing() {
+        // Deep nesting errors out instead of overflowing the stack.
+        let deep = "[".repeat(100_000);
+        match parse(&deep) {
+            Err(e) => assert!(e.to_string().contains("nesting too deep")),
+            Ok(_) => panic!("unterminated deep nesting must not parse"),
+        }
+        // Nesting at the limit still works.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+        // Long strings with multi-byte characters parse correctly (and in linear time).
+        let long: String = "caf\u{e9}\u{1F600}".repeat(2_000);
+        let text = to_string(&Json::Str(long.clone())).unwrap();
+        assert_eq!(parse(&text).unwrap(), Json::Str(long));
+    }
+
+    #[test]
+    fn from_str_deserialises_derived_types() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Inner {
+            label: String,
+            weight: Option<f64>,
+        }
+
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        enum Kind {
+            Plain,
+            Tagged(u32),
+            Pair(i64, i64),
+            Named { x: u8 },
+        }
+
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Outer {
+            id: u64,
+            inner: Inner,
+            kinds: Vec<Kind>,
+        }
+
+        let value = Outer {
+            id: 9,
+            inner: Inner {
+                label: "caf\u{e9}".into(),
+                weight: None,
+            },
+            kinds: vec![
+                Kind::Plain,
+                Kind::Tagged(7),
+                Kind::Pair(-1, 2),
+                Kind::Named { x: 3 },
+            ],
+        };
+        let text = to_string_pretty(&value).unwrap();
+        let back: Outer = from_str(&text).unwrap();
+        assert_eq!(back, value);
+        // Missing optional fields deserialise to None; unknown variants error.
+        let partial: Inner = from_str("{\"label\":\"x\"}").unwrap();
+        assert_eq!(partial.weight, None);
+        assert!(from_str::<Kind>("\"Nope\"").is_err());
+        assert!(from_str::<Outer>("{\"id\":\"not a number\"}").is_err());
     }
 
     #[test]

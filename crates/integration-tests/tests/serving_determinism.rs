@@ -1,0 +1,76 @@
+//! Determinism contract of the serving layer (PR 4): an [`EstimatorService`] over an
+//! artifact-loaded model returns **bit-identical** estimates to sequential
+//! [`EstimatorCore::estimate`] calls, at every worker count and under concurrent
+//! clients — concurrency must be invisible to results.
+
+use std::sync::Arc;
+
+use nc_datagen::{job_light_database, job_light_schema, DataGenConfig};
+use nc_serve::{EstimatorService, ServeError, ServiceConfig};
+use nc_workloads::job_light_queries;
+use neurocard::{EstimateError, NeuroCard, NeuroCardConfig};
+
+#[test]
+fn service_matches_sequential_estimates_under_concurrency() {
+    let datagen = DataGenConfig {
+        title_rows: 100,
+        ..DataGenConfig::tiny()
+    };
+    let db = Arc::new(job_light_database(&datagen));
+    let schema = Arc::new(job_light_schema());
+    let mut config = NeuroCardConfig::tiny();
+    config.training_tuples = 1_500;
+    config.progressive_samples = 24;
+
+    // Train once, serve from the persisted bytes — the production shape.
+    let artifact_bytes = NeuroCard::train(db.clone(), schema.clone(), &config).to_bytes();
+    let core = neurocard::ModelArtifact::from_bytes(&artifact_bytes)
+        .unwrap()
+        .to_core()
+        .map(Arc::new)
+        .unwrap();
+
+    let queries = job_light_queries(&db, &schema, 12, 5);
+    let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+
+    for workers in [1usize, 3] {
+        let service = EstimatorService::new(
+            core.clone(),
+            ServiceConfig {
+                workers,
+                queue_depth: 2, // force queueing and handoffs
+                default_samples: None,
+            },
+        );
+        std::thread::scope(|scope| {
+            for client in 0..4usize {
+                let handle = service.handle();
+                let queries = &queries;
+                let sequential = &sequential;
+                scope.spawn(move || {
+                    for round in 0..2 {
+                        for i in 0..queries.len() {
+                            let idx = (i + client * 3 + round) % queries.len();
+                            let est = handle.estimate(&queries[idx]).unwrap();
+                            assert_eq!(
+                                est.to_bits(),
+                                sequential[idx].to_bits(),
+                                "client {client} (workers {workers}) diverged on query {idx}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 4 * 2 * queries.len());
+        assert!(stats.p50_us <= stats.p99_us);
+    }
+
+    // The error surface crosses the service boundary intact.
+    let service = EstimatorService::new(core, ServiceConfig::with_workers(2));
+    assert_eq!(
+        service.estimate_with_samples(&queries[0], 0),
+        Err(ServeError::Estimate(EstimateError::InvalidSampleCount))
+    );
+}

@@ -1,0 +1,553 @@
+//! The self-contained, versioned model artifact: everything needed to serve estimates,
+//! nothing that needs the training database.
+//!
+//! A [`ModelArtifact`] packages, inside the checksummed section container of
+//! [`nc_nn::artifact`]:
+//!
+//! | section    | encoding | contents |
+//! |---|---|---|
+//! | `manifest` | JSON     | format name, artifact version, column/parameter counts, training stats, `|J|` |
+//! | `config`   | JSON     | the full [`NeuroCardConfig`] |
+//! | `schema`   | JSON     | tables, join edges and root — [`JoinSchema`] is revalidated on load |
+//! | `layout`   | binary   | wide-layout column metadata + table order |
+//! | `dicts`    | binary   | one order-preserving [`ColumnDictionary`] per wide column |
+//! | `facts`    | JSON     | one [`Factorization`] per wide column |
+//! | `weights`  | binary   | model parameters in the [`nc_nn::serialize`] flat format |
+//!
+//! The JSON sections round-trip through the serde shim's new `Deserialize`/`from_json`
+//! path; the binary sections use the checked readers of [`nc_storage::binio`].  Loading
+//! validates the container header (magic, version, checksum), every section's presence
+//! and internal consistency, and finally the weight shapes against the freshly built
+//! model — every failure is a typed [`ArtifactLoadError`], never a panic.
+//!
+//! **Losslessness contract:** `NeuroCard::from_artifact(ModelArtifact::from_bytes(
+//! artifact.to_bytes()))` produces bit-identical estimates to the estimator that wrote
+//! the artifact, for any fixed `(query, seed)` — pinned by the `artifact_roundtrip`
+//! integration test.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nc_nn::artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
+use nc_nn::serialize::{load_params_from_bytes, model_to_bytes, LoadError};
+use nc_nn::{MadeConfig, ResMade};
+use nc_sampler::{ColumnKind, WideColumn, WideLayout};
+use nc_schema::{JoinEdge, JoinSchema};
+use nc_storage::binio::{put_string, BinReader};
+use nc_storage::ColumnDictionary;
+use serde::{Deserialize, Serialize};
+
+use crate::config::NeuroCardConfig;
+use crate::core::EstimatorCore;
+use crate::encoding::EncodedLayout;
+use crate::factorization::Factorization;
+
+/// Version of the NeuroCard artifact *contents* (the container has its own format
+/// version; this one tracks the section set and their encodings).
+pub const MODEL_ARTIFACT_VERSION: u32 = 1;
+
+/// Why a model artifact failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactLoadError {
+    /// The outer container failed to parse (bad magic/version/checksum, truncation,
+    /// missing section).
+    Container(ArtifactError),
+    /// A section parsed but its contents are inconsistent or undecodable.
+    Section {
+        /// Section name.
+        name: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// The weight blob does not match the model architecture the config describes.
+    Weights(LoadError),
+}
+
+impl std::fmt::Display for ArtifactLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactLoadError::Container(e) => write!(f, "{e}"),
+            ArtifactLoadError::Section { name, message } => {
+                write!(f, "artifact section {name:?}: {message}")
+            }
+            ArtifactLoadError::Weights(e) => write!(f, "artifact weights: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactLoadError {}
+
+impl From<ArtifactError> for ArtifactLoadError {
+    fn from(e: ArtifactError) -> Self {
+        ArtifactLoadError::Container(e)
+    }
+}
+
+fn section_err(name: &'static str, message: impl std::fmt::Display) -> ArtifactLoadError {
+    ArtifactLoadError::Section {
+        name,
+        message: message.to_string(),
+    }
+}
+
+/// The JSON manifest section: quick-look metadata about the artifact, readable without
+/// decoding any binary section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactManifest {
+    /// Always `"neurocard-artifact"`.
+    pub format: String,
+    /// [`MODEL_ARTIFACT_VERSION`] at write time.
+    pub artifact_version: u32,
+    /// Number of wide-layout columns.
+    pub wide_columns: usize,
+    /// Number of model sub-columns.
+    pub model_columns: usize,
+    /// Number of scalar model parameters.
+    pub num_params: usize,
+    /// Training tuples consumed when the artifact was exported.
+    pub tuples_trained: usize,
+    /// Training loss of the last mini-batch (nats/tuple; 0.0 if never trained).
+    pub final_loss: f32,
+    /// `|J|` as a decimal string (u128 exceeds JSON's integer range).
+    pub full_join_rows: String,
+}
+
+/// A self-contained trained estimator: config + schema + encodings + weights.
+///
+/// Obtained from [`crate::NeuroCard::train`] / [`crate::NeuroCard::to_artifact`] or
+/// parsed from disk with [`ModelArtifact::from_bytes`]; turned back into an estimator
+/// with [`crate::NeuroCard::from_artifact`] (or [`ModelArtifact::to_core`] for the
+/// serving layer).
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    manifest: ArtifactManifest,
+    config: NeuroCardConfig,
+    schema: Arc<JoinSchema>,
+    encoded: Arc<EncodedLayout>,
+    full_join_rows: u128,
+    weights: Bytes,
+}
+
+/// JSON shape of the `schema` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SchemaSection {
+    tables: Vec<String>,
+    edges: Vec<JoinEdge>,
+    root: String,
+}
+
+impl ModelArtifact {
+    /// Assembles an artifact from live estimator state (the export path).
+    pub(crate) fn from_parts(
+        config: NeuroCardConfig,
+        schema: Arc<JoinSchema>,
+        encoded: Arc<EncodedLayout>,
+        full_join_rows: u128,
+        model: &ResMade,
+        tuples_trained: usize,
+        final_loss: f32,
+    ) -> Self {
+        let manifest = ArtifactManifest {
+            format: "neurocard-artifact".to_string(),
+            artifact_version: MODEL_ARTIFACT_VERSION,
+            wide_columns: encoded.layout().len(),
+            model_columns: encoded.num_model_columns(),
+            num_params: model.num_params(),
+            tuples_trained,
+            // JSON cannot carry non-finite floats (the writer emits `null`, which the
+            // typed load path rejects) — a diverged training loss must not make the
+            // artifact unloadable, so it is recorded as the "never trained" sentinel.
+            final_loss: if final_loss.is_finite() {
+                final_loss
+            } else {
+                0.0
+            },
+            full_join_rows: full_join_rows.to_string(),
+        };
+        ModelArtifact {
+            manifest,
+            config,
+            schema,
+            encoded,
+            full_join_rows,
+            weights: model_to_bytes(model),
+        }
+    }
+
+    /// Serialises the artifact into the framed, checksummed container format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = ArtifactWriter::new();
+        let manifest =
+            serde_json::to_string_pretty(&self.manifest).expect("manifest serialisation");
+        let config = serde_json::to_string_pretty(&self.config).expect("config serialisation");
+        let schema = SchemaSection {
+            tables: self.schema.tables().to_vec(),
+            edges: self.schema.edges().to_vec(),
+            root: self.schema.root().to_string(),
+        };
+        let schema = serde_json::to_string_pretty(&schema).expect("schema serialisation");
+
+        let layout = self.encoded.layout();
+        let mut layout_bytes = Vec::new();
+        layout_bytes.extend_from_slice(&(layout.len() as u32).to_le_bytes());
+        for col in layout.columns() {
+            layout_bytes.push(match col.kind {
+                ColumnKind::Content => 0,
+                ColumnKind::JoinKey => 1,
+                ColumnKind::Indicator => 2,
+                ColumnKind::Fanout => 3,
+            });
+            put_string(&mut layout_bytes, &col.table);
+            put_string(&mut layout_bytes, &col.column);
+            put_string(&mut layout_bytes, &col.name);
+        }
+        layout_bytes.extend_from_slice(&(layout.table_order().len() as u32).to_le_bytes());
+        for t in layout.table_order() {
+            put_string(&mut layout_bytes, t);
+        }
+
+        let mut dict_bytes = Vec::new();
+        dict_bytes.extend_from_slice(&(layout.len() as u32).to_le_bytes());
+        for i in 0..layout.len() {
+            dict_bytes.extend_from_slice(&self.encoded.dictionary(i).to_binary());
+        }
+
+        let facts: Vec<Factorization> = (0..layout.len())
+            .map(|i| self.encoded.factorization(i).clone())
+            .collect();
+        let facts = serde_json::to_string(&facts).expect("factorization serialisation");
+
+        w.section("manifest", manifest.into_bytes());
+        w.section("config", config.into_bytes());
+        w.section("schema", schema.into_bytes());
+        w.section("layout", layout_bytes);
+        w.section("dicts", dict_bytes);
+        w.section("facts", facts.into_bytes());
+        w.section("weights", self.weights.to_vec());
+        w.finish()
+    }
+
+    /// Parses and fully validates an artifact produced by [`ModelArtifact::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactLoadError> {
+        let mut reader = ArtifactReader::parse(bytes)?;
+
+        let manifest: ArtifactManifest = read_json_section(&reader, "manifest")?;
+        if manifest.format != "neurocard-artifact" {
+            return Err(section_err(
+                "manifest",
+                format!("unknown artifact format {:?}", manifest.format),
+            ));
+        }
+        if manifest.artifact_version != MODEL_ARTIFACT_VERSION {
+            return Err(section_err(
+                "manifest",
+                format!(
+                    "artifact version {} is not supported (this build reads {})",
+                    manifest.artifact_version, MODEL_ARTIFACT_VERSION
+                ),
+            ));
+        }
+        let full_join_rows: u128 = manifest
+            .full_join_rows
+            .parse()
+            .map_err(|_| section_err("manifest", "full_join_rows is not a u128"))?;
+
+        let config: NeuroCardConfig = read_json_section(&reader, "config")?;
+
+        let schema: SchemaSection = read_json_section(&reader, "schema")?;
+        let schema = JoinSchema::new(schema.tables, schema.edges, &schema.root)
+            .map_err(|e| section_err("schema", e))?;
+
+        // Layout (binary).
+        let payload = reader.require("layout")?;
+        let mut r = BinReader::new(payload);
+        let layout = (|| -> Result<WideLayout, String> {
+            let n = r.u32().map_err(|e| e.to_string())? as usize;
+            let mut columns = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let kind = match r.u8().map_err(|e| e.to_string())? {
+                    0 => ColumnKind::Content,
+                    1 => ColumnKind::JoinKey,
+                    2 => ColumnKind::Indicator,
+                    3 => ColumnKind::Fanout,
+                    k => return Err(format!("unknown column kind tag {k}")),
+                };
+                columns.push(WideColumn {
+                    table: r.string().map_err(|e| e.to_string())?,
+                    column: r.string().map_err(|e| e.to_string())?,
+                    name: r.string().map_err(|e| e.to_string())?,
+                    kind,
+                });
+            }
+            let t = r.u32().map_err(|e| e.to_string())? as usize;
+            let mut table_order = Vec::with_capacity(t.min(1 << 20));
+            for _ in 0..t {
+                table_order.push(r.string().map_err(|e| e.to_string())?);
+            }
+            if !r.is_empty() {
+                return Err(format!("{} unread bytes", r.remaining()));
+            }
+            WideLayout::from_metadata(columns, table_order)
+        })()
+        .map_err(|m| section_err("layout", m))?;
+
+        // Dictionaries (binary).
+        let payload = reader.require("dicts")?;
+        let mut r = BinReader::new(payload);
+        let dicts = (|| -> Result<Vec<ColumnDictionary>, String> {
+            let n = r.u32().map_err(|e| e.to_string())? as usize;
+            let mut dicts = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                dicts.push(ColumnDictionary::read_binary(&mut r).map_err(|e| e.to_string())?);
+            }
+            if !r.is_empty() {
+                return Err(format!("{} unread bytes", r.remaining()));
+            }
+            Ok(dicts)
+        })()
+        .map_err(|m| section_err("dicts", m))?;
+
+        let facts: Vec<Factorization> = read_json_section(&reader, "facts")?;
+
+        let encoded =
+            EncodedLayout::from_parts(layout, dicts, facts).map_err(|m| section_err("facts", m))?;
+        if encoded.layout().len() != manifest.wide_columns
+            || encoded.num_model_columns() != manifest.model_columns
+        {
+            return Err(section_err(
+                "manifest",
+                format!(
+                    "column counts disagree with the decoded layout: manifest says {}/{} \
+                     (wide/model), sections decode to {}/{}",
+                    manifest.wide_columns,
+                    manifest.model_columns,
+                    encoded.layout().len(),
+                    encoded.num_model_columns()
+                ),
+            ));
+        }
+        // Every schema table must appear in the layout's table order and vice versa.
+        for t in schema.tables() {
+            if !encoded.layout().table_order().contains(t) {
+                return Err(section_err(
+                    "layout",
+                    format!("schema table {t:?} is missing from the layout"),
+                ));
+            }
+        }
+        for t in encoded.layout().table_order() {
+            if !schema.contains(t) {
+                return Err(section_err(
+                    "layout",
+                    format!("layout table {t:?} is not in the schema"),
+                ));
+            }
+        }
+
+        // Moved out of the reader, not copied: the weight blob dominates the artifact.
+        let weights = Bytes::from(reader.take("weights")?);
+
+        Ok(ModelArtifact {
+            manifest,
+            config,
+            schema: Arc::new(schema),
+            encoded: Arc::new(encoded),
+            full_join_rows,
+            weights,
+        })
+    }
+
+    /// Builds the estimation engine: a fresh model of the configured architecture with
+    /// the persisted weights loaded into it (shape-validated).
+    pub fn to_core(&self) -> Result<EstimatorCore, ArtifactLoadError> {
+        let mut model = ResMade::new(MadeConfig {
+            domains: self.encoded.model_domains(),
+            d_emb: self.config.d_emb,
+            d_hidden: self.config.d_hidden,
+            num_blocks: self.config.num_blocks,
+            seed: self.config.seed,
+        });
+        load_params_from_bytes(&mut model, &self.weights).map_err(ArtifactLoadError::Weights)?;
+        EstimatorCore::new(
+            model,
+            self.encoded.clone(),
+            self.schema.clone(),
+            self.config.clone(),
+            self.full_join_rows,
+        )
+        .map_err(|m| section_err("weights", m))
+    }
+
+    /// The quick-look manifest.
+    pub fn manifest(&self) -> &ArtifactManifest {
+        &self.manifest
+    }
+
+    /// The estimator configuration stored in the artifact.
+    pub fn config(&self) -> &NeuroCardConfig {
+        &self.config
+    }
+
+    /// The join schema stored in the artifact.
+    pub fn schema(&self) -> &Arc<JoinSchema> {
+        &self.schema
+    }
+
+    /// `|J|` recorded at export time.
+    pub fn full_join_rows(&self) -> u128 {
+        self.full_join_rows
+    }
+
+    /// The raw weight blob (the [`nc_nn::serialize`] flat format).
+    pub fn weights(&self) -> &Bytes {
+        &self.weights
+    }
+}
+
+fn read_json_section<T: for<'de> Deserialize<'de>>(
+    reader: &ArtifactReader,
+    name: &'static str,
+) -> Result<T, ArtifactLoadError> {
+    let payload = reader.require(name)?;
+    let text =
+        std::str::from_utf8(payload).map_err(|_| section_err(name, "payload is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| section_err(name, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::NeuroCard;
+    use nc_schema::{JoinEdge as Edge, Predicate, Query};
+    use nc_storage::{Database, TableBuilder, Value};
+
+    fn tiny() -> (Arc<Database>, Arc<JoinSchema>) {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "c"]);
+        for i in 0..40i64 {
+            a.push_row(vec![Value::Int(i % 5), Value::Int(i % 3)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "tag"]);
+        for i in 0..60i64 {
+            b.push_row(vec![Value::Int(i % 5), Value::from(format!("t{}", i % 4))]);
+        }
+        db.add_table(b.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![Edge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        (Arc::new(db), Arc::new(schema))
+    }
+
+    fn trained() -> (NeuroCard, Arc<Database>, Arc<JoinSchema>) {
+        let (db, schema) = tiny();
+        let config = NeuroCardConfig::tiny().with_training_tuples(800);
+        let model = NeuroCard::build(db.clone(), schema.clone(), &config);
+        (model, db, schema)
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_every_piece() {
+        let (model, _, schema) = trained();
+        let artifact = model.to_artifact();
+        let bytes = artifact.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+
+        assert_eq!(back.manifest(), artifact.manifest());
+        assert_eq!(back.config(), artifact.config());
+        assert_eq!(back.full_join_rows(), model.full_join_rows());
+        assert_eq!(back.schema().tables(), schema.tables());
+        assert_eq!(back.schema().root(), schema.root());
+        assert_eq!(back.weights(), artifact.weights());
+        // Serialisation is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn loaded_core_estimates_bit_identically() {
+        let (model, _, _) = trained();
+        let bytes = model.to_artifact().to_bytes();
+        let core = ModelArtifact::from_bytes(&bytes)
+            .unwrap()
+            .to_core()
+            .unwrap();
+        let queries = [
+            Query::join(&["A", "B"]),
+            Query::join(&["A"]).filter("A", "c", Predicate::eq(1i64)),
+            Query::join(&["A", "B"]).filter("B", "tag", Predicate::eq("t2")),
+        ];
+        for q in &queries {
+            assert_eq!(model.estimate(q).to_bits(), core.estimate(q).to_bits());
+            assert_eq!(model.query_seed(q), core.query_seed(q));
+        }
+        // And the zero-sample contract carries over.
+        assert_eq!(
+            core.try_estimate_with_samples(&queries[0], 0),
+            Err(crate::infer::EstimateError::InvalidSampleCount)
+        );
+    }
+
+    #[test]
+    fn corrupt_artifacts_report_typed_errors() {
+        let (model, _, _) = trained();
+        let bytes = model.to_artifact().to_bytes();
+
+        // Container-level damage.
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes[..10]),
+            Err(ArtifactLoadError::Container(_))
+        ));
+        let mut bad = bytes.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bad),
+            Err(ArtifactLoadError::Container(
+                ArtifactError::ChecksumMismatch { .. }
+            ))
+        ));
+
+        // Section-level damage: a syntactically valid container whose weights belong to a
+        // different architecture.
+        let (other_db, other_schema) = tiny();
+        let mut cfg = NeuroCardConfig::tiny().with_training_tuples(300);
+        cfg.d_hidden = 16; // different architecture
+        let other = NeuroCard::build(other_db, other_schema, &cfg);
+        let mut mixed = model.to_artifact();
+        mixed.weights = other.to_artifact().weights().clone();
+        assert!(matches!(
+            ModelArtifact::from_bytes(&mixed.to_bytes())
+                .unwrap()
+                .to_core(),
+            Err(ArtifactLoadError::Weights(_))
+        ));
+
+        for e in [
+            ArtifactLoadError::Container(ArtifactError::BadMagic),
+            section_err("manifest", "boom"),
+            ArtifactLoadError::Weights(LoadError::Truncated),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn manifest_carries_training_stats() {
+        let (model, _, _) = trained();
+        let artifact = model.to_artifact();
+        let m = artifact.manifest();
+        assert_eq!(m.format, "neurocard-artifact");
+        assert_eq!(m.artifact_version, MODEL_ARTIFACT_VERSION);
+        assert_eq!(m.tuples_trained, 800);
+        assert!(m.num_params > 0);
+        assert_eq!(
+            m.full_join_rows.parse::<u128>().unwrap(),
+            model.full_join_rows()
+        );
+        assert!(m.model_columns >= m.wide_columns);
+    }
+}

@@ -1,11 +1,16 @@
 //! Estimator hyper-parameters.
 
+use serde::{Deserialize, Serialize};
+
 /// Configuration of a [`crate::NeuroCard`] estimator.
 ///
 /// Defaults are scaled for the synthetic workloads of this reproduction (thousands of base
 /// rows, one CPU core); the paper's configurations on the real IMDB data use the same
 /// structure with larger values (e.g. 7M training tuples, dff 128, demb 16–64).
-#[derive(Debug, Clone)]
+///
+/// The config round-trips through JSON (it is the `config` section of a
+/// [`crate::ModelArtifact`]); all fields are plain numbers, so the round trip is exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NeuroCardConfig {
     /// Per-column embedding dimension (`demb`).
     pub d_emb: usize,

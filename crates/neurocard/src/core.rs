@@ -1,0 +1,192 @@
+//! The estimation core: a trained model plus everything inference needs — and nothing
+//! training needs.
+//!
+//! [`EstimatorCore`] is the database-free half of the PR-4 split of `NeuroCard::build`:
+//! it owns the trained [`ResMade`], the [`EncodedLayout`] (dictionaries +
+//! factorizations), the [`JoinSchema`] and `|J|`.  Unlike the full
+//! [`crate::NeuroCard`] — whose training backend holds a sampler worker pool and is
+//! therefore not shareable across threads — the core is plain data: `Send + Sync`, so a
+//! serving layer can put one behind an `Arc` and estimate from any number of worker
+//! threads (see the `nc-serve` crate).
+//!
+//! **Determinism contract:** for a fixed `(core, query, seed)` every estimate produced
+//! here is bit-identical to the corresponding `NeuroCard` method — both funnel into the
+//! same [`ProgressiveSampler`] driven by the same per-query SplitMix64-derived RNG
+//! stream ([`derive_query_seed`]).
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nc_nn::ResMade;
+use nc_sampler::derive_stream_seed;
+use nc_schema::{JoinSchema, Query};
+
+use crate::config::NeuroCardConfig;
+use crate::encoding::EncodedLayout;
+use crate::infer::{EstimateError, ProgressiveSampler, SamplerScratch};
+
+/// Seed of the per-query RNG stream: a pure function of `(config.seed, query)`, mixed
+/// through the same SplitMix64 finalizer discipline as the sampler pool's worker streams
+/// ([`nc_sampler::derive_stream_seed`]), so per-query streams are decorrelated and
+/// identical wherever the query runs — sequentially, inside `estimate_batch`, or on a
+/// serving thread.
+pub(crate) fn derive_query_seed(seed: u64, query: &Query) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    query.render().hash(&mut hasher);
+    derive_stream_seed(seed, hasher.finish(), 0)
+}
+
+/// The estimation-only engine over a trained model (no training database, no sampler
+/// pool; `Send + Sync`).
+pub struct EstimatorCore {
+    model: ResMade,
+    encoded: Arc<EncodedLayout>,
+    schema: Arc<JoinSchema>,
+    config: NeuroCardConfig,
+    full_join_rows: u128,
+}
+
+impl EstimatorCore {
+    /// Assembles a core from its parts, validating that the model's column space matches
+    /// the encoded layout (the invariant every inference loop assumes).
+    pub fn new(
+        model: ResMade,
+        encoded: Arc<EncodedLayout>,
+        schema: Arc<JoinSchema>,
+        config: NeuroCardConfig,
+        full_join_rows: u128,
+    ) -> Result<Self, String> {
+        let domains = encoded.model_domains();
+        if model.num_columns() != domains.len() {
+            return Err(format!(
+                "model has {} columns but the encoded layout has {}",
+                model.num_columns(),
+                domains.len()
+            ));
+        }
+        for (i, &d) in domains.iter().enumerate() {
+            if model.domain(i) != d {
+                return Err(format!(
+                    "model column {i} has domain {} but the encoded layout says {d}",
+                    model.domain(i)
+                ));
+            }
+        }
+        Ok(EstimatorCore {
+            model,
+            encoded,
+            schema,
+            config,
+            full_join_rows,
+        })
+    }
+
+    /// Estimates the cardinality of `query` with the configured sample budget.
+    pub fn estimate(&self, query: &Query) -> f64 {
+        self.estimate_with_samples(query, self.config.progressive_samples)
+    }
+
+    /// Estimates with an explicit progressive-sample budget (0 clamps to 1).
+    pub fn estimate_with_samples(&self, query: &Query, num_samples: usize) -> f64 {
+        let mut rng = self.query_rng(query);
+        self.sampler().estimate(query, num_samples, &mut rng)
+    }
+
+    /// Zero-allocation estimation with a caller-owned scratch (0 samples clamp to 1).
+    pub fn estimate_with_samples_scratch(
+        &self,
+        query: &Query,
+        num_samples: usize,
+        scratch: &mut SamplerScratch,
+    ) -> f64 {
+        let mut rng = self.query_rng(query);
+        self.sampler()
+            .estimate_with_scratch(query, num_samples, &mut rng, scratch)
+    }
+
+    /// [`EstimatorCore::estimate`] with a `Result` instead of panics.
+    pub fn try_estimate(&self, query: &Query) -> Result<f64, EstimateError> {
+        self.try_estimate_with_samples(query, self.config.progressive_samples)
+    }
+
+    /// [`EstimatorCore::estimate_with_samples`] with a `Result` instead of panics; a zero
+    /// sample budget reports [`EstimateError::InvalidSampleCount`].
+    pub fn try_estimate_with_samples(
+        &self,
+        query: &Query,
+        num_samples: usize,
+    ) -> Result<f64, EstimateError> {
+        let mut rng = self.query_rng(query);
+        self.sampler().try_estimate(query, num_samples, &mut rng)
+    }
+
+    /// Fallible zero-allocation estimation (the serving hot path).
+    pub fn try_estimate_with_samples_scratch(
+        &self,
+        query: &Query,
+        num_samples: usize,
+        scratch: &mut SamplerScratch,
+    ) -> Result<f64, EstimateError> {
+        let mut rng = self.query_rng(query);
+        self.sampler()
+            .try_estimate_with_scratch(query, num_samples, &mut rng, scratch)
+    }
+
+    /// The deterministic per-query RNG seed (see [`derive_query_seed`]).
+    pub fn query_seed(&self, query: &Query) -> u64 {
+        derive_query_seed(self.config.seed, query)
+    }
+
+    fn query_rng(&self, query: &Query) -> StdRng {
+        StdRng::seed_from_u64(self.query_seed(query))
+    }
+
+    /// The progressive-sampling engine over the trained model.
+    pub(crate) fn sampler(&self) -> ProgressiveSampler<'_> {
+        ProgressiveSampler::new(
+            &self.model,
+            &self.encoded,
+            &self.schema,
+            self.full_join_rows,
+        )
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &ResMade {
+        &self.model
+    }
+
+    /// The encoded layout (dictionaries, factorizations, sub-column space).
+    pub fn encoded(&self) -> &Arc<EncodedLayout> {
+        &self.encoded
+    }
+
+    /// The join schema this core serves.
+    pub fn schema(&self) -> &Arc<JoinSchema> {
+        &self.schema
+    }
+
+    /// The estimator configuration the model was trained with.
+    pub fn config(&self) -> &NeuroCardConfig {
+        &self.config
+    }
+
+    /// `|J|`, the size of the augmented full outer join.
+    pub fn full_join_rows(&self) -> u128 {
+        self.full_join_rows
+    }
+
+    /// Model size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+// The compile-time guarantee the serving layer relies on.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EstimatorCore>()
+};

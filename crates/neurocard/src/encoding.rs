@@ -127,6 +127,63 @@ impl EncodedLayout {
         }
     }
 
+    /// Reassembles an encoded layout from persisted parts (the model-artifact load path).
+    ///
+    /// The sub-column space is rederived from the factorizations — it is a pure function
+    /// of them, so a layout built here is indistinguishable from the original at
+    /// inference time.  Inconsistent parts (arity mismatches, factorization domains that
+    /// disagree with their dictionary) are reported as errors rather than panics: this
+    /// input comes from disk.
+    pub fn from_parts(
+        layout: WideLayout,
+        dicts: Vec<ColumnDictionary>,
+        facts: Vec<Factorization>,
+    ) -> Result<Self, String> {
+        if dicts.len() != layout.len() || facts.len() != layout.len() {
+            return Err(format!(
+                "layout has {} columns but {} dictionaries and {} factorizations",
+                layout.len(),
+                dicts.len(),
+                facts.len()
+            ));
+        }
+        for (i, (dict, fact)) in dicts.iter().zip(&facts).enumerate() {
+            if fact.domain as usize != dict.domain_size() {
+                return Err(format!(
+                    "column {} ({}): factorization domain {} != dictionary domain {}",
+                    i,
+                    layout.columns()[i].name,
+                    fact.domain,
+                    dict.domain_size()
+                ));
+            }
+            if fact.subdomains.is_empty() {
+                return Err(format!("column {i}: factorization has no sub-columns"));
+            }
+        }
+        let mut subcolumns = Vec::new();
+        let mut wide_to_sub = Vec::with_capacity(layout.len());
+        for (wide_index, fact) in facts.iter().enumerate() {
+            let mut subs = Vec::with_capacity(fact.num_subcolumns());
+            for (sub_index, &domain) in fact.subdomains.iter().enumerate() {
+                subs.push(subcolumns.len());
+                subcolumns.push(SubColumn {
+                    wide_index,
+                    sub_index,
+                    domain: domain as usize,
+                });
+            }
+            wide_to_sub.push(subs);
+        }
+        Ok(EncodedLayout {
+            layout,
+            dicts,
+            facts,
+            subcolumns,
+            wide_to_sub,
+        })
+    }
+
     /// The underlying wide layout.
     pub fn layout(&self) -> &WideLayout {
         &self.layout
@@ -272,6 +329,34 @@ mod tests {
                 assert_eq!(&enc.decode_wide(wide_idx, &digits), value);
             }
         }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_subcolumn_space() {
+        let (db, schema) = tiny_db();
+        let layout = WideLayout::new(&db, &schema);
+        let enc = EncodedLayout::build(&db, &schema, layout, Some(2));
+        let n = enc.layout().len();
+        let dicts: Vec<ColumnDictionary> = (0..n).map(|i| enc.dictionary(i).clone()).collect();
+        let facts: Vec<Factorization> = (0..n).map(|i| enc.factorization(i).clone()).collect();
+        let rebuilt =
+            EncodedLayout::from_parts(enc.layout().clone(), dicts.clone(), facts.clone()).unwrap();
+        assert_eq!(rebuilt.subcolumns(), enc.subcolumns());
+        assert_eq!(rebuilt.model_domains(), enc.model_domains());
+        for i in 0..n {
+            assert_eq!(rebuilt.subcolumns_of(i), enc.subcolumns_of(i));
+        }
+
+        // Arity and domain mismatches are reported.
+        assert!(EncodedLayout::from_parts(
+            enc.layout().clone(),
+            dicts[1..].to_vec(),
+            facts.clone()
+        )
+        .is_err());
+        let mut bad_facts = facts.clone();
+        bad_facts[0] = Factorization::identity(9999);
+        assert!(EncodedLayout::from_parts(enc.layout().clone(), dicts, bad_facts).is_err());
     }
 
     #[test]

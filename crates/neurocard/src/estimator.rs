@@ -1,17 +1,32 @@
-//! The public estimator API: build once per schema, estimate any query.
+//! The public estimator API: build (or load) once per schema, estimate any query.
+//!
+//! Since PR 4 the estimator has two lives:
+//!
+//! * **Training-backed** ([`NeuroCard::build`]): owns the training database and a live
+//!   [`Trainer`] (with its sampler worker pool), supports incremental updates and
+//!   snapshot ingestion, and can export its state as a [`ModelArtifact`].
+//! * **Artifact-backed** ([`NeuroCard::from_artifact`]): reconstructed from a persisted
+//!   artifact, no database anywhere in sight.  Estimation is bit-identical to the
+//!   estimator that wrote the artifact; training APIs panic with a clear message.
+//!
+//! [`NeuroCard::train`] is the one-shot "train → artifact" path the serving layer and CI
+//! use; [`NeuroCard::core`] hands out the `Send + Sync` estimation engine
+//! ([`EstimatorCore`]) that `nc-serve` shares across worker threads.
 
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use nc_sampler::{derive_stream_seed, BiasedSampler, JoinCounts, JoinSampler, WideLayout};
+use nc_nn::ResMade;
+use nc_sampler::{BiasedSampler, JoinCounts, JoinSampler, WideLayout};
 use nc_schema::{JoinSchema, Query};
 use nc_storage::Database;
 
+use crate::artifact::{ArtifactLoadError, ModelArtifact};
 use crate::config::NeuroCardConfig;
+use crate::core::{derive_query_seed, EstimatorCore};
 use crate::encoding::EncodedLayout;
 use crate::infer::{EstimateError, ProgressiveSampler, SamplerScratch};
 use crate::train::{TrainProgress, Trainer, TrainingSource};
@@ -49,21 +64,126 @@ pub struct BuildOptions {
     pub biased_sampler: bool,
 }
 
+/// What backs the estimator: a live trainer or a loaded artifact.
+enum Backend {
+    /// Built against a live database; can keep training.
+    Training { db: Arc<Database>, trainer: Trainer },
+    /// Loaded from a [`ModelArtifact`]; estimation only, shareable across threads.
+    Artifact(Arc<EstimatorCore>),
+}
+
 /// A trained NeuroCard estimator for one join schema.
 pub struct NeuroCard {
-    db: Arc<Database>,
     schema: Arc<JoinSchema>,
     encoded: Arc<EncodedLayout>,
     config: NeuroCardConfig,
-    trainer: Trainer,
     full_join_rows: u128,
     stats: EstimatorStats,
+    backend: Backend,
 }
 
 impl NeuroCard {
     /// Builds (trains) an estimator over `db` with the default options.
     pub fn build(db: Arc<Database>, schema: Arc<JoinSchema>, config: &NeuroCardConfig) -> Self {
         Self::build_with(db, schema, config, BuildOptions::default())
+    }
+
+    /// Trains an estimator and exports it as a self-contained [`ModelArtifact`] in one
+    /// step — the "train once, serve anywhere" entry point.  Equivalent to
+    /// `NeuroCard::build(..).to_artifact()`.
+    pub fn train(
+        db: Arc<Database>,
+        schema: Arc<JoinSchema>,
+        config: &NeuroCardConfig,
+    ) -> ModelArtifact {
+        Self::train_with(db, schema, config, BuildOptions::default())
+    }
+
+    /// [`NeuroCard::train`] with explicit [`BuildOptions`].
+    pub fn train_with(
+        db: Arc<Database>,
+        schema: Arc<JoinSchema>,
+        config: &NeuroCardConfig,
+        options: BuildOptions,
+    ) -> ModelArtifact {
+        Self::build_with(db, schema, config, options).to_artifact()
+    }
+
+    /// Reconstructs an estimation-only `NeuroCard` from a parsed [`ModelArtifact`].
+    ///
+    /// The returned estimator needs no database and produces **bit-identical** estimates
+    /// to the estimator that exported the artifact, for any fixed `(query, seed)`.
+    /// Training APIs ([`NeuroCard::update_incremental`], [`NeuroCard::ingest_snapshot`],
+    /// [`NeuroCard::database`]) panic on it.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, ArtifactLoadError> {
+        let core = Arc::new(artifact.to_core()?);
+        let manifest = artifact.manifest();
+        let stats = EstimatorStats {
+            num_params: core.model().num_params(),
+            model_bytes: core.model().size_bytes(),
+            full_join_rows: artifact.full_join_rows(),
+            prepare_time: Duration::ZERO,
+            sampling_time: Duration::ZERO,
+            training_time: Duration::ZERO,
+            tuples_trained: manifest.tuples_trained,
+            final_loss: manifest.final_loss,
+        };
+        Ok(NeuroCard {
+            schema: core.schema().clone(),
+            encoded: core.encoded().clone(),
+            config: core.config().clone(),
+            full_join_rows: artifact.full_join_rows(),
+            stats,
+            backend: Backend::Artifact(core),
+        })
+    }
+
+    /// [`NeuroCard::from_artifact`] straight from container bytes.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self, ArtifactLoadError> {
+        Self::from_artifact(&ModelArtifact::from_bytes(bytes)?)
+    }
+
+    /// Exports the current model state as a self-contained [`ModelArtifact`].
+    pub fn to_artifact(&self) -> ModelArtifact {
+        ModelArtifact::from_parts(
+            self.config.clone(),
+            self.schema.clone(),
+            self.encoded.clone(),
+            self.full_join_rows,
+            self.model(),
+            self.stats.tuples_trained,
+            self.stats.final_loss,
+        )
+    }
+
+    /// The `Send + Sync` estimation engine over the current model state.
+    ///
+    /// For an artifact-backed estimator this is the shared engine itself (cheap `Arc`
+    /// clone).  For a training-backed estimator it is a **snapshot**: the model weights
+    /// are copied, so later [`NeuroCard::update_incremental`] calls do not show up in a
+    /// core handed out earlier.
+    pub fn core(&self) -> Arc<EstimatorCore> {
+        match &self.backend {
+            Backend::Artifact(core) => core.clone(),
+            Backend::Training { trainer, .. } => Arc::new(
+                EstimatorCore::new(
+                    trainer.model().clone(),
+                    self.encoded.clone(),
+                    self.schema.clone(),
+                    self.config.clone(),
+                    self.full_join_rows,
+                )
+                .expect("a trained estimator's parts are consistent by construction"),
+            ),
+        }
+    }
+
+    /// The trained model backing estimation.
+    fn model(&self) -> &ResMade {
+        match &self.backend {
+            Backend::Training { trainer, .. } => trainer.model(),
+            Backend::Artifact(core) => core.model(),
+        }
     }
 
     /// Builds an estimator with explicit [`BuildOptions`].
@@ -113,13 +233,12 @@ impl NeuroCard {
         };
 
         NeuroCard {
-            db,
             schema,
             encoded,
             config: config.clone(),
-            trainer,
             full_join_rows,
             stats,
+            backend: Backend::Training { db, trainer },
         }
     }
 
@@ -234,18 +353,17 @@ impl NeuroCard {
     /// The progressive-sampling engine over the trained model.
     fn sampler(&self) -> ProgressiveSampler<'_> {
         ProgressiveSampler::new(
-            self.trainer.model(),
+            self.model(),
             &self.encoded,
             &self.schema,
             self.full_join_rows,
         )
     }
 
-    /// Seed of the per-query RNG stream: a pure function of `(config.seed, query)`, mixed
-    /// through the same SplitMix64 finalizer discipline as the sampler pool's worker
-    /// streams ([`nc_sampler::derive_stream_seed`]), so per-query streams are decorrelated
-    /// and identical whether the query runs sequentially or inside [`NeuroCard::
-    /// estimate_batch`] on any thread.
+    /// Seed of the per-query RNG stream: a pure function of `(config.seed, query)`.  See
+    /// [`crate::core::derive_query_seed`] — the derivation is shared with
+    /// [`EstimatorCore`] so artifact-loaded estimators and serving workers consume the
+    /// exact same stream.
     ///
     /// Note: PR 3 deliberately changed this derivation from the earlier `seed ^ hash`
     /// (which left structured low-entropy relations between query streams, the same
@@ -253,10 +371,8 @@ impl NeuroCard {
     /// from pre-PR-3 builds for the same `config.seed`.  The inference determinism
     /// contract is about the sampling *algorithm*: both in-tree paths (fast and
     /// reference) are driven from this same derived seed and must agree bit-for-bit.
-    fn query_seed(&self, query: &Query) -> u64 {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        query.render().hash(&mut hasher);
-        derive_stream_seed(self.config.seed, hasher.finish(), 0)
+    pub(crate) fn query_seed(&self, query: &Query) -> u64 {
+        derive_query_seed(self.config.seed, query)
     }
 
     /// Deterministic per-query randomness: the same query always yields the same
@@ -265,10 +381,24 @@ impl NeuroCard {
         StdRng::seed_from_u64(self.query_seed(query))
     }
 
+    /// The live trainer, or a panic for artifact-backed estimators (which, by design,
+    /// left their training database behind).
+    fn trainer_mut(&mut self) -> &mut Trainer {
+        match &mut self.backend {
+            Backend::Training { trainer, .. } => trainer,
+            Backend::Artifact(_) => panic!(
+                "this estimator was loaded from a model artifact and cannot train; rebuild \
+                 it from a live database with NeuroCard::build"
+            ),
+        }
+    }
+
     /// Continues training on additional tuples sampled from the *current* database
     /// (incremental update / "fast update" of §7.6).
+    ///
+    /// Panics on artifact-backed estimators.
     pub fn update_incremental(&mut self, tuples: usize) -> TrainProgress {
-        let progress = self.trainer.train_tuples(tuples);
+        let progress = self.trainer_mut().train_tuples(tuples);
         self.refresh_stats(&progress);
         progress
     }
@@ -279,23 +409,36 @@ impl NeuroCard {
     ///
     /// The token space (dictionaries) is kept fixed, so the snapshot must be compatible
     /// with the dictionary database supplied at build time.
+    ///
+    /// Panics on artifact-backed estimators.
     pub fn ingest_snapshot(&mut self, new_db: Arc<Database>, tuples: usize) -> TrainProgress {
-        self.db = new_db.clone();
+        // Refuse *before* computing join counts or touching |J|: panicking halfway
+        // through would leave a caller that catches the panic with a full_join_rows
+        // belonging to a database the model never saw.
+        assert!(
+            self.is_trainable(),
+            "this estimator was loaded from a model artifact and cannot train; rebuild \
+             it from a live database with NeuroCard::build"
+        );
         let counts = JoinCounts::compute_shared(&new_db, &self.schema);
         self.full_join_rows = counts.full_join_rows();
-        self.trainer
-            .set_source(TrainingSource::Unbiased(JoinSampler::with_counts(
-                new_db,
-                self.schema.clone(),
-                counts,
-            )));
-        let progress = self.trainer.train_tuples(tuples);
+        let schema = self.schema.clone();
+        let source =
+            TrainingSource::Unbiased(JoinSampler::with_counts(new_db.clone(), schema, counts));
+        let trainer = self.trainer_mut();
+        trainer.set_source(source);
+        let progress = trainer.train_tuples(tuples);
+        if let Backend::Training { db, .. } = &mut self.backend {
+            *db = new_db;
+        }
         self.refresh_stats(&progress);
         progress
     }
 
     fn refresh_stats(&mut self, progress: &TrainProgress) {
-        self.stats.tuples_trained = self.trainer.tuples_trained();
+        if let Backend::Training { trainer, .. } = &self.backend {
+            self.stats.tuples_trained = trainer.tuples_trained();
+        }
         self.stats.full_join_rows = self.full_join_rows;
         if progress.batches > 0 {
             self.stats.final_loss = progress.last_loss;
@@ -320,8 +463,22 @@ impl NeuroCard {
     }
 
     /// The database currently backing the sampler.
+    ///
+    /// Panics on artifact-backed estimators — an artifact deliberately carries no
+    /// database (use [`NeuroCard::is_trainable`] to check first).
     pub fn database(&self) -> &Arc<Database> {
-        &self.db
+        match &self.backend {
+            Backend::Training { db, .. } => db,
+            Backend::Artifact(_) => panic!(
+                "this estimator was loaded from a model artifact and has no training database"
+            ),
+        }
+    }
+
+    /// Whether this estimator still owns a live trainer (false once loaded from an
+    /// artifact).
+    pub fn is_trainable(&self) -> bool {
+        matches!(self.backend, Backend::Training { .. })
     }
 
     /// `|J|`, the size of the augmented full outer join.
@@ -334,9 +491,10 @@ impl NeuroCard {
         self.stats.model_bytes
     }
 
-    /// Serialises the model parameters (see [`nc_nn::serialize`]).
+    /// Serialises the model parameters (see [`nc_nn::serialize`]).  For the full
+    /// self-contained format use [`NeuroCard::to_artifact`].
     pub fn model_bytes(&self) -> bytes::Bytes {
-        nc_nn::serialize::model_to_bytes(self.trainer.model())
+        nc_nn::serialize::model_to_bytes(self.model())
     }
 }
 
@@ -452,6 +610,91 @@ mod tests {
         let config = NeuroCardConfig::tiny().with_training_tuples(500);
         let model = NeuroCard::build(db, schema, &config);
         model.estimate(&Query::join(&["A", "B"]).filter("A", "x", Predicate::eq(0i64)));
+    }
+
+    #[test]
+    fn artifact_backed_estimator_is_estimation_only() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(1_000);
+        let trained = NeuroCard::build(db.clone(), schema.clone(), &config);
+        let artifact = trained.to_artifact();
+        let loaded = NeuroCard::from_artifact(&artifact).unwrap();
+
+        assert!(trained.is_trainable());
+        assert!(!loaded.is_trainable());
+        assert_eq!(loaded.full_join_rows(), trained.full_join_rows());
+        assert_eq!(
+            loaded.stats().tuples_trained,
+            trained.stats().tuples_trained
+        );
+        assert_eq!(loaded.size_bytes(), trained.size_bytes());
+        assert_eq!(loaded.model_bytes(), trained.model_bytes());
+
+        // Estimation parity, including the batch and scratch paths.
+        let queries = vec![
+            Query::join(&["A", "B"]),
+            Query::join(&["A"]).filter("A", "cls", Predicate::eq(1i64)),
+        ];
+        let mut scratch = SamplerScratch::new();
+        for q in &queries {
+            assert_eq!(trained.estimate(q).to_bits(), loaded.estimate(q).to_bits());
+            assert_eq!(
+                trained.estimate(q).to_bits(),
+                loaded
+                    .estimate_with_samples_scratch(q, config.progressive_samples, &mut scratch)
+                    .to_bits()
+            );
+        }
+        assert_eq!(
+            trained.estimate_batch(&queries),
+            loaded.estimate_batch(&queries)
+        );
+
+        // `train` is the one-shot wrapper: same config + db ⇒ same artifact bytes.
+        let oneshot = NeuroCard::train(db, schema, &config);
+        assert_eq!(oneshot.to_bytes(), artifact.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train")]
+    fn artifact_backed_estimator_panics_on_training() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(500);
+        let artifact = NeuroCard::train(db, schema, &config);
+        let mut loaded = NeuroCard::from_artifact(&artifact).unwrap();
+        loaded.update_incremental(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training database")]
+    fn artifact_backed_estimator_panics_on_database_access() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(500);
+        let artifact = NeuroCard::train(db, schema, &config);
+        let loaded = NeuroCard::from_artifact(&artifact).unwrap();
+        let _ = loaded.database();
+    }
+
+    #[test]
+    fn zero_sample_budget_errors_in_try_api_and_clamps_in_infallible_api() {
+        let (db, schema) = correlated_db();
+        let config = NeuroCardConfig::tiny().with_training_tuples(500);
+        let model = NeuroCard::build(db, schema, &config);
+        let q = Query::join(&["A"]).filter("A", "cls", Predicate::eq(1i64));
+        assert_eq!(
+            model.try_estimate_with_samples(&q, 0),
+            Err(crate::infer::EstimateError::InvalidSampleCount)
+        );
+        // Documented infallible fallback: 0 clamps to 1 sample.
+        assert_eq!(
+            model.estimate_with_samples(&q, 0).to_bits(),
+            model.estimate_with_samples(&q, 1).to_bits()
+        );
+        // Valid budgets agree between the two APIs.
+        assert_eq!(
+            model.try_estimate_with_samples(&q, 8),
+            Ok(model.estimate_with_samples(&q, 8))
+        );
     }
 
     #[test]

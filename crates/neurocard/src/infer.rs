@@ -68,6 +68,11 @@ pub enum EstimateError {
         /// Column of the offending filter.
         column: String,
     },
+    /// A zero progressive-sample budget was requested.  A 0-sample Monte-Carlo estimate
+    /// is undefined (the old code silently substituted 1 sample); the fallible APIs now
+    /// report it, mirroring the `train_tuples(0)` fix of PR 2.  The infallible APIs keep
+    /// the documented clamp-to-1 fallback.
+    InvalidSampleCount,
 }
 
 impl std::fmt::Display for EstimateError {
@@ -76,6 +81,9 @@ impl std::fmt::Display for EstimateError {
             EstimateError::InvalidQuery(msg) => write!(f, "{msg}"),
             EstimateError::UnknownColumn { table, column } => {
                 write!(f, "filter references unknown column {table}.{column}")
+            }
+            EstimateError::InvalidSampleCount => {
+                write!(f, "progressive-sample budget must be at least 1")
             }
         }
     }
@@ -168,9 +176,10 @@ impl<'a> ProgressiveSampler<'a> {
     ///
     /// The returned estimate is lower-bounded by 1 row, mirroring the paper's Q-error
     /// convention.  Panics on malformed queries; use [`ProgressiveSampler::try_estimate`]
-    /// for a `Result`.
+    /// for a `Result`.  A zero sample budget falls back to 1 sample (documented
+    /// fallback; the fallible APIs report [`EstimateError::InvalidSampleCount`] instead).
     pub fn estimate(&self, query: &Query, num_samples: usize, rng: &mut StdRng) -> f64 {
-        self.try_estimate(query, num_samples, rng)
+        self.try_estimate(query, num_samples.max(1), rng)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -187,7 +196,8 @@ impl<'a> ProgressiveSampler<'a> {
     }
 
     /// [`ProgressiveSampler::estimate`] with caller-owned scratch buffers (zero
-    /// allocations in steady state; the batch API reuses one scratch per worker).
+    /// allocations in steady state; the batch API reuses one scratch per worker).  A zero
+    /// sample budget falls back to 1 sample, like [`ProgressiveSampler::estimate`].
     pub fn estimate_with_scratch(
         &self,
         query: &Query,
@@ -195,11 +205,15 @@ impl<'a> ProgressiveSampler<'a> {
         rng: &mut StdRng,
         scratch: &mut SamplerScratch,
     ) -> f64 {
-        self.try_estimate_with_scratch(query, num_samples, rng, scratch)
+        self.try_estimate_with_scratch(query, num_samples.max(1), rng, scratch)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible workhorse behind all the `estimate*` entry points.
+    ///
+    /// Unlike the infallible wrappers, a zero sample budget is an error here
+    /// ([`EstimateError::InvalidSampleCount`]) — a 0-sample estimate is not an estimate,
+    /// and silently substituting one sample hid caller bugs.
     pub fn try_estimate_with_scratch(
         &self,
         query: &Query,
@@ -207,6 +221,9 @@ impl<'a> ProgressiveSampler<'a> {
         rng: &mut StdRng,
         scratch: &mut SamplerScratch,
     ) -> Result<f64, EstimateError> {
+        if num_samples == 0 {
+            return Err(EstimateError::InvalidSampleCount);
+        }
         query
             .validate(self.schema)
             .map_err(|e| EstimateError::InvalidQuery(format!("invalid query {query}: {e}")))?;
@@ -214,7 +231,7 @@ impl<'a> ProgressiveSampler<'a> {
             Some(c) => c,
             None => return Ok(1.0), // a filter literal matched nothing
         };
-        let selectivity = self.selectivity(&constraints, num_samples.max(1), rng, scratch);
+        let selectivity = self.selectivity(&constraints, num_samples, rng, scratch);
         Ok((self.full_join_rows * selectivity).max(1.0))
     }
 
@@ -923,5 +940,8 @@ mod tests {
         assert_eq!(e.to_string(), "filter references unknown column t.c");
         let e = EstimateError::InvalidQuery("invalid query q: boom".into());
         assert!(e.to_string().contains("boom"));
+        assert!(EstimateError::InvalidSampleCount
+            .to_string()
+            .contains("at least 1"));
     }
 }

@@ -36,14 +36,18 @@
 //! println!("estimated rows: {cardinality}");
 //! ```
 
+pub mod artifact;
 pub mod config;
+pub mod core;
 pub mod encoding;
 pub mod estimator;
 pub mod factorization;
 pub mod infer;
 pub mod train;
 
+pub use artifact::{ArtifactLoadError, ArtifactManifest, ModelArtifact, MODEL_ARTIFACT_VERSION};
 pub use config::NeuroCardConfig;
+pub use core::EstimatorCore;
 pub use encoding::EncodedLayout;
 pub use estimator::{EstimatorStats, NeuroCard};
 pub use factorization::Factorization;

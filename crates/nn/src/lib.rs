@@ -21,6 +21,7 @@
 //!
 //! Everything is deterministic given a seed and runs on a single CPU core.
 
+pub mod artifact;
 pub mod layers;
 pub mod loss;
 pub mod made;
@@ -28,6 +29,7 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
+pub use artifact::{ArtifactError, ArtifactReader, ArtifactWriter};
 pub use layers::{relu, relu_backward, Embedding, Linear, MaskedLinear, Param};
 pub use loss::softmax_cross_entropy;
 pub use made::{InferenceScratch, MadeConfig, ResMade};

@@ -59,6 +59,10 @@ pub struct WideLayout {
     /// For fanout columns: (table order index, key column, value -> occurrence count).
     fanout_source: Vec<Option<(usize, String, HashMap<Value, u64>)>>,
     by_name: HashMap<String, usize>,
+    /// Whether [`WideLayout::materialize`] is available.  Layouts rebuilt from artifact
+    /// metadata ([`WideLayout::from_metadata`]) lack the per-key fanout maps (a training
+    /// concern); they serve inference, which only reads column metadata.
+    materializable: bool,
 }
 
 impl WideLayout {
@@ -158,7 +162,68 @@ impl WideLayout {
             indicator_source,
             fanout_source,
             by_name,
+            materializable: true,
         }
+    }
+
+    /// Rebuilds a layout from persisted column metadata alone (no [`Database`]).
+    ///
+    /// This is the model-artifact load path: inference needs the column list, name index
+    /// and table order, but not the per-key fanout maps (those exist only to materialise
+    /// *training* rows).  The returned layout therefore reports
+    /// [`WideLayout::is_materializable`]` == false` and panics if asked to materialise.
+    pub fn from_metadata(
+        columns: Vec<WideColumn>,
+        table_order: Vec<String>,
+    ) -> Result<Self, String> {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        let mut base_source = Vec::with_capacity(columns.len());
+        let mut indicator_source = Vec::with_capacity(columns.len());
+        let mut fanout_source = Vec::with_capacity(columns.len());
+        let table_index = |t: &str| {
+            table_order
+                .iter()
+                .position(|name| name == t)
+                .ok_or_else(|| format!("column table {t:?} is not in the table order"))
+        };
+        for (i, col) in columns.iter().enumerate() {
+            if by_name.insert(col.name.clone(), i).is_some() {
+                return Err(format!("duplicate column name {:?}", col.name));
+            }
+            let ti = table_index(&col.table)?;
+            match col.kind {
+                ColumnKind::Content | ColumnKind::JoinKey => {
+                    base_source.push(Some((ti, col.column.clone())));
+                    indicator_source.push(None);
+                    fanout_source.push(None);
+                }
+                ColumnKind::Indicator => {
+                    base_source.push(None);
+                    indicator_source.push(Some(ti));
+                    fanout_source.push(None);
+                }
+                ColumnKind::Fanout => {
+                    base_source.push(None);
+                    indicator_source.push(None);
+                    fanout_source.push(None);
+                }
+            }
+        }
+        Ok(WideLayout {
+            columns,
+            table_order,
+            base_source,
+            indicator_source,
+            fanout_source,
+            by_name,
+            materializable: false,
+        })
+    }
+
+    /// Whether this layout can materialise sampled rows (false for layouts rebuilt from
+    /// artifact metadata, which drop the training-only fanout maps).
+    pub fn is_materializable(&self) -> bool {
+        self.materializable
     }
 
     /// All columns in layout order.
@@ -197,7 +262,15 @@ impl WideLayout {
     }
 
     /// Materialises a sampled full-join row into the wide layout.
+    ///
+    /// Panics on metadata-only layouts (see [`WideLayout::from_metadata`]): they have no
+    /// fanout maps, and materialisation is a training-path operation anyway.
     pub fn materialize(&self, db: &Database, sample: &JoinSample) -> Vec<Value> {
+        assert!(
+            self.materializable,
+            "this layout was rebuilt from artifact metadata and cannot materialise rows \
+             (train against a live database instead)"
+        );
         assert_eq!(
             sample.slots.len(),
             self.table_order.len(),
@@ -375,6 +448,55 @@ mod tests {
             }
             assert!(any);
         }
+    }
+
+    #[test]
+    fn metadata_round_trip_preserves_lookup_structure() {
+        let (db, schema) = figure4();
+        let layout = WideLayout::new(&db, &schema);
+        assert!(layout.is_materializable());
+        let rebuilt =
+            WideLayout::from_metadata(layout.columns().to_vec(), layout.table_order().to_vec())
+                .unwrap();
+        assert!(!rebuilt.is_materializable());
+        assert_eq!(rebuilt.len(), layout.len());
+        assert_eq!(rebuilt.table_order(), layout.table_order());
+        for c in layout.columns() {
+            assert_eq!(
+                rebuilt.by_name.get(&c.name),
+                layout.by_name.get(&c.name),
+                "index of {} must survive the round trip",
+                c.name
+            );
+        }
+        assert_eq!(rebuilt.index_of("A", "x"), layout.index_of("A", "x"));
+        assert_eq!(rebuilt.indicator_index("B"), layout.indicator_index("B"));
+        assert_eq!(
+            rebuilt.fanout_index(&ColumnRef::parse("C.y")),
+            layout.fanout_index(&ColumnRef::parse("C.y"))
+        );
+        // Inconsistent metadata is reported, not panicked on.
+        assert!(WideLayout::from_metadata(layout.columns().to_vec(), vec!["A".into()]).is_err());
+        let mut dup = layout.columns().to_vec();
+        let clone = dup[0].clone();
+        dup.push(clone);
+        assert!(WideLayout::from_metadata(dup, layout.table_order().to_vec()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot materialise")]
+    fn metadata_layout_refuses_to_materialize() {
+        let (db, schema) = figure4();
+        let layout = WideLayout::new(&db, &schema);
+        let rebuilt =
+            WideLayout::from_metadata(layout.columns().to_vec(), layout.table_order().to_vec())
+                .unwrap();
+        rebuilt.materialize(
+            &db,
+            &JoinSample {
+                slots: vec![Some(0), Some(0), Some(0)],
+            },
+        );
     }
 
     #[test]

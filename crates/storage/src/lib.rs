@@ -29,6 +29,7 @@
 //! assert_eq!(db.table("t").unwrap().num_rows(), 2);
 //! ```
 
+pub mod binio;
 pub mod builder;
 pub mod catalog;
 pub mod column;
@@ -38,6 +39,7 @@ pub mod index;
 pub mod table;
 pub mod value;
 
+pub use binio::{BinError, BinReader};
 pub use builder::TableBuilder;
 pub use catalog::Database;
 pub use column::{Column, ColumnData};
