@@ -1,4 +1,10 @@
 //! The common estimator interface shared by NeuroCard and every baseline.
+//!
+//! The trait is deliberately **object-safe** — the benchmark harness evaluates
+//! `&dyn CardinalityEstimator`, and the serving layer registers heterogeneous models as
+//! `Arc<dyn CardinalityEstimator + Send + Sync>` — and the forwarding impls below make
+//! references and smart pointers (`&T`, `Box<T>`, `Arc<T>`, including their `dyn` forms)
+//! usable wherever a concrete estimator is.
 
 use nc_schema::Query;
 
@@ -18,6 +24,26 @@ pub trait CardinalityEstimator {
     }
 }
 
+// The compile-time guarantee the serving layer's registry relies on.
+const _: Option<&dyn CardinalityEstimator> = None;
+
+macro_rules! impl_forwarding {
+    ($($ty:ty),*) => {$(
+        impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for $ty {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn estimate(&self, query: &Query) -> f64 {
+                (**self).estimate(query)
+            }
+            fn size_bytes(&self) -> usize {
+                (**self).size_bytes()
+            }
+        }
+    )*};
+}
+impl_forwarding!(&T, Box<T>, std::sync::Arc<T>);
+
 /// Blanket implementation so a trained [`neurocard::NeuroCard`] can be used anywhere a
 /// baseline can.
 impl CardinalityEstimator for neurocard::NeuroCard {
@@ -31,6 +57,23 @@ impl CardinalityEstimator for neurocard::NeuroCard {
 
     fn size_bytes(&self) -> usize {
         neurocard::NeuroCard::size_bytes(self)
+    }
+}
+
+/// The artifact-loaded estimation engine is an estimator too: this is what lets the
+/// serving registry treat a database-free [`neurocard::EstimatorCore`] and any baseline
+/// uniformly (the registry keeps a scratch-pool fast path for cores on top of this).
+impl CardinalityEstimator for neurocard::EstimatorCore {
+    fn name(&self) -> &str {
+        "NeuroCard"
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        neurocard::EstimatorCore::estimate(self, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        neurocard::EstimatorCore::size_bytes(self)
     }
 }
 
@@ -54,5 +97,23 @@ mod tests {
         assert_eq!(est.name(), "fixed");
         assert_eq!(est.estimate(&Query::join(&["t"])), 42.0);
         assert_eq!(est.size_bytes(), 0);
+    }
+
+    #[test]
+    fn forwarding_impls_behave_like_the_inner_estimator() {
+        let q = Query::join(&["t"]);
+        let inner = Fixed(7.0);
+        assert_eq!((&inner).estimate(&q), 7.0);
+        assert_eq!((&inner).name(), "fixed");
+
+        let boxed: Box<dyn CardinalityEstimator> = Box::new(Fixed(8.0));
+        // A Box<dyn ...> is itself an estimator (double indirection still forwards).
+        assert_eq!(CardinalityEstimator::estimate(&boxed, &q), 8.0);
+
+        let shared: std::sync::Arc<dyn CardinalityEstimator + Send + Sync> =
+            std::sync::Arc::new(Fixed(9.0));
+        assert_eq!(CardinalityEstimator::estimate(&shared, &q), 9.0);
+        assert_eq!(shared.name(), "fixed");
+        assert_eq!(shared.size_bytes(), 0);
     }
 }

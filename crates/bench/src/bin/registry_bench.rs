@@ -1,0 +1,323 @@
+//! Benchmarks the **multi-model registry**: heterogeneous models behind one router, a
+//! hot artifact swap under live traffic, and the wire front-end — asserting the
+//! determinism contract across every path, every run.
+//!
+//! What it does:
+//!
+//! 1. Loads (or trains; honours `NC_ARTIFACT`) a NeuroCard artifact and registers it
+//!    next to two baselines — Postgres-like and IBJS — under the schema fingerprint
+//!    stamped in the artifact manifest.
+//! 2. Measures registry-routed in-process throughput per model (acquire → estimate →
+//!    release per request, nearest-rank p50/p99).
+//! 3. Starts the TCP front-end and replays the NeuroCard workload over the wire.
+//! 4. Performs **one hot swap** (NeuroCard v1 → v2, same artifact bytes) while client
+//!    threads are mid-workload, then verifies the old version drained and the new one
+//!    serves.
+//! 5. **Asserts every run**: for each query, the in-process registry estimate and the
+//!    TCP round-trip estimate are bit-identical to a direct sequential
+//!    `EstimatorCore::estimate`, before and after the swap — the acceptance gate of the
+//!    registry redesign.
+//!
+//! Writes a machine-readable `BENCH_registry.json` (path overridable via
+//! `NC_BENCH_REGISTRY_JSON`).  Knobs: `NC_SERVE_CLIENTS` (swap-phase client threads,
+//! default 3).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nc_baselines::{IbjsEstimator, PostgresLikeEstimator};
+use nc_bench::harness::{build_or_load_neurocard, print_preamble};
+use nc_bench::{BenchEnv, HarnessConfig};
+use nc_serve::{
+    BaselineModel, ModelRegistry, ModelSelector, RegistryService, ScratchPool, ServeClient,
+    ServeRequest, ServiceConfig, TcpServer,
+};
+use nc_workloads::job_light_queries;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Per-model in-process routing throughput, one row of `BENCH_registry.json`.
+#[derive(serde::Serialize)]
+struct ModelResult {
+    name: String,
+    version: u64,
+    requests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    queries_per_sec: f64,
+}
+
+/// The machine-readable benchmark record CI archives.
+#[derive(serde::Serialize)]
+struct RegistryBenchRecord {
+    bench: String,
+    smoke: bool,
+    schema_fingerprint: String,
+    queries: usize,
+    psamples: usize,
+    models: Vec<ModelResult>,
+    tcp_requests: usize,
+    tcp_queries_per_sec: f64,
+    swap_publish_us: f64,
+    swap_drain_us: f64,
+    swap_phase_requests: usize,
+    determinism_checks: usize,
+}
+
+fn quantiles(mut us: Vec<f64>) -> (f64, f64) {
+    us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+    (pick(0.50), pick(0.99))
+}
+
+fn main() {
+    let config = HarnessConfig::from_cli();
+    let env = BenchEnv::job_light(&config);
+    print_preamble(
+        "Registry bench: multi-model routing + hot swap",
+        &env.name,
+        &config,
+    );
+    let clients = env_usize("NC_SERVE_CLIENTS", 3);
+
+    // NeuroCard through the full persistence path (NC_ARTIFACT makes this a pure load).
+    let model = build_or_load_neurocard(&env, &config);
+    let artifact_bytes = model.to_artifact().to_bytes();
+    let artifact = neurocard::ModelArtifact::from_bytes(&artifact_bytes)
+        .expect("round-tripping the just-written artifact");
+    let fingerprint = artifact.schema_fingerprint();
+    let core = Arc::new(artifact.to_core().expect("loading just-written weights"));
+    let queries = job_light_queries(&env.db, &env.schema, config.queries, config.seed);
+    let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+    let mut determinism_checks = 0usize;
+
+    // One registry, three estimator kinds.
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_core("neurocard", core.clone())
+        .expect("fresh registry");
+    registry
+        .register(
+            fingerprint,
+            "postgres",
+            Arc::new(BaselineModel::with_schema(
+                PostgresLikeEstimator::build(&env.db, &env.schema),
+                env.schema.clone(),
+            )),
+        )
+        .expect("fresh name");
+    registry
+        .register(
+            fingerprint,
+            "ibjs",
+            Arc::new(BaselineModel::with_schema(
+                IbjsEstimator::new(
+                    env.db.clone(),
+                    env.schema.clone(),
+                    config.baseline_samples,
+                    config.seed,
+                ),
+                env.schema.clone(),
+            )),
+        )
+        .expect("fresh name");
+    println!(
+        "registered {} models under schema {fingerprint:016x}: {:?}\n",
+        registry.keys().len(),
+        registry
+            .keys()
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // ---- In-process routing throughput per model ------------------------------------
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>14}",
+        "Model", "requests", "p50 (us)", "p99 (us)", "queries/sec"
+    );
+    let pool = ScratchPool::new(1);
+    let mut model_results = Vec::new();
+    for name in ["neurocard", "postgres", "ibjs"] {
+        let selector = ModelSelector::latest(fingerprint, name);
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut scratch = pool.checkout();
+        let start = Instant::now();
+        let mut version = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let request = ServeRequest::new(selector.clone(), q.clone());
+            let request = if name == "neurocard" {
+                request.with_samples(config.psamples)
+            } else {
+                request
+            };
+            let t = Instant::now();
+            let reply = registry
+                .handle(&request, &mut scratch)
+                .expect("workload queries are valid");
+            latencies.push(t.elapsed().as_secs_f64() * 1e6);
+            version = reply.key.version;
+            if name == "neurocard" {
+                assert!(
+                    reply.estimate.to_bits() == sequential[i].to_bits(),
+                    "registry-routed estimate diverged from the direct core on query {i}"
+                );
+                determinism_checks += 1;
+            }
+        }
+        pool.checkin(scratch);
+        let wall = start.elapsed().as_secs_f64();
+        let (p50, p99) = quantiles(latencies);
+        let qps = queries.len() as f64 / wall.max(1e-12);
+        println!(
+            "{:<12} {:>10} {:>12.0} {:>12.0} {:>14.0}",
+            name,
+            queries.len(),
+            p50,
+            p99,
+            qps
+        );
+        model_results.push(ModelResult {
+            name: name.to_string(),
+            version,
+            requests: queries.len(),
+            p50_us: p50,
+            p99_us: p99,
+            queries_per_sec: qps,
+        });
+    }
+
+    // ---- The same workload over the TCP wire protocol --------------------------------
+    let server = TcpServer::bind(registry.clone(), "127.0.0.1:0").expect("binding loopback");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connecting to loopback");
+    let selector = ModelSelector::latest(fingerprint, "neurocard");
+    let start = Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        let reply = client
+            .request(&ServeRequest::new(selector.clone(), q.clone()).with_samples(config.psamples))
+            .expect("workload queries are valid over the wire");
+        assert!(
+            reply.estimate.to_bits() == sequential[i].to_bits(),
+            "TCP estimate diverged from the direct core on query {i}"
+        );
+        determinism_checks += 1;
+    }
+    let tcp_wall = start.elapsed().as_secs_f64();
+    let tcp_qps = queries.len() as f64 / tcp_wall.max(1e-12);
+    println!(
+        "\nTCP front-end: {} requests at {:.0} queries/sec (bit-identical to the core)",
+        queries.len(),
+        tcp_qps
+    );
+
+    // ---- Hot swap under live traffic --------------------------------------------------
+    // v2 is loaded from the same artifact bytes: versioning is exercised end to end and
+    // v2's estimates are known-identical, so determinism stays assertable mid-swap.
+    let v2 = Arc::new(
+        neurocard::ModelArtifact::from_bytes(&artifact_bytes)
+            .expect("artifact bytes round-trip")
+            .to_core()
+            .expect("weights load"),
+    );
+    let service = RegistryService::new(
+        registry.clone(),
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            default_samples: Some(config.psamples),
+        },
+    );
+    let swap_stats = std::thread::scope(|scope| {
+        for client_id in 0..clients {
+            let handle = service.handle();
+            let queries = &queries;
+            let sequential = &sequential;
+            let selector = &selector;
+            scope.spawn(move || {
+                for round in 0..2 {
+                    for i in 0..queries.len() {
+                        let idx = (i + client_id + round) % queries.len();
+                        let reply = handle
+                            .request(
+                                ServeRequest::new(selector.clone(), queries[idx].clone())
+                                    .with_samples(config.psamples),
+                            )
+                            .expect("no request may be lost across a hot swap");
+                        assert!(
+                            reply.estimate.to_bits() == sequential[idx].to_bits(),
+                            "estimate diverged across the swap on query {idx}"
+                        );
+                    }
+                }
+            });
+        }
+        // Publish v2 while the clients above are mid-workload.
+        let t = Instant::now();
+        let receipt = registry
+            .swap(fingerprint, "neurocard", v2.clone())
+            .expect("neurocard is registered");
+        let publish_us = t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        let drained = registry.wait_drained(&receipt.old, std::time::Duration::from_secs(30));
+        let drain_us = t.elapsed().as_secs_f64() * 1e6;
+        assert!(drained, "v1 must drain once its in-flight requests finish");
+        (receipt, publish_us, drain_us)
+    });
+    let (receipt, publish_us, drain_us) = swap_stats;
+    let service_stats = service.shutdown();
+    determinism_checks += service_stats.served;
+    assert_eq!(
+        registry.latest(fingerprint, "neurocard").map(|k| k.version),
+        Some(receipt.new.version),
+        "the swapped version must be current"
+    );
+    assert!(registry.draining_versions().is_empty());
+    println!(
+        "hot swap: published {} in {:.0} us; v{} drained in {:.0} us; {} requests served \
+         across the swap, zero lost",
+        receipt.new, publish_us, receipt.old.version, drain_us, service_stats.served
+    );
+
+    // Post-swap, both transports serve v2 bit-identically.
+    let reply = client
+        .request(
+            &ServeRequest::new(selector.clone(), queries[0].clone()).with_samples(config.psamples),
+        )
+        .expect("the wire follows the swap");
+    assert_eq!(reply.key, receipt.new);
+    assert!(reply.estimate.to_bits() == sequential[0].to_bits());
+    determinism_checks += 1;
+    server.shutdown();
+
+    println!(
+        "\ndeterminism verified: {determinism_checks} registry-routed estimates (in-process, \
+         TCP, and across a hot swap) were bit-identical to the sequential core"
+    );
+
+    let record = RegistryBenchRecord {
+        bench: "registry".to_string(),
+        smoke: config.smoke,
+        schema_fingerprint: format!("{fingerprint:016x}"),
+        queries: queries.len(),
+        psamples: config.psamples,
+        models: model_results,
+        tcp_requests: queries.len(),
+        tcp_queries_per_sec: tcp_qps,
+        swap_publish_us: publish_us,
+        swap_drain_us: drain_us,
+        swap_phase_requests: service_stats.served,
+        determinism_checks,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serialisation");
+    let json_path = std::env::var("NC_BENCH_REGISTRY_JSON")
+        .unwrap_or_else(|_| "BENCH_registry.json".to_string());
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

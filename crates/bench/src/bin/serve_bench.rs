@@ -1,16 +1,19 @@
-//! Benchmarks the **serving layer** (PR 4): a long-lived `EstimatorService` over an
+//! Benchmarks the **serving layer**: a long-lived registry-routed service over an
 //! artifact-loaded model, driven by N client threads at configurable concurrency.
 //!
-//! What it measures, per worker count:
+//! Since the registry redesign this binary speaks the transport-independent protocol —
+//! clients submit [`nc_serve::ServeRequest`]s selecting "latest NeuroCard for this
+//! schema" through a [`nc_serve::RegistryService`] — the same types the TCP front-end
+//! and `registry_bench` use.  What it measures, per worker count:
 //!
 //! * p50 / p99 request latency (queue wait + compute, from the service's own accounting),
 //! * sustained queries/sec across all clients,
-//! * and it **asserts** the service's determinism contract on every run: each estimate
+//! * and it **asserts** the serving determinism contract on every run: each estimate
 //!   must be bit-identical to a sequential `EstimatorCore::estimate` of the same query,
 //!   regardless of worker count or interleaving.
 //!
 //! The model is loaded through the full persistence path (train → artifact bytes →
-//! service), so this binary doubles as the end-to-end artifact smoke test, and with
+//! registry), so this binary doubles as the end-to-end artifact smoke test, and with
 //! `--save-artifact <path>` (or `NC_SAVE_ARTIFACT`) it exports the trained artifact —
 //! CI runs it first and feeds the cached artifact to the table1–3 smoke runs.
 //!
@@ -20,11 +23,12 @@
 //! Writes a machine-readable `BENCH_serve.json` (path overridable via
 //! `NC_BENCH_SERVE_JSON`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use nc_bench::harness::{build_or_load_neurocard, print_preamble};
 use nc_bench::{BenchEnv, HarnessConfig};
-use nc_serve::{EstimatorService, ServiceConfig};
+use nc_serve::{ModelRegistry, ModelSelector, RegistryService, ServeRequest, ServiceConfig};
 use nc_workloads::job_light_queries;
 
 fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
@@ -68,6 +72,7 @@ struct ServeBenchRecord {
     rounds: usize,
     queue_depth: usize,
     artifact_bytes: usize,
+    schema_fingerprint: String,
     runs: Vec<RunResult>,
 }
 
@@ -75,7 +80,7 @@ fn main() {
     let config = HarnessConfig::from_cli();
     let env = BenchEnv::job_light(&config);
     print_preamble(
-        "Serve bench: concurrent estimator service",
+        "Serve bench: registry-routed concurrent serving",
         &env.name,
         &config,
     );
@@ -97,11 +102,16 @@ fn main() {
     );
 
     let queries = job_light_queries(&env.db, &env.schema, config.queries, config.seed);
-    let core = neurocard::ModelArtifact::from_bytes(&artifact_bytes)
-        .expect("round-tripping the just-written artifact")
-        .to_core()
-        .expect("loading the just-written weights");
+    let artifact = neurocard::ModelArtifact::from_bytes(&artifact_bytes)
+        .expect("round-tripping the just-written artifact");
+    let fingerprint = artifact.schema_fingerprint();
+    let core = Arc::new(
+        artifact
+            .to_core()
+            .expect("loading the just-written weights"),
+    );
     let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+    let selector = ModelSelector::latest(fingerprint, "neurocard");
 
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>14}",
@@ -109,15 +119,18 @@ fn main() {
     );
     let mut results = Vec::new();
     for &workers in &worker_counts {
-        let service = EstimatorService::from_artifact_bytes(
-            &artifact_bytes,
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register_core("neurocard", core.clone())
+            .expect("fresh registry");
+        let service = RegistryService::new(
+            registry,
             ServiceConfig {
                 workers,
                 queue_depth,
                 default_samples: Some(config.psamples),
             },
-        )
-        .expect("starting the service from artifact bytes");
+        );
 
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -125,19 +138,24 @@ fn main() {
                 let handle = service.handle();
                 let queries = &queries;
                 let sequential = &sequential;
+                let selector = &selector;
                 scope.spawn(move || {
                     for round in 0..rounds {
                         // Each client walks the workload at a different offset so the
                         // queue sees interleaved, not lock-step, request streams.
                         for i in 0..queries.len() {
                             let idx = (i + client + round) % queries.len();
-                            let est = handle
-                                .estimate_with_samples(&queries[idx], config.psamples)
+                            let reply = handle
+                                .request(
+                                    ServeRequest::new(selector.clone(), queries[idx].clone())
+                                        .with_samples(config.psamples),
+                                )
                                 .expect("workload queries are valid");
                             assert!(
-                                est.to_bits() == sequential[idx].to_bits(),
+                                reply.estimate.to_bits() == sequential[idx].to_bits(),
                                 "service diverged from sequential estimate on query {idx}: \
-                                 {est} vs {}",
+                                 {} vs {}",
+                                reply.estimate,
                                 sequential[idx]
                             );
                         }
@@ -176,6 +194,7 @@ fn main() {
         rounds,
         queue_depth,
         artifact_bytes: artifact_bytes.len(),
+        schema_fingerprint: format!("{fingerprint:016x}"),
         runs: results,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serialisation");

@@ -8,13 +8,25 @@
 //! * structs with named fields (including empty `{}` structs and unit structs),
 //! * enums with unit, tuple, and struct variants.
 //! Generic types are rejected with a clear compile error.
+//!
+//! Supported field attributes: `#[serde(default)]` — on deserialisation a missing (or
+//! explicitly `null`) field resolves to `Default::default()` instead of erroring, which
+//! is how new manifest fields stay loadable from artifacts written before the field
+//! existed.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field plus the serde attributes this shim understands.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialise a missing/null field as `Default::default()`.
+    default: bool,
+}
 
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -23,7 +35,7 @@ struct Variant {
 }
 
 enum Shape {
-    Struct { fields: Vec<String> },
+    Struct { fields: Vec<Field> },
     TupleStruct { arity: usize },
     Enum { variants: Vec<Variant> },
 }
@@ -35,15 +47,39 @@ struct Parsed {
 
 /// Skips any number of `#[...]` attribute token pairs starting at `i`.
 fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    scan_attrs(tokens, i);
+}
+
+/// Skips any number of `#[...]` attribute token pairs starting at `i`, reporting whether
+/// a `#[serde(default)]` was among them.
+fn scan_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     while *i + 1 < tokens.len() {
         match (&tokens[*i], &tokens[*i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
+                has_default |= attr_is_serde_default(g);
                 *i += 2;
             }
             _ => break,
         }
+    }
+    has_default
+}
+
+/// Whether a `[...]` attribute body is `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
     }
 }
 
@@ -111,17 +147,21 @@ fn count_tuple_fields(group: &proc_macro::Group) -> usize {
     count
 }
 
-/// Extracts named field identifiers from a brace group (`{ a: T, pub b: U, ... }`).
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Extracts named fields (and their serde attributes) from a brace group
+/// (`{ a: T, #[serde(default)] pub b: U, ... }`).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs(&tokens, &mut i);
+        let default = scan_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Ident(id)) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    default,
+                });
                 i += 1;
                 // Expect `:` then the type.
                 skip_past_comma(&tokens, &mut i);
@@ -210,7 +250,7 @@ fn parse_input(input: TokenStream, trait_name: &str) -> Parsed {
     Parsed { name, shape }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input, "Serialize");
     let name = &parsed.name;
@@ -218,7 +258,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct { fields } => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Json::Object(vec![{}])", entries.join(", "))
         }
@@ -256,10 +299,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binders = fields.join(", ");
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let binders = binders.join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"
                                     )
@@ -282,7 +328,26 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive generated invalid Rust")
 }
 
-#[proc_macro_derive(Deserialize)]
+/// Renders the initialiser expression of one named struct field inside a generated
+/// `from_json`.  `#[serde(default)]` fields treat a missing entry (which
+/// `::serde::de::field` resolves to `null`) or an explicit `null` as
+/// `Default::default()`.
+fn field_init(field: &Field, ty: &str, source: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::de::field({source}, \"{ty}\", \"{f}\")? {{ \
+             ::serde::Json::Null => ::core::default::Default::default(), \
+             __f => ::serde::Deserialize::from_json(__f)? }}"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_json(::serde::de::field({source}, \"{ty}\", \"{f}\")?)?"
+        )
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input, "Deserialize");
     let name = &parsed.name;
@@ -292,14 +357,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             format!("let _ = __v; Ok({name} {{}})")
         }
         Shape::Struct { fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_json(::serde::de::field(__v, \"{name}\", \"{f}\")?)?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, name, "__v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         // Match the Serialize direction: a newtype struct is its inner value, a wider
@@ -341,13 +399,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantKind::Struct(fields) => {
+                            let ty = format!("{name}::{vname}");
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_json(::serde::de::field(__val, \"{name}::{vname}\", \"{f}\")?)?"
-                                    )
-                                })
+                                .map(|f| field_init(f, &ty, "__val"))
                                 .collect();
                             Some(format!(
                                 "\"{vname}\" => Ok({name}::{vname} {{ {} }}),",

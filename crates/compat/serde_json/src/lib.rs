@@ -449,6 +449,42 @@ mod tests {
     }
 
     #[test]
+    fn serde_default_fields_tolerate_old_documents() {
+        // A "new" struct with fields an old writer did not know about: the
+        // `#[serde(default)]` fields must fill in, the mandatory ones must still error
+        // when absent.
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Versioned {
+            id: u64,
+            #[serde(default)]
+            fingerprint: String,
+            #[serde(default)]
+            retries: u32,
+            label: String,
+        }
+
+        // Old document: neither `fingerprint` nor `retries` present.
+        let old: Versioned = from_str("{\"id\":1,\"label\":\"x\"}").unwrap();
+        assert_eq!(old.fingerprint, "");
+        assert_eq!(old.retries, 0);
+        // Explicit null also resolves to the default.
+        let nulled: Versioned =
+            from_str("{\"id\":1,\"label\":\"x\",\"fingerprint\":null}").unwrap();
+        assert_eq!(nulled.fingerprint, "");
+        // Present values still win, and the full round trip is unchanged.
+        let value = Versioned {
+            id: 2,
+            fingerprint: "abcd".into(),
+            retries: 3,
+            label: "y".into(),
+        };
+        let back: Versioned = from_str(&to_string_pretty(&value).unwrap()).unwrap();
+        assert_eq!(back, value);
+        // Mandatory fields keep erroring when missing.
+        assert!(from_str::<Versioned>("{\"id\":1}").is_err());
+    }
+
+    #[test]
     fn derived_shapes_serialize_like_serde() {
         #[derive(Serialize)]
         struct Named {

@@ -47,6 +47,33 @@ use crate::factorization::Factorization;
 /// version; this one tracks the section set and their encodings).
 pub const MODEL_ARTIFACT_VERSION: u32 = 1;
 
+/// Deterministic fingerprint of a join schema: FNV-1a 64 over an unambiguous
+/// (length-prefixed) rendering of the tables in declared order, every join edge, and the
+/// root table.
+///
+/// This is the **routing identity** of a schema in the multi-model serving layer: two
+/// artifacts trained for the same `(tables, edges, root)` fingerprint identically, no
+/// matter what data or config they were trained with, so a registry can group model
+/// versions per schema and a request can say "latest model for this schema" without
+/// shipping the schema itself.  It is stamped into every [`ArtifactManifest`] at export
+/// time and revalidated against the decoded schema on load.
+pub fn schema_fingerprint(schema: &JoinSchema) -> u64 {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(schema.tables().len() as u64).to_le_bytes());
+    for t in schema.tables() {
+        put_string(&mut buf, t);
+    }
+    buf.extend_from_slice(&(schema.edges().len() as u64).to_le_bytes());
+    for e in schema.edges() {
+        put_string(&mut buf, &e.left.table);
+        put_string(&mut buf, &e.left.column);
+        put_string(&mut buf, &e.right.table);
+        put_string(&mut buf, &e.right.column);
+    }
+    put_string(&mut buf, schema.root());
+    nc_nn::artifact::fnv1a64(&buf)
+}
+
 /// Why a model artifact failed to load.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArtifactLoadError {
@@ -111,6 +138,12 @@ pub struct ArtifactManifest {
     pub final_loss: f32,
     /// `|J|` as a decimal string (u128 exceeds JSON's integer range).
     pub full_join_rows: String,
+    /// [`schema_fingerprint`] of the `schema` section, as a 16-digit lower-case hex
+    /// string.  Empty in artifacts written before multi-model serving existed
+    /// (`#[serde(default)]` keeps those loadable); the loader recomputes and, when the
+    /// field is present, cross-checks it.
+    #[serde(default)]
+    pub schema_fingerprint: String,
 }
 
 /// A self-contained trained estimator: config + schema + encodings + weights.
@@ -164,6 +197,7 @@ impl ModelArtifact {
                 0.0
             },
             full_join_rows: full_join_rows.to_string(),
+            schema_fingerprint: format!("{:016x}", schema_fingerprint(&schema)),
         };
         ModelArtifact {
             manifest,
@@ -258,6 +292,30 @@ impl ModelArtifact {
         let schema: SchemaSection = read_json_section(&reader, "schema")?;
         let schema = JoinSchema::new(schema.tables, schema.edges, &schema.root)
             .map_err(|e| section_err("schema", e))?;
+
+        // The fingerprint is derived state: recompute it from the decoded schema, and if
+        // the manifest carries one (it is absent in pre-serving artifacts, where
+        // `#[serde(default)]` leaves it empty) insist that it matches — a mismatch means
+        // the schema section was swapped out from under the manifest.  Old artifacts get
+        // the recomputed value filled in, so `manifest().schema_fingerprint` is reliable
+        // either way.
+        let computed_fingerprint = schema_fingerprint(&schema);
+        let mut manifest = manifest;
+        if manifest.schema_fingerprint.is_empty() {
+            manifest.schema_fingerprint = format!("{computed_fingerprint:016x}");
+        } else {
+            let stored = u64::from_str_radix(&manifest.schema_fingerprint, 16)
+                .map_err(|_| section_err("manifest", "schema_fingerprint is not a hex u64"))?;
+            if stored != computed_fingerprint {
+                return Err(section_err(
+                    "manifest",
+                    format!(
+                        "schema fingerprint mismatch: manifest says {stored:016x}, the schema \
+                         section hashes to {computed_fingerprint:016x}"
+                    ),
+                ));
+            }
+        }
 
         // Layout (binary).
         let payload = reader.require("layout")?;
@@ -392,6 +450,12 @@ impl ModelArtifact {
     /// The join schema stored in the artifact.
     pub fn schema(&self) -> &Arc<JoinSchema> {
         &self.schema
+    }
+
+    /// The [`schema_fingerprint`] of this artifact's schema — the identity a model
+    /// registry routes requests by.
+    pub fn schema_fingerprint(&self) -> u64 {
+        schema_fingerprint(&self.schema)
     }
 
     /// `|J|` recorded at export time.
@@ -533,6 +597,118 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn schema_fingerprint_distinguishes_schemas_and_survives_round_trips() {
+        let (model, _, schema) = trained();
+        let fp = schema_fingerprint(&schema);
+        let artifact = model.to_artifact();
+        assert_eq!(artifact.schema_fingerprint(), fp);
+        assert_eq!(artifact.manifest().schema_fingerprint, format!("{fp:016x}"));
+        let back = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(back.schema_fingerprint(), fp);
+
+        // Every structural ingredient moves the fingerprint.
+        let renamed = JoinSchema::new(
+            vec!["A".into(), "C".into()],
+            vec![Edge::parse("A.x", "C.x")],
+            "A",
+        )
+        .unwrap();
+        assert_ne!(schema_fingerprint(&renamed), fp);
+        let other_root = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![Edge::parse("A.x", "B.x")],
+            "B",
+        )
+        .unwrap();
+        assert_ne!(schema_fingerprint(&other_root), fp);
+        let other_edge = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![Edge::parse("A.c", "B.x")],
+            "A",
+        )
+        .unwrap();
+        assert_ne!(schema_fingerprint(&other_edge), fp);
+        // ...and identical structure reproduces it exactly.
+        let same = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![Edge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        assert_eq!(schema_fingerprint(&same), fp);
+    }
+
+    /// Rewrites the artifact's manifest section through `edit`, preserving the other
+    /// sections — simulates artifacts written by older builds.
+    fn rewrite_manifest(bytes: &[u8], edit: impl Fn(&str) -> String) -> Bytes {
+        let reader = ArtifactReader::parse(bytes).unwrap();
+        let mut w = ArtifactWriter::new();
+        for name in [
+            "manifest", "config", "schema", "layout", "dicts", "facts", "weights",
+        ] {
+            let payload = reader.require(name).unwrap().to_vec();
+            if name == "manifest" {
+                let text = std::str::from_utf8(&payload).unwrap();
+                w.section(name, edit(text).into_bytes());
+            } else {
+                w.section(name, payload);
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn pre_fingerprint_artifacts_still_load() {
+        let (model, _, schema) = trained();
+        let bytes = model.to_artifact().to_bytes();
+
+        // A PR-4 era manifest has no schema_fingerprint entry at all.
+        let old = rewrite_manifest(&bytes, |text| {
+            let stripped: Vec<&str> = text
+                .lines()
+                .filter(|l| !l.contains("schema_fingerprint"))
+                .collect();
+            let stripped = stripped.join("\n");
+            // Removing the last entry leaves a trailing comma on the previous line.
+            stripped.replace(",\n}", "\n}")
+        });
+        let loaded = ModelArtifact::from_bytes(&old).expect("old artifacts must load");
+        // The loader fills the fingerprint in from the schema section...
+        assert_eq!(
+            loaded.manifest().schema_fingerprint,
+            format!("{:016x}", schema_fingerprint(&schema))
+        );
+        // ...and the loaded model still estimates bit-identically.
+        let q = Query::join(&["A", "B"]);
+        assert_eq!(
+            loaded.to_core().unwrap().estimate(&q).to_bits(),
+            model.estimate(&q).to_bits()
+        );
+
+        // A *wrong* fingerprint is rejected, as is a malformed one.
+        let lying = rewrite_manifest(&bytes, |text| {
+            text.replace(
+                &format!("{:016x}", schema_fingerprint(&schema)),
+                "00000000deadbeef",
+            )
+        });
+        assert!(matches!(
+            ModelArtifact::from_bytes(&lying),
+            Err(ArtifactLoadError::Section {
+                name: "manifest",
+                ..
+            })
+        ));
+        let garbled = rewrite_manifest(&bytes, |text| {
+            text.replace(
+                &format!("{:016x}", schema_fingerprint(&schema)),
+                "not-hex-at-all",
+            )
+        });
+        assert!(ModelArtifact::from_bytes(&garbled).is_err());
     }
 
     #[test]

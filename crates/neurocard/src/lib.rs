@@ -45,7 +45,9 @@ pub mod factorization;
 pub mod infer;
 pub mod train;
 
-pub use artifact::{ArtifactLoadError, ArtifactManifest, ModelArtifact, MODEL_ARTIFACT_VERSION};
+pub use artifact::{
+    schema_fingerprint, ArtifactLoadError, ArtifactManifest, ModelArtifact, MODEL_ARTIFACT_VERSION,
+};
 pub use config::NeuroCardConfig;
 pub use core::EstimatorCore;
 pub use encoding::EncodedLayout;

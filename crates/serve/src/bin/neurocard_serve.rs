@@ -1,0 +1,109 @@
+//! `neurocard-serve`: the TCP front-end binary.
+//!
+//! Loads one or more model artifacts, registers each in a [`ModelRegistry`] under its
+//! schema fingerprint, and serves the wire protocol on a `std::net::TcpListener` until
+//! killed.  Usage:
+//!
+//! ```text
+//! neurocard-serve [--listen ADDR] [name=]artifact.ncar [[name=]artifact2.ncar ...]
+//! ```
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:8466`; use port 0 for an
+//!   ephemeral port, printed on startup).
+//! * each positional argument is an artifact path, optionally prefixed `name=`; without
+//!   a prefix the file stem is the model name.  Registering the same name twice (for
+//!   the same schema) hot-swaps it to the next version.
+//!
+//! Clients speak the length-prefixed binary protocol of `nc_serve::protocol` — see
+//! `ServeClient` for the in-tree client, or the README's framing table for the wire
+//! layout.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use nc_serve::{ModelRegistry, TcpServer};
+use neurocard::ModelArtifact;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: neurocard-serve [--listen ADDR] [name=]artifact.ncar [...]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:8466".to_string();
+    let mut artifacts: Vec<(Option<String>, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => match args.get(i + 1) {
+                Some(addr) => {
+                    listen = addr.clone();
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            arg => {
+                let (name, path) = match arg.split_once('=') {
+                    Some((name, path)) => (Some(name.to_string()), path.to_string()),
+                    None => (None, arg.to_string()),
+                };
+                artifacts.push((name, path));
+                i += 1;
+            }
+        }
+    }
+    if artifacts.is_empty() {
+        return usage();
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    for (name, path) in &artifacts {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let artifact = match ModelArtifact::from_bytes(&bytes) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {path} is not a loadable model artifact: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let core = match artifact.to_core() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: could not build the estimator from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = name.clone().unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "model".to_string())
+        });
+        let key = registry.publish(artifact.schema_fingerprint(), &name, Arc::new(core));
+        println!(
+            "registered {key} from {path} ({} params, |J| = {})",
+            artifact.manifest().num_params,
+            artifact.manifest().full_join_rows
+        );
+    }
+
+    let server = match TcpServer::bind(registry, listen.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on {} (ctrl-c to stop)", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}

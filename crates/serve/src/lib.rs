@@ -1,620 +1,132 @@
 //! # nc-serve
 //!
-//! The serving layer: a long-lived [`EstimatorService`] that owns one artifact-loaded
-//! model and answers concurrent cardinality-estimate requests — the "train once, serve
-//! every query" deployment shape (ROADMAP north star; compare ByteCard / Scardina in
-//! PAPERS.md).
+//! The multi-model serving layer: a versioned [`ModelRegistry`] with atomic hot swap, a
+//! transport-independent request protocol, and two transports over it — the in-process
+//! [`RegistryService`] worker pool and the [`TcpServer`] wire front-end.  This is the
+//! "many schemas, continuous retraining" deployment shape (compare Scardina's
+//! multi-estimator routing and ByteCard's serving-lifecycle focus in PAPERS.md).
 //!
 //! Architecture:
 //!
-//! * One shared [`EstimatorCore`] (`Send + Sync`, no training database) behind an `Arc`.
-//! * A **bounded** request channel: clients block when the queue is full, giving natural
-//!   backpressure instead of unbounded memory growth under overload.
-//! * N worker threads, each serving requests in a loop.  Per request a worker checks a
-//!   reusable [`SamplerScratch`] workspace out of the [`ScratchPool`] (pre-grown to the
-//!   worker count, so the steady-state hot path performs no allocation) and runs the
-//!   zero-allocation progressive-sampling fast path.
+//! * **Registry** ([`registry`]): models register under a typed [`ModelKey`] — schema
+//!   fingerprint (computed by [`neurocard::schema_fingerprint`] and stamped into every
+//!   artifact manifest) + name + monotonic version.  Requests carry a [`ModelSelector`]
+//!   (exact key, or "latest for this schema") and are routed per request, so a running
+//!   service follows swaps without restarting.
+//! * **Hot swap**: [`ModelRegistry::swap`] atomically publishes a new version; requests
+//!   already in flight drain the superseded version, which is retired only when its
+//!   lease count reaches zero (epoch/refcount drain — no request is ever dropped or
+//!   served by a half-installed model).
+//! * **One estimator interface** ([`model`]): anything implementing the object-safe
+//!   [`ServingEstimator`] trait can be registered — an artifact-loaded
+//!   [`neurocard::EstimatorCore`] keeps its zero-allocation [`ScratchPool`] fast path,
+//!   and every [`nc_baselines::CardinalityEstimator`] rides along via [`BaselineModel`].
+//! * **One protocol** ([`protocol`]): [`ServeRequest`] / [`ServeReply`] are the only
+//!   request/response types; the in-process API, the wire API and the benches all speak
+//!   them.  The wire form is a length-prefixed binary codec over the checked
+//!   [`nc_storage::binio`] primitives, with estimates crossing as raw `f64` bits.
 //! * **Determinism:** every request's RNG stream is derived purely from
-//!   `(config.seed, query)` via the SplitMix64 discipline
-//!   ([`EstimatorCore::query_seed`]), so the service returns **bit-identical** estimates
-//!   to sequential [`EstimatorCore::estimate`] calls regardless of worker count,
-//!   queueing order or thread interleaving — pinned by this crate's tests and the
-//!   `serving_determinism` integration test.
-//! * Per-request latency (queue wait + compute) is recorded for p50/p99 accounting
-//!   ([`EstimatorService::stats`]); `serve_bench` turns this into `BENCH_serve.json`.
+//!   `(config.seed, query)` ([`neurocard::EstimatorCore::query_seed`]), so
+//!   registry-routed estimates — in process or over TCP — are **bit-identical** to
+//!   sequential [`neurocard::EstimatorCore::estimate`] calls regardless of worker
+//!   count, transport, queueing order or concurrent swaps.  Pinned by this crate's
+//!   tests, the `registry_swap` / `wire_protocol` integration tests, and asserted on
+//!   every `registry_bench` run.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+pub mod model;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod service;
+pub mod tcp;
 
-use nc_schema::Query;
-use neurocard::infer::SamplerScratch;
-use neurocard::{ArtifactLoadError, EstimateError, EstimatorCore, ModelArtifact};
+pub use model::{BaselineModel, ServingEstimator};
+pub use pool::ScratchPool;
+pub use protocol::{
+    decode_request, decode_result, encode_request, encode_result, read_frame, write_frame,
+    ServeReply, ServeRequest, MAX_FRAME_LEN,
+};
+pub use registry::{
+    ModelKey, ModelLease, ModelRegistry, ModelSelector, RegistryStats, SwapReceipt,
+};
+pub use service::{
+    EstimatorService, RegistryHandle, RegistryService, ServiceConfig, ServiceHandle, ServiceStats,
+    LATENCY_WINDOW,
+};
+pub use tcp::{ServeClient, TcpServer};
 
-/// Configuration of an [`EstimatorService`].
-#[derive(Debug, Clone)]
-pub struct ServiceConfig {
-    /// Worker threads serving requests.
-    pub workers: usize,
-    /// Capacity of the bounded request queue (clients block when it is full).
-    pub queue_depth: usize,
-    /// Progressive samples per request; `None` uses the model's configured budget.
-    pub default_samples: Option<usize>,
-}
+use neurocard::EstimateError;
 
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            queue_depth: 64,
-            default_samples: None,
-        }
-    }
-}
-
-impl ServiceConfig {
-    /// A config with an explicit worker count.
-    pub fn with_workers(workers: usize) -> Self {
-        ServiceConfig {
-            workers: workers.max(1),
-            ..Default::default()
-        }
-    }
-}
-
-/// Why a service request failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why a serving request failed — shared by every transport (the variants carrying
+/// remote context round-trip losslessly through the wire codec).
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// The estimator rejected the request (invalid query, unknown column, zero sample
     /// budget, ...).
     Estimate(EstimateError),
+    /// No model is registered for the selector (rendered form attached).
+    UnknownModel(String),
+    /// An exact-version request named a version that is no longer (or not yet) current.
+    StaleVersion {
+        /// The version the request pinned.
+        requested: ModelKey,
+        /// The version currently published under that name.
+        current: ModelKey,
+    },
+    /// `register` found the name taken (the existing current version is attached);
+    /// updating an existing model is a [`ModelRegistry::swap`].
+    AlreadyRegistered(ModelKey),
     /// The service is shutting down (workers gone before the reply was produced).
     ShuttingDown,
+    /// The transport failed (connection closed, read/write error).
+    Transport(String),
+    /// A wire payload failed to decode (corrupt, truncated, or hostile).
+    Protocol(String),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Estimate(e) => write!(f, "{e}"),
+            ServeError::UnknownModel(selector) => {
+                write!(f, "no model registered for {selector}")
+            }
+            ServeError::StaleVersion { requested, current } => write!(
+                f,
+                "model version {requested} was superseded (current is {current})"
+            ),
+            ServeError::AlreadyRegistered(key) => {
+                write!(f, "model {key} is already registered (use swap to update)")
+            }
             ServeError::ShuttingDown => write!(f, "estimator service is shutting down"),
+            ServeError::Transport(msg) => write!(f, "transport error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// A pool of reusable [`SamplerScratch`] workspaces shared by the worker threads.
-///
-/// Pre-grown to the worker count, so steady-state checkouts never allocate; if more
-/// checkouts than pooled scratches ever race (not possible with one checkout per worker,
-/// but harmless), a fresh scratch is grown and joins the pool on check-in.
-pub struct ScratchPool {
-    free: Mutex<Vec<Box<SamplerScratch>>>,
-    grown: AtomicU64,
-}
-
-impl ScratchPool {
-    /// A pool pre-populated with `capacity` workspaces.
-    pub fn new(capacity: usize) -> Self {
-        ScratchPool {
-            free: Mutex::new(
-                (0..capacity)
-                    .map(|_| Box::new(SamplerScratch::new()))
-                    .collect(),
-            ),
-            grown: AtomicU64::new(capacity as u64),
-        }
-    }
-
-    /// Checks a workspace out (grows only if the pool is empty).
-    pub fn checkout(&self) -> Box<SamplerScratch> {
-        if let Some(s) = self.free.lock().expect("scratch pool poisoned").pop() {
-            return s;
-        }
-        self.grown.fetch_add(1, Ordering::Relaxed);
-        Box::new(SamplerScratch::new())
-    }
-
-    /// Returns a workspace to the pool.
-    pub fn checkin(&self, scratch: Box<SamplerScratch>) {
-        self.free
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
-    }
-
-    /// Total workspaces ever created (capacity + emergency growths).
-    pub fn total_created(&self) -> u64 {
-        self.grown.load(Ordering::Relaxed)
-    }
-}
-
-struct Request {
-    query: Query,
-    samples: usize,
-    enqueued: Instant,
-    reply: std::sync::mpsc::Sender<Result<f64, EstimateError>>,
-}
-
-/// A cloneable client handle onto a running service.
-#[derive(Clone)]
-pub struct ServiceHandle {
-    tx: SyncSender<Request>,
-    default_samples: usize,
-}
-
-impl ServiceHandle {
-    /// Estimates with the service's default sample budget (blocking round trip).
-    pub fn estimate(&self, query: &Query) -> Result<f64, ServeError> {
-        self.estimate_with_samples(query, self.default_samples)
-    }
-
-    /// Estimates with an explicit sample budget (blocking round trip).
-    pub fn estimate_with_samples(&self, query: &Query, samples: usize) -> Result<f64, ServeError> {
-        let (reply, rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(Request {
-                query: query.clone(),
-                samples,
-                enqueued: Instant::now(),
-                reply,
-            })
-            .map_err(|_| ServeError::ShuttingDown)?;
-        rx.recv()
-            .map_err(|_| ServeError::ShuttingDown)?
-            .map_err(ServeError::Estimate)
-    }
-}
-
-/// Bounded per-request latency log: an exact served counter plus a ring of the most
-/// recent [`LATENCY_WINDOW`] latencies for quantile estimation — a long-lived service
-/// must not grow memory per request.
-struct LatencyLog {
-    total: u64,
-    ring: Vec<f64>,
-    next: usize,
-}
-
-/// How many of the most recent request latencies back the p50/p99 estimates.
-pub const LATENCY_WINDOW: usize = 1 << 16;
-
-impl LatencyLog {
-    fn new() -> Self {
-        LatencyLog {
-            total: 0,
-            ring: Vec::new(),
-            next: 0,
-        }
-    }
-
-    fn push(&mut self, v: f64) {
-        self.total += 1;
-        if self.ring.len() < LATENCY_WINDOW {
-            self.ring.push(v);
-        } else {
-            self.ring[self.next] = v;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-}
-
-/// Latency summary of a service (microseconds, nearest-rank quantiles over the most
-/// recent [`LATENCY_WINDOW`] requests; `served` counts everything).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServiceStats {
-    /// Requests completed.
-    pub served: usize,
-    /// Median request latency (enqueue → reply ready).
-    pub p50_us: f64,
-    /// 99th-percentile request latency.
-    pub p99_us: f64,
-    /// Worst request latency.
-    pub max_us: f64,
-    /// Mean request latency.
-    pub mean_us: f64,
-}
-
-impl ServiceStats {
-    fn from_log(served: u64, mut us: Vec<f64>) -> Self {
-        if us.is_empty() {
-            return ServiceStats {
-                served: served as usize,
-                p50_us: 0.0,
-                p99_us: 0.0,
-                max_us: 0.0,
-                mean_us: 0.0,
-            };
-        }
-        us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
-        ServiceStats {
-            served: served as usize,
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-            max_us: *us.last().expect("non-empty"),
-            mean_us: us.iter().sum::<f64>() / us.len() as f64,
-        }
-    }
-}
-
-/// A long-lived, concurrent estimator service over one loaded model.
-pub struct EstimatorService {
-    core: Arc<EstimatorCore>,
-    tx: Option<SyncSender<Request>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    latencies: Arc<Mutex<LatencyLog>>,
-    scratch_pool: Arc<ScratchPool>,
-    default_samples: usize,
-    /// Tells workers to exit at their next idle check even while cloned
-    /// [`ServiceHandle`]s keep the request channel open — shutdown must be bounded, not
-    /// hostage to a leaked handle.
-    stop: Arc<AtomicBool>,
-}
-
-impl EstimatorService {
-    /// Starts a service over an estimation core.
-    pub fn new(core: Arc<EstimatorCore>, config: ServiceConfig) -> Self {
-        let workers = config.workers.max(1);
-        let default_samples = config
-            .default_samples
-            .unwrap_or(core.config().progressive_samples);
-        let (tx, rx) = sync_channel::<Request>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let latencies = Arc::new(Mutex::new(LatencyLog::new()));
-        let scratch_pool = Arc::new(ScratchPool::new(workers));
-        let stop = Arc::new(AtomicBool::new(false));
-        let handles = (0..workers)
-            .map(|i| {
-                let core = core.clone();
-                let rx = rx.clone();
-                let latencies = latencies.clone();
-                let pool = scratch_pool.clone();
-                let stop = stop.clone();
-                std::thread::Builder::new()
-                    .name(format!("nc-serve-{i}"))
-                    .spawn(move || worker_loop(&core, &rx, &latencies, &pool, &stop))
-                    .expect("spawning a service worker")
-            })
-            .collect();
-        EstimatorService {
-            core,
-            tx: Some(tx),
-            workers: handles,
-            latencies,
-            scratch_pool,
-            default_samples,
-            stop,
-        }
-    }
-
-    /// Starts a service straight from a parsed [`ModelArtifact`].
-    pub fn from_artifact(
-        artifact: &ModelArtifact,
-        config: ServiceConfig,
-    ) -> Result<Self, ArtifactLoadError> {
-        Ok(Self::new(Arc::new(artifact.to_core()?), config))
-    }
-
-    /// Starts a service straight from artifact container bytes.
-    pub fn from_artifact_bytes(
-        bytes: &[u8],
-        config: ServiceConfig,
-    ) -> Result<Self, ArtifactLoadError> {
-        Self::from_artifact(&ModelArtifact::from_bytes(bytes)?, config)
-    }
-
-    /// A cloneable client handle (one per client thread).
-    pub fn handle(&self) -> ServiceHandle {
-        ServiceHandle {
-            tx: self.tx.clone().expect("service is running"),
-            default_samples: self.default_samples,
-        }
-    }
-
-    /// Estimates through the service (blocking round trip; equivalent to
-    /// `self.handle().estimate(query)`).
-    pub fn estimate(&self, query: &Query) -> Result<f64, ServeError> {
-        self.handle().estimate(query)
-    }
-
-    /// Estimates with an explicit sample budget.
-    pub fn estimate_with_samples(&self, query: &Query, samples: usize) -> Result<f64, ServeError> {
-        self.handle().estimate_with_samples(query, samples)
-    }
-
-    /// The shared estimation core.
-    pub fn core(&self) -> &Arc<EstimatorCore> {
-        &self.core
-    }
-
-    /// The scratch workspace pool (exposed for observability in benches/tests).
-    pub fn scratch_pool(&self) -> &ScratchPool {
-        &self.scratch_pool
-    }
-
-    /// Latency summary: exact served count, quantiles over the most recent
-    /// [`LATENCY_WINDOW`] requests.
-    pub fn stats(&self) -> ServiceStats {
-        let log = self.latencies.lock().expect("latencies poisoned");
-        ServiceStats::from_log(log.total, log.ring.clone())
-    }
-
-    /// Stops accepting requests, drains the queue, joins the workers and returns the
-    /// final stats.
-    ///
-    /// Workers exit once the queue is empty — even if a leaked [`ServiceHandle`] still
-    /// keeps the channel open, shutdown completes within one idle-poll interval rather
-    /// than deadlocking (requests sent through such a handle afterwards fail with
-    /// [`ServeError::ShuttingDown`]).
-    pub fn shutdown(mut self) -> ServiceStats {
-        self.stop.store(true, Ordering::Release);
-        self.tx = None; // close our side of the channel; workers drain, then exit
-        for w in self.workers.drain(..) {
-            w.join().expect("service worker panicked");
-        }
-        self.stats()
-    }
-}
-
-impl Drop for EstimatorService {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        self.tx = None;
-        for w in self.workers.drain(..) {
-            // A panic in a worker already unwound; don't double-panic in drop.
-            let _ = w.join();
-        }
-    }
-}
-
-/// How often an idle worker wakes to check the stop flag.  Only reached when the queue
-/// is empty, so it costs nothing on the serving hot path; it bounds shutdown latency
-/// when a leaked handle keeps the channel open.
-const IDLE_POLL: Duration = Duration::from_millis(25);
-
-fn worker_loop(
-    core: &EstimatorCore,
-    rx: &Mutex<Receiver<Request>>,
-    latencies: &Mutex<LatencyLog>,
-    pool: &ScratchPool,
-    stop: &AtomicBool,
-) {
-    loop {
-        // Hold the receiver lock only for the dequeue, not the compute.  Queued
-        // requests are always served before a stop-flag exit (recv_timeout only times
-        // out on an empty queue), so shutdown() still drains.
-        let request = match rx
-            .lock()
-            .expect("request queue poisoned")
-            .recv_timeout(IDLE_POLL)
-        {
-            Ok(r) => r,
-            Err(RecvTimeoutError::Timeout) => {
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => return, // all senders gone
-        };
-        let mut scratch = pool.checkout();
-        let result =
-            core.try_estimate_with_samples_scratch(&request.query, request.samples, &mut scratch);
-        pool.checkin(scratch);
-        latencies
-            .lock()
-            .expect("latencies poisoned")
-            .push(request.enqueued.elapsed().as_secs_f64() * 1e6);
-        // A client that gave up (dropped the reply receiver) is not an error.
-        let _ = request.reply.send(result);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nc_schema::{JoinEdge, JoinSchema, Predicate};
-    use nc_storage::{Database, TableBuilder, Value};
-    use neurocard::{NeuroCard, NeuroCardConfig};
-
-    fn trained_core() -> Arc<EstimatorCore> {
-        let mut db = Database::new();
-        let mut a = TableBuilder::new("A", &["x", "c"]);
-        for i in 0..50i64 {
-            a.push_row(vec![Value::Int(i % 6), Value::Int(i % 4)]);
-        }
-        db.add_table(a.finish());
-        let mut b = TableBuilder::new("B", &["x", "d"]);
-        for i in 0..70i64 {
-            b.push_row(vec![Value::Int(i % 6), Value::Int(i % 3)]);
-        }
-        db.add_table(b.finish());
-        let schema = JoinSchema::new(
-            vec!["A".into(), "B".into()],
-            vec![JoinEdge::parse("A.x", "B.x")],
-            "A",
-        )
-        .unwrap();
-        let config = NeuroCardConfig::tiny().with_training_tuples(600);
-        let artifact = NeuroCard::train(Arc::new(db), Arc::new(schema), &config);
-        // Serve through the full persistence path, as production would.
-        Arc::new(
-            ModelArtifact::from_bytes(&artifact.to_bytes())
-                .unwrap()
-                .to_core()
-                .unwrap(),
-        )
-    }
-
-    fn workload() -> Vec<Query> {
-        let mut queries = vec![Query::join(&["A", "B"]), Query::join(&["A"])];
-        for v in 0..4i64 {
-            queries.push(Query::join(&["A", "B"]).filter("A", "c", Predicate::eq(v)));
-            queries.push(Query::join(&["B"]).filter("B", "d", Predicate::le(v)));
-        }
-        queries
-    }
 
     #[test]
-    fn concurrent_service_matches_sequential_estimates_at_any_worker_count() {
-        let core = trained_core();
-        let queries = workload();
-        let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
-
-        for workers in [1usize, 2, 4] {
-            let service = EstimatorService::new(
-                core.clone(),
-                ServiceConfig {
-                    workers,
-                    queue_depth: 2,
-                    default_samples: None,
-                },
-            );
-            // 3 client threads hammer the service with interleaved repetitions.
-            let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..3)
-                    .map(|client| {
-                        let handle = service.handle();
-                        let queries = &queries;
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            for round in 0..3 {
-                                for (i, q) in queries.iter().enumerate() {
-                                    if (i + round + client) % 3 == client % 3 {
-                                        out.push((i, handle.estimate(q).unwrap()));
-                                    }
-                                }
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for client_results in &results {
-                for (i, est) in client_results {
-                    assert_eq!(
-                        est.to_bits(),
-                        sequential[*i].to_bits(),
-                        "service with {workers} workers diverged on query {i}"
-                    );
-                }
-            }
-            let stats = service.shutdown();
-            let expected = results.iter().map(|r| r.len()).sum::<usize>();
-            assert_eq!(stats.served, expected);
-            assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.max_us);
-            assert!(stats.p50_us > 0.0);
-        }
-    }
-
-    #[test]
-    fn errors_are_reported_not_panicked() {
-        let core = trained_core();
-        let service = EstimatorService::new(core, ServiceConfig::with_workers(2));
-        let q = Query::join(&["A"]);
-        // Zero sample budget → typed error (the PR-4 satellite contract).
-        assert_eq!(
-            service.estimate_with_samples(&q, 0),
-            Err(ServeError::Estimate(EstimateError::InvalidSampleCount))
-        );
-        // Unknown column → typed error; the worker survives to serve the next request.
-        let bad = Query::join(&["A", "B"]).filter("A", "x", Predicate::eq(0i64));
-        assert!(matches!(
-            service.estimate(&bad),
-            Err(ServeError::Estimate(EstimateError::UnknownColumn { .. }))
-        ));
-        assert!(service.estimate(&q).is_ok());
-        let stats = service.shutdown();
-        assert_eq!(stats.served, 3);
-    }
-
-    #[test]
-    fn scratch_pool_reuses_workspaces() {
-        let pool = ScratchPool::new(2);
-        let a = pool.checkout();
-        let b = pool.checkout();
-        // Pool empty: an emergency growth is counted.
-        let c = pool.checkout();
-        assert_eq!(pool.total_created(), 3);
-        pool.checkin(a);
-        pool.checkin(b);
-        pool.checkin(c);
-        // Subsequent checkouts reuse, never grow.
-        for _ in 0..10 {
-            let s = pool.checkout();
-            pool.checkin(s);
-        }
-        assert_eq!(pool.total_created(), 3);
-    }
-
-    #[test]
-    fn service_under_load_never_grows_the_scratch_pool() {
-        let core = trained_core();
-        let service = EstimatorService::new(
-            core,
-            ServiceConfig {
-                workers: 2,
-                queue_depth: 1,
-                default_samples: Some(16),
+    fn errors_render_messages() {
+        let key = ModelKey::new(1, "m", 1);
+        for e in [
+            ServeError::Estimate(EstimateError::InvalidSampleCount),
+            ServeError::UnknownModel("x".into()),
+            ServeError::StaleVersion {
+                requested: key.clone(),
+                current: ModelKey::new(1, "m", 2),
             },
-        );
-        let queries = workload();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let handle = service.handle();
-                let queries = &queries;
-                scope.spawn(move || {
-                    for q in queries {
-                        handle.estimate(q).unwrap();
-                    }
-                });
-            }
-        });
-        // One scratch per worker, checked out and in per request — no emergency growth.
-        assert_eq!(service.scratch_pool().total_created(), 2);
-        let stats = service.shutdown();
-        assert_eq!(stats.served, 4 * queries.len());
-    }
-
-    #[test]
-    fn drop_with_leaked_handle_does_not_deadlock() {
-        let core = trained_core();
-        let service = EstimatorService::new(core, ServiceConfig::with_workers(2));
-        let handle = service.handle();
-        let q = Query::join(&["A"]);
-        assert!(service.estimate(&q).is_ok());
-        // The leaked handle keeps the request channel open; drop must still return
-        // (workers exit via the stop flag at their next idle poll).
-        drop(service);
-        // ...and the orphaned handle fails cleanly instead of blocking.
-        assert_eq!(handle.estimate(&q), Err(ServeError::ShuttingDown));
-    }
-
-    #[test]
-    fn stats_on_empty_service_are_zero() {
-        let stats = ServiceStats::from_log(0, Vec::new());
-        assert_eq!(stats.served, 0);
-        assert_eq!(stats.p99_us, 0.0);
-        assert!(ServeError::ShuttingDown
-            .to_string()
-            .contains("shutting down"));
-    }
-
-    #[test]
-    fn latency_log_is_bounded_but_counts_everything() {
-        let mut log = LatencyLog::new();
-        for i in 0..(LATENCY_WINDOW + 500) {
-            log.push(i as f64);
+            ServeError::AlreadyRegistered(key),
+            ServeError::ShuttingDown,
+            ServeError::Transport("t".into()),
+            ServeError::Protocol("p".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
         }
-        assert_eq!(log.total, (LATENCY_WINDOW + 500) as u64);
-        assert_eq!(log.ring.len(), LATENCY_WINDOW);
-        let stats = ServiceStats::from_log(log.total, log.ring.clone());
-        assert_eq!(stats.served, LATENCY_WINDOW + 500);
-        // The window holds the most recent values: the oldest 500 were overwritten.
-        assert!(log.ring.iter().all(|&v| v >= 500.0));
     }
 }

@@ -1,0 +1,555 @@
+//! The transport-independent request/response protocol.
+//!
+//! [`ServeRequest`] / [`ServeReply`] are the one pair of types every serving surface
+//! speaks: the in-process [`crate::RegistryService`], the TCP front-end, and the
+//! benches.  This module also defines their **wire form**: a length-prefixed binary
+//! codec built on the checked [`nc_storage::binio`] primitives, so a corrupt or hostile
+//! stream produces a typed [`ServeError::Protocol`] instead of a panic or an oversized
+//! allocation.
+//!
+//! Framing (all integers little-endian):
+//!
+//! ```text
+//! frame      u32 payload length (≤ MAX_FRAME_LEN), payload bytes
+//! request    0x01, selector, query, samples
+//! reply      0x02, key, estimate f64 bits as u64   (bit-exact across the wire)
+//! error      0x03, error code u8, error fields
+//! selector   0x00 key | 0x01 fingerprint u64, has_name u8, [name]
+//! key        fingerprint u64, name string, version u64
+//! query      table count u32, tables; filter count u32, filters
+//! filter     table, column, op u8, literal count u32, literals (binio Value encoding)
+//! string     u64 length, UTF-8 bytes (binio)
+//! ```
+//!
+//! The estimate crosses the wire as raw `f64` bits, so the determinism contract —
+//! registry-routed estimates are bit-identical to direct [`neurocard::EstimatorCore`]
+//! calls — survives serialisation exactly.
+
+use std::io::{Read, Write};
+
+use nc_schema::{CompareOp, Predicate, Query, TableFilter};
+use nc_storage::binio::{put_string, BinError, BinReader};
+use nc_storage::Value;
+use neurocard::EstimateError;
+
+use crate::registry::{ModelKey, ModelSelector};
+use crate::ServeError;
+
+/// A routing-aware estimation request: which model, which query, how many samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Which model serves this request.
+    pub selector: ModelSelector,
+    /// The cardinality query.
+    pub query: Query,
+    /// Progressive-sample budget; `None` uses the selected model's default.
+    pub samples: Option<usize>,
+}
+
+impl ServeRequest {
+    /// A request with the model's default sample budget.
+    pub fn new(selector: ModelSelector, query: Query) -> Self {
+        ServeRequest {
+            selector,
+            query,
+            samples: None,
+        }
+    }
+
+    /// Sets an explicit sample budget (builder style).
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = Some(samples);
+        self
+    }
+}
+
+/// A successful estimate, stamped with the exact model version that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReply {
+    /// The version that served the request (selectors may be indirect; this never is).
+    pub key: ModelKey,
+    /// The estimated row count.
+    pub estimate: f64,
+}
+
+/// Frames larger than this are rejected before allocation (corrupt length prefix or a
+/// hostile peer; real requests are a few hundred bytes).
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+const MSG_REQUEST: u8 = 0x01;
+const MSG_REPLY: u8 = 0x02;
+const MSG_ERROR: u8 = 0x03;
+
+const SEL_EXACT: u8 = 0x00;
+const SEL_LATEST: u8 = 0x01;
+
+fn op_tag(op: &CompareOp) -> u8 {
+    match op {
+        CompareOp::Eq => 0,
+        CompareOp::Lt => 1,
+        CompareOp::Le => 2,
+        CompareOp::Gt => 3,
+        CompareOp::Ge => 4,
+        CompareOp::In => 5,
+    }
+}
+
+fn op_from_tag(tag: u8) -> Result<CompareOp, ServeError> {
+    Ok(match tag {
+        0 => CompareOp::Eq,
+        1 => CompareOp::Lt,
+        2 => CompareOp::Le,
+        3 => CompareOp::Gt,
+        4 => CompareOp::Ge,
+        5 => CompareOp::In,
+        other => return Err(protocol_err(format!("unknown compare-op tag {other}"))),
+    })
+}
+
+fn protocol_err(message: impl std::fmt::Display) -> ServeError {
+    ServeError::Protocol(message.to_string())
+}
+
+fn bin(e: BinError) -> ServeError {
+    protocol_err(e)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_key(out: &mut Vec<u8>, key: &ModelKey) {
+    put_u64(out, key.schema_fingerprint);
+    put_string(out, &key.name);
+    put_u64(out, key.version);
+}
+
+fn decode_key(r: &mut BinReader<'_>) -> Result<ModelKey, ServeError> {
+    Ok(ModelKey {
+        schema_fingerprint: r.u64().map_err(bin)?,
+        name: r.string().map_err(bin)?,
+        version: r.u64().map_err(bin)?,
+    })
+}
+
+fn encode_selector(out: &mut Vec<u8>, selector: &ModelSelector) {
+    match selector {
+        ModelSelector::Exact(key) => {
+            out.push(SEL_EXACT);
+            encode_key(out, key);
+        }
+        ModelSelector::Latest {
+            schema_fingerprint,
+            name,
+        } => {
+            out.push(SEL_LATEST);
+            put_u64(out, *schema_fingerprint);
+            match name {
+                Some(name) => {
+                    out.push(1);
+                    put_string(out, name);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+}
+
+fn decode_selector(r: &mut BinReader<'_>) -> Result<ModelSelector, ServeError> {
+    match r.u8().map_err(bin)? {
+        SEL_EXACT => Ok(ModelSelector::Exact(decode_key(r)?)),
+        SEL_LATEST => {
+            let schema_fingerprint = r.u64().map_err(bin)?;
+            let name = match r.u8().map_err(bin)? {
+                0 => None,
+                1 => Some(r.string().map_err(bin)?),
+                other => return Err(protocol_err(format!("bad name-presence byte {other}"))),
+            };
+            Ok(ModelSelector::Latest {
+                schema_fingerprint,
+                name,
+            })
+        }
+        other => Err(protocol_err(format!("unknown selector tag {other}"))),
+    }
+}
+
+fn encode_query(out: &mut Vec<u8>, query: &Query) {
+    put_u32(out, query.tables.len() as u32);
+    for t in &query.tables {
+        put_string(out, t);
+    }
+    put_u32(out, query.filters.len() as u32);
+    for f in &query.filters {
+        put_string(out, &f.table);
+        put_string(out, &f.column);
+        out.push(op_tag(&f.predicate.op));
+        put_u32(out, f.predicate.literals.len() as u32);
+        for v in &f.predicate.literals {
+            v.write_binary(out);
+        }
+    }
+}
+
+fn decode_query(r: &mut BinReader<'_>) -> Result<Query, ServeError> {
+    let num_tables = r.u32().map_err(bin)? as usize;
+    let mut tables = Vec::with_capacity(num_tables.min(1 << 16));
+    for _ in 0..num_tables {
+        tables.push(r.string().map_err(bin)?);
+    }
+    let num_filters = r.u32().map_err(bin)? as usize;
+    let mut filters = Vec::with_capacity(num_filters.min(1 << 16));
+    for _ in 0..num_filters {
+        let table = r.string().map_err(bin)?;
+        let column = r.string().map_err(bin)?;
+        let op = op_from_tag(r.u8().map_err(bin)?)?;
+        let num_literals = r.u32().map_err(bin)? as usize;
+        let mut literals = Vec::with_capacity(num_literals.min(1 << 16));
+        for _ in 0..num_literals {
+            literals.push(Value::read_binary(r).map_err(bin)?);
+        }
+        // Predicate::new asserts its invariants (literal arity); re-validate here so a
+        // hostile stream cannot reach the panic.
+        match op {
+            CompareOp::In if literals.is_empty() => {
+                return Err(protocol_err("IN predicate with no literals"));
+            }
+            CompareOp::In => {}
+            _ if literals.len() != 1 => {
+                return Err(protocol_err(format!(
+                    "binary predicate with {} literals",
+                    literals.len()
+                )));
+            }
+            _ => {}
+        }
+        filters.push(TableFilter {
+            table,
+            column,
+            predicate: Predicate { op, literals },
+        });
+    }
+    Ok(Query { tables, filters })
+}
+
+fn error_code(e: &ServeError) -> (u8, Vec<u8>) {
+    let mut fields = Vec::new();
+    let code = match e {
+        ServeError::Estimate(EstimateError::InvalidQuery(msg)) => {
+            put_string(&mut fields, msg);
+            0
+        }
+        ServeError::Estimate(EstimateError::UnknownColumn { table, column }) => {
+            put_string(&mut fields, table);
+            put_string(&mut fields, column);
+            1
+        }
+        ServeError::Estimate(EstimateError::InvalidSampleCount) => 2,
+        ServeError::UnknownModel(selector) => {
+            put_string(&mut fields, selector);
+            3
+        }
+        ServeError::StaleVersion { requested, current } => {
+            encode_key(&mut fields, requested);
+            encode_key(&mut fields, current);
+            4
+        }
+        ServeError::AlreadyRegistered(key) => {
+            encode_key(&mut fields, key);
+            5
+        }
+        ServeError::ShuttingDown => 6,
+        ServeError::Transport(msg) => {
+            put_string(&mut fields, msg);
+            7
+        }
+        ServeError::Protocol(msg) => {
+            put_string(&mut fields, msg);
+            8
+        }
+    };
+    (code, fields)
+}
+
+fn decode_error(r: &mut BinReader<'_>) -> Result<ServeError, ServeError> {
+    Ok(match r.u8().map_err(bin)? {
+        0 => ServeError::Estimate(EstimateError::InvalidQuery(r.string().map_err(bin)?)),
+        1 => ServeError::Estimate(EstimateError::UnknownColumn {
+            table: r.string().map_err(bin)?,
+            column: r.string().map_err(bin)?,
+        }),
+        2 => ServeError::Estimate(EstimateError::InvalidSampleCount),
+        3 => ServeError::UnknownModel(r.string().map_err(bin)?),
+        4 => ServeError::StaleVersion {
+            requested: decode_key(r)?,
+            current: decode_key(r)?,
+        },
+        5 => ServeError::AlreadyRegistered(decode_key(r)?),
+        6 => ServeError::ShuttingDown,
+        7 => ServeError::Transport(r.string().map_err(bin)?),
+        8 => ServeError::Protocol(r.string().map_err(bin)?),
+        other => return Err(protocol_err(format!("unknown error code {other}"))),
+    })
+}
+
+/// Encodes a request payload (unframed).
+pub fn encode_request(request: &ServeRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.push(MSG_REQUEST);
+    encode_selector(&mut out, &request.selector);
+    encode_query(&mut out, &request.query);
+    match request.samples {
+        Some(n) => {
+            out.push(1);
+            put_u64(&mut out, n as u64);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Decodes a request payload produced by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> Result<ServeRequest, ServeError> {
+    let mut r = BinReader::new(payload);
+    if r.u8().map_err(bin)? != MSG_REQUEST {
+        return Err(protocol_err("payload is not a request"));
+    }
+    let selector = decode_selector(&mut r)?;
+    let query = decode_query(&mut r)?;
+    let samples = match r.u8().map_err(bin)? {
+        0 => None,
+        1 => {
+            let n = r.u64().map_err(bin)?;
+            Some(usize::try_from(n).map_err(|_| protocol_err("sample budget overflows usize"))?)
+        }
+        other => return Err(protocol_err(format!("bad samples-presence byte {other}"))),
+    };
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after request",
+            r.remaining()
+        )));
+    }
+    Ok(ServeRequest {
+        selector,
+        query,
+        samples,
+    })
+}
+
+/// Encodes a reply-or-error payload (unframed).
+pub fn encode_result(result: &Result<ServeReply, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match result {
+        Ok(reply) => {
+            out.push(MSG_REPLY);
+            encode_key(&mut out, &reply.key);
+            put_u64(&mut out, reply.estimate.to_bits());
+        }
+        Err(e) => {
+            out.push(MSG_ERROR);
+            let (code, fields) = error_code(e);
+            out.push(code);
+            out.extend_from_slice(&fields);
+        }
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_result`].
+///
+/// The outer `Err` is a local decode failure; a successfully decoded *remote* error
+/// comes back as `Ok(Err(...))`.
+#[allow(clippy::type_complexity)]
+pub fn decode_result(payload: &[u8]) -> Result<Result<ServeReply, ServeError>, ServeError> {
+    let mut r = BinReader::new(payload);
+    let result = match r.u8().map_err(bin)? {
+        MSG_REPLY => {
+            let key = decode_key(&mut r)?;
+            let estimate = f64::from_bits(r.u64().map_err(bin)?);
+            Ok(ServeReply { key, estimate })
+        }
+        MSG_ERROR => Err(decode_error(&mut r)?),
+        other => return Err(protocol_err(format!("unknown message tag {other}"))),
+    };
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after response",
+            r.remaining()
+        )));
+    }
+    Ok(result)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(protocol_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            payload.len()
+        )));
+    }
+    let transport = |e: std::io::Error| ServeError::Transport(e.to_string());
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(transport)?;
+    w.write_all(payload).map_err(transport)?;
+    w.flush().map_err(transport)
+}
+
+/// Reads one length-prefixed frame, rejecting oversized length prefixes before
+/// allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let transport = |e: std::io::Error| ServeError::Transport(e.to_string());
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(transport)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(protocol_err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(transport)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::Predicate;
+
+    fn sample_request() -> ServeRequest {
+        ServeRequest::new(
+            ModelSelector::Exact(ModelKey::new(0xfeed, "neurocard", 3)),
+            Query::join(&["A", "B"])
+                .filter("A", "c", Predicate::eq(7i64))
+                .filter(
+                    "B",
+                    "tag",
+                    Predicate::isin(vec![Value::from("x"), Value::Null]),
+                )
+                .filter("A", "d", Predicate::le("zz")),
+        )
+        .with_samples(64)
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let requests = [
+            sample_request(),
+            ServeRequest::new(ModelSelector::latest(1, "m"), Query::join(&["t"])),
+            ServeRequest::new(
+                ModelSelector::latest_for_schema(u64::MAX),
+                Query::join(&["t"]),
+            ),
+        ];
+        for request in &requests {
+            let bytes = encode_request(request);
+            assert_eq!(&decode_request(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn results_round_trip_bit_exactly() {
+        let reply = ServeReply {
+            key: ModelKey::new(42, "m", 9),
+            estimate: 1234.567_891_011e-3,
+        };
+        let back = decode_result(&encode_result(&Ok(reply.clone())))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.key, reply.key);
+        assert_eq!(back.estimate.to_bits(), reply.estimate.to_bits());
+
+        let errors = [
+            ServeError::Estimate(EstimateError::InvalidQuery("boom".into())),
+            ServeError::Estimate(EstimateError::UnknownColumn {
+                table: "t".into(),
+                column: "c".into(),
+            }),
+            ServeError::Estimate(EstimateError::InvalidSampleCount),
+            ServeError::UnknownModel("0000000000000001/m@latest".into()),
+            ServeError::StaleVersion {
+                requested: ModelKey::new(1, "m", 1),
+                current: ModelKey::new(1, "m", 2),
+            },
+            ServeError::AlreadyRegistered(ModelKey::new(1, "m", 1)),
+            ServeError::ShuttingDown,
+            ServeError::Transport("connection reset".into()),
+            ServeError::Protocol("bad tag".into()),
+        ];
+        for e in errors {
+            let back = decode_result(&encode_result(&Err(e.clone()))).unwrap();
+            assert_eq!(back, Err(e));
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_error_cleanly() {
+        let bytes = encode_request(&sample_request());
+        // Truncation at every length errors (never panics).
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+        // Wrong message tag.
+        let mut wrong = bytes.clone();
+        wrong[0] = 0x7F;
+        assert!(matches!(
+            decode_request(&wrong),
+            Err(ServeError::Protocol(_))
+        ));
+        // A request is not a result and vice versa.
+        assert!(decode_result(&bytes).is_err());
+        // Hostile IN-arity payloads cannot reach Predicate::new's assert.
+        let evil = {
+            let mut out = Vec::new();
+            out.push(MSG_REQUEST);
+            encode_selector(&mut out, &ModelSelector::latest(0, "m"));
+            put_u32(&mut out, 1);
+            put_string(&mut out, "t");
+            put_u32(&mut out, 1); // one filter
+            put_string(&mut out, "t");
+            put_string(&mut out, "c");
+            out.push(0); // Eq
+            put_u32(&mut out, 2); // ...with two literals
+            Value::Int(1).write_binary(&mut out);
+            Value::Int(2).write_binary(&mut out);
+            out.push(0);
+            out
+        };
+        assert!(matches!(
+            decode_request(&evil),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let payload = encode_request(&sample_request());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"second");
+        // EOF → transport error.
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServeError::Transport(_))
+        ));
+        // A hostile length prefix is rejected before allocation.
+        let mut evil = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut evil),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,675 @@
+//! The versioned model registry: many models, one router, atomic hot swap.
+//!
+//! A [`ModelRegistry`] maps typed [`ModelKey`]s — `(schema fingerprint, name, version)`
+//! — to [`ServingEstimator`]s.  Requests select a model either by exact key or by
+//! "latest for this schema" ([`ModelSelector`]); the registry resolves the selector,
+//! hands back a [`ModelLease`], and the lease pins that version for the duration of the
+//! request.
+//!
+//! **Hot swap discipline (epoch/refcount drain):** [`ModelRegistry::swap`] atomically
+//! publishes a new version under the registry lock — every acquire after the swap sees
+//! the new version — while requests already holding a lease keep serving the old one.
+//! The superseded version moves to a draining list and is **retired only when its
+//! in-flight count reaches zero** (the last lease drop performs the retirement and
+//! notifies [`ModelRegistry::wait_drained`] waiters).  A version with no in-flight
+//! requests at swap time is retired immediately.  No request is ever dropped or served
+//! by a half-installed model.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nc_schema::Query;
+use neurocard::infer::SamplerScratch;
+use neurocard::{schema_fingerprint, EstimateError, EstimatorCore};
+
+use crate::model::ServingEstimator;
+use crate::protocol::{ServeReply, ServeRequest};
+use crate::ServeError;
+
+/// Identity of one published model version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// [`neurocard::schema_fingerprint`] of the join schema the model answers queries
+    /// for — the routing namespace.
+    pub schema_fingerprint: u64,
+    /// Model name within the schema (e.g. `"neurocard"`, `"postgres"`).
+    pub name: String,
+    /// Monotonic version, starting at 1 and bumped by every [`ModelRegistry::swap`].
+    pub version: u64,
+}
+
+impl ModelKey {
+    /// Creates a key.
+    pub fn new(schema_fingerprint: u64, name: impl Into<String>, version: u64) -> Self {
+        ModelKey {
+            schema_fingerprint,
+            name: name.into(),
+            version,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:016x}/{}@v{}",
+            self.schema_fingerprint, self.name, self.version
+        )
+    }
+}
+
+/// How a request selects its model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSelector {
+    /// Exactly this version.  Requests for a superseded (or not-yet-published) version
+    /// fail with [`ServeError::StaleVersion`] — a client pinning a version learns about
+    /// the swap instead of silently being rerouted.
+    Exact(ModelKey),
+    /// The current version for a schema: of the named model, or — with `name: None` —
+    /// of whichever model for that schema was published most recently.
+    Latest {
+        /// Schema fingerprint to route within.
+        schema_fingerprint: u64,
+        /// Model name, or `None` for the schema's most recently published model.
+        name: Option<String>,
+    },
+}
+
+impl ModelSelector {
+    /// Selects the latest version of `name` under `schema_fingerprint`.
+    pub fn latest(schema_fingerprint: u64, name: impl Into<String>) -> Self {
+        ModelSelector::Latest {
+            schema_fingerprint,
+            name: Some(name.into()),
+        }
+    }
+
+    /// Selects the most recently published model for a schema, whatever its name.
+    pub fn latest_for_schema(schema_fingerprint: u64) -> Self {
+        ModelSelector::Latest {
+            schema_fingerprint,
+            name: None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelSelector::Exact(key) => write!(f, "{key}"),
+            ModelSelector::Latest {
+                schema_fingerprint,
+                name: Some(name),
+            } => write!(f, "{schema_fingerprint:016x}/{name}@latest"),
+            ModelSelector::Latest {
+                schema_fingerprint,
+                name: None,
+            } => write!(f, "{schema_fingerprint:016x}/*@latest"),
+        }
+    }
+}
+
+/// One published version: the model plus its drain bookkeeping.
+struct VersionSlot {
+    key: ModelKey,
+    model: Arc<dyn ServingEstimator>,
+    /// Leases currently pinning this version.
+    inflight: AtomicU64,
+    /// Set (under the registry lock) when a newer version replaced this one.
+    superseded: AtomicBool,
+    /// Registry-wide publish sequence number (resolves `Latest { name: None }`).
+    publish_seq: u64,
+}
+
+struct Entry {
+    current: Arc<VersionSlot>,
+    next_version: u64,
+}
+
+struct RegistryState {
+    entries: BTreeMap<(u64, String), Entry>,
+    /// Superseded versions still pinned by in-flight leases.
+    draining: Vec<Arc<VersionSlot>>,
+    publish_seq: u64,
+}
+
+struct RegistryInner {
+    state: Mutex<RegistryState>,
+    /// Notified whenever a draining version retires.
+    drained: Condvar,
+    acquires: AtomicU64,
+    swaps: AtomicU64,
+    retired: AtomicU64,
+}
+
+/// Counters and gauges of a registry (see [`ModelRegistry::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Currently published models (one current version each).
+    pub models: usize,
+    /// Superseded versions still draining in-flight requests.
+    pub draining: usize,
+    /// Total successful lease acquisitions.
+    pub acquires: u64,
+    /// Total completed swaps.
+    pub swaps: u64,
+    /// Total versions retired (dropped after their last in-flight request finished).
+    pub retired: u64,
+}
+
+/// Receipt of a completed [`ModelRegistry::swap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReceipt {
+    /// The newly published version (now the entry's current).
+    pub new: ModelKey,
+    /// The superseded version.
+    pub old: ModelKey,
+    /// Whether the old version had zero in-flight requests and was retired on the spot
+    /// (`false` means it is draining and will retire at its last lease drop).
+    pub old_retired_immediately: bool,
+}
+
+/// A lease pinning one model version for the duration of a request.
+///
+/// Dropping the lease decrements the version's in-flight count; if the version was
+/// superseded meanwhile and this was its last lease, the drop retires it and wakes
+/// [`ModelRegistry::wait_drained`] waiters.
+pub struct ModelLease {
+    slot: Arc<VersionSlot>,
+    inner: Arc<RegistryInner>,
+}
+
+impl ModelLease {
+    /// The key of the pinned version.
+    pub fn key(&self) -> &ModelKey {
+        &self.slot.key
+    }
+
+    /// The pinned model.
+    pub fn model(&self) -> &dyn ServingEstimator {
+        &*self.slot.model
+    }
+
+    /// Serves one query on the pinned model (`samples: None` uses the model's default).
+    pub fn estimate(
+        &self,
+        query: &Query,
+        samples: Option<usize>,
+        scratch: &mut SamplerScratch,
+    ) -> Result<f64, EstimateError> {
+        let samples = samples.unwrap_or_else(|| self.slot.model.default_samples());
+        self.slot.model.serve(query, samples, scratch)
+    }
+}
+
+impl Drop for ModelLease {
+    fn drop(&mut self) {
+        // The last lease of a superseded version performs the retirement: remove it
+        // from the draining list (dropping the model) and wake drain waiters.  A
+        // superseded slot can gain no new leases (it is unreachable from `entries`),
+        // so observing 0 here is final.
+        if self.slot.inflight.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.slot.superseded.load(Ordering::SeqCst)
+        {
+            let mut state = self.inner.state.lock().expect("registry poisoned");
+            let before = state.draining.len();
+            state.draining.retain(|s| !Arc::ptr_eq(s, &self.slot));
+            if state.draining.len() < before {
+                self.inner.retired.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(state);
+            self.inner.drained.notify_all();
+        }
+    }
+}
+
+/// The versioned, hot-swappable model registry.
+///
+/// Cheap to clone (`Arc` inside); every transport — the in-process
+/// [`crate::RegistryService`], the TCP front-end, the benches — routes through the same
+/// instance via [`ModelRegistry::handle`].
+#[derive(Clone)]
+pub struct ModelRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            inner: Arc::new(RegistryInner {
+                state: Mutex::new(RegistryState {
+                    entries: BTreeMap::new(),
+                    draining: Vec::new(),
+                    publish_seq: 0,
+                }),
+                drained: Condvar::new(),
+                acquires: AtomicU64::new(0),
+                swaps: AtomicU64::new(0),
+                retired: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a new model under `(schema_fingerprint, name)` as version 1.
+    ///
+    /// Fails with [`ServeError::AlreadyRegistered`] if the name is taken — updating an
+    /// existing model is a [`ModelRegistry::swap`], not a re-register.
+    pub fn register(
+        &self,
+        schema_fingerprint: u64,
+        name: impl Into<String>,
+        model: Arc<dyn ServingEstimator>,
+    ) -> Result<ModelKey, ServeError> {
+        let name = name.into();
+        let mut state = self.inner.state.lock().expect("registry poisoned");
+        if let Some(entry) = state.entries.get(&(schema_fingerprint, name.clone())) {
+            return Err(ServeError::AlreadyRegistered(entry.current.key.clone()));
+        }
+        let key = ModelKey::new(schema_fingerprint, name.clone(), 1);
+        state.publish_seq += 1;
+        let slot = Arc::new(VersionSlot {
+            key: key.clone(),
+            model,
+            inflight: AtomicU64::new(0),
+            superseded: AtomicBool::new(false),
+            publish_seq: state.publish_seq,
+        });
+        state.entries.insert(
+            (schema_fingerprint, name),
+            Entry {
+                current: slot,
+                next_version: 2,
+            },
+        );
+        Ok(key)
+    }
+
+    /// Registers a NeuroCard core under its own schema's fingerprint (computed from the
+    /// core, so caller and artifact cannot disagree).
+    pub fn register_core(
+        &self,
+        name: impl Into<String>,
+        core: Arc<EstimatorCore>,
+    ) -> Result<ModelKey, ServeError> {
+        let fingerprint = schema_fingerprint(core.schema());
+        self.register(fingerprint, name, core)
+    }
+
+    /// Atomically publishes a new version of an existing model.
+    ///
+    /// Acquires issued after this call resolve to the new version; leases already held
+    /// keep serving the old one, which retires when the last of them drops (immediately
+    /// if none are in flight).  Fails with [`ServeError::UnknownModel`] if nothing is
+    /// registered under `(schema_fingerprint, name)`.
+    pub fn swap(
+        &self,
+        schema_fingerprint: u64,
+        name: &str,
+        model: Arc<dyn ServingEstimator>,
+    ) -> Result<SwapReceipt, ServeError> {
+        let mut state = self.inner.state.lock().expect("registry poisoned");
+        state.publish_seq += 1;
+        let publish_seq = state.publish_seq;
+        let entry = state
+            .entries
+            .get_mut(&(schema_fingerprint, name.to_string()))
+            .ok_or_else(|| {
+                ServeError::UnknownModel(
+                    ModelSelector::latest(schema_fingerprint, name).to_string(),
+                )
+            })?;
+        let key = ModelKey::new(schema_fingerprint, name, entry.next_version);
+        entry.next_version += 1;
+        let slot = Arc::new(VersionSlot {
+            key: key.clone(),
+            model,
+            inflight: AtomicU64::new(0),
+            superseded: AtomicBool::new(false),
+            publish_seq,
+        });
+        let old = std::mem::replace(&mut entry.current, slot);
+        old.superseded.store(true, Ordering::SeqCst);
+        let old_key = old.key.clone();
+        // Retire-at-zero: if requests are still pinning the old version it drains; the
+        // last lease drop removes it.  Otherwise it is gone right now.
+        let old_retired_immediately = old.inflight.load(Ordering::SeqCst) == 0;
+        if old_retired_immediately {
+            self.inner.retired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.draining.push(old);
+        }
+        drop(state);
+        self.inner.swaps.fetch_add(1, Ordering::Relaxed);
+        self.inner.drained.notify_all();
+        Ok(SwapReceipt {
+            new: key,
+            old: old_key,
+            old_retired_immediately,
+        })
+    }
+
+    /// Register-or-swap: the convenience used by loaders that do not care whether the
+    /// name already exists.  Returns the published key.
+    pub fn publish(
+        &self,
+        schema_fingerprint: u64,
+        name: &str,
+        model: Arc<dyn ServingEstimator>,
+    ) -> ModelKey {
+        match self.register(schema_fingerprint, name, model.clone()) {
+            Ok(key) => key,
+            Err(_) => {
+                self.swap(schema_fingerprint, name, model)
+                    .expect("entry exists: register reported AlreadyRegistered")
+                    .new
+            }
+        }
+    }
+
+    /// Resolves a selector and pins the resulting version.
+    pub fn acquire(&self, selector: &ModelSelector) -> Result<ModelLease, ServeError> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        let slot = match selector {
+            ModelSelector::Exact(key) => {
+                let entry = state
+                    .entries
+                    .get(&(key.schema_fingerprint, key.name.clone()))
+                    .ok_or_else(|| ServeError::UnknownModel(selector.to_string()))?;
+                if entry.current.key.version != key.version {
+                    return Err(ServeError::StaleVersion {
+                        requested: key.clone(),
+                        current: entry.current.key.clone(),
+                    });
+                }
+                entry.current.clone()
+            }
+            ModelSelector::Latest {
+                schema_fingerprint,
+                name: Some(name),
+            } => state
+                .entries
+                .get(&(*schema_fingerprint, name.clone()))
+                .map(|e| e.current.clone())
+                .ok_or_else(|| ServeError::UnknownModel(selector.to_string()))?,
+            ModelSelector::Latest {
+                schema_fingerprint,
+                name: None,
+            } => state
+                .entries
+                .range((*schema_fingerprint, String::new())..)
+                .take_while(|((fp, _), _)| fp == schema_fingerprint)
+                .map(|(_, e)| &e.current)
+                .max_by_key(|slot| slot.publish_seq)
+                .cloned()
+                .ok_or_else(|| ServeError::UnknownModel(selector.to_string()))?,
+        };
+        // Incremented under the lock, so a concurrent swap either sees this lease (and
+        // drains) or completes first (and this acquire resolves the new version).
+        slot.inflight.fetch_add(1, Ordering::SeqCst);
+        drop(state);
+        self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+        Ok(ModelLease {
+            slot,
+            inner: self.inner.clone(),
+        })
+    }
+
+    /// Routes one transport-independent request: resolve, pin, estimate, release.
+    ///
+    /// This is the single entry point the in-process service, the TCP front-end and the
+    /// benches share — they differ only in how [`ServeRequest`]s reach it.
+    pub fn handle(
+        &self,
+        request: &ServeRequest,
+        scratch: &mut SamplerScratch,
+    ) -> Result<ServeReply, ServeError> {
+        let lease = self.acquire(&request.selector)?;
+        let estimate = lease
+            .estimate(&request.query, request.samples, scratch)
+            .map_err(ServeError::Estimate)?;
+        Ok(ServeReply {
+            key: lease.key().clone(),
+            estimate,
+        })
+    }
+
+    /// Blocks until no superseded version with this key is draining (true), or the
+    /// timeout passes (false).  A key that never drained returns true immediately.
+    pub fn wait_drained(&self, key: &ModelKey, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("registry poisoned");
+        loop {
+            if !state.draining.iter().any(|s| &s.key == key) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .inner
+                .drained
+                .wait_timeout(state, deadline - now)
+                .expect("registry poisoned");
+            state = next;
+        }
+    }
+
+    /// Keys of all currently published (current-version) models.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        state
+            .entries
+            .values()
+            .map(|e| e.current.key.clone())
+            .collect()
+    }
+
+    /// The current version of `(schema_fingerprint, name)`, if registered.
+    pub fn latest(&self, schema_fingerprint: u64, name: &str) -> Option<ModelKey> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        state
+            .entries
+            .get(&(schema_fingerprint, name.to_string()))
+            .map(|e| e.current.key.clone())
+    }
+
+    /// Keys of superseded versions still draining.
+    pub fn draining_versions(&self) -> Vec<ModelKey> {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        state.draining.iter().map(|s| s.key.clone()).collect()
+    }
+
+    /// Counters and gauges.
+    pub fn stats(&self) -> RegistryStats {
+        let state = self.inner.state.lock().expect("registry poisoned");
+        RegistryStats {
+            models: state.entries.len(),
+            draining: state.draining.len(),
+            acquires: self.inner.acquires.load(Ordering::Relaxed),
+            swaps: self.inner.swaps.load(Ordering::Relaxed),
+            retired: self.inner.retired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BaselineModel;
+    use nc_baselines::CardinalityEstimator;
+
+    /// A zero-cost estimator whose answer encodes (version marker, sample budget) so
+    /// tests can see exactly which model version served a request.
+    struct Marker(f64);
+    impl CardinalityEstimator for Marker {
+        fn name(&self) -> &str {
+            "marker"
+        }
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.0
+        }
+    }
+
+    fn marker(value: f64) -> Arc<dyn ServingEstimator> {
+        Arc::new(BaselineModel::new(Marker(value)))
+    }
+
+    fn q() -> Query {
+        Query::join(&["t"])
+    }
+
+    #[test]
+    fn register_route_and_latest_selectors() {
+        let registry = ModelRegistry::new();
+        let mut scratch = SamplerScratch::new();
+        let k1 = registry.register(7, "a", marker(1.0)).unwrap();
+        assert_eq!(k1, ModelKey::new(7, "a", 1));
+        let k2 = registry.register(7, "b", marker(2.0)).unwrap();
+        let k3 = registry.register(9, "a", marker(3.0)).unwrap();
+
+        // Exact and named-latest routing.
+        for (selector, want) in [
+            (ModelSelector::Exact(k1.clone()), 1.0),
+            (ModelSelector::latest(7, "a"), 1.0),
+            (ModelSelector::latest(7, "b"), 2.0),
+            (ModelSelector::Exact(k3.clone()), 3.0),
+        ] {
+            let lease = registry.acquire(&selector).unwrap();
+            assert_eq!(lease.estimate(&q(), None, &mut scratch), Ok(want));
+        }
+        // Anonymous latest picks the most recently *published* model for the schema.
+        let lease = registry
+            .acquire(&ModelSelector::latest_for_schema(7))
+            .unwrap();
+        assert_eq!(lease.key(), &k2);
+        drop(lease);
+
+        // Unknown routes are typed errors.
+        assert!(matches!(
+            registry.acquire(&ModelSelector::latest(7, "zzz")),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            registry.acquire(&ModelSelector::latest_for_schema(8)),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // Duplicate registration is rejected with the existing key.
+        assert_eq!(
+            registry.register(7, "a", marker(9.0)),
+            Err(ServeError::AlreadyRegistered(k1))
+        );
+        let stats = registry.stats();
+        assert_eq!(stats.models, 3);
+        assert_eq!(stats.acquires, 5);
+        assert_eq!(stats.swaps, 0);
+    }
+
+    #[test]
+    fn swap_publishes_atomically_and_drains_at_zero() {
+        let registry = ModelRegistry::new();
+        let mut scratch = SamplerScratch::new();
+        let k1 = registry.register(1, "m", marker(10.0)).unwrap();
+
+        // Pin v1, then swap to v2 while the lease is held.
+        let lease_v1 = registry.acquire(&ModelSelector::latest(1, "m")).unwrap();
+        let receipt = registry.swap(1, "m", marker(20.0)).unwrap();
+        assert_eq!(receipt.new, ModelKey::new(1, "m", 2));
+        assert_eq!(receipt.old, k1);
+        assert!(!receipt.old_retired_immediately, "v1 is pinned");
+        assert_eq!(registry.draining_versions(), vec![k1.clone()]);
+
+        // New acquires see v2; the held lease still serves v1.
+        let lease_v2 = registry.acquire(&ModelSelector::latest(1, "m")).unwrap();
+        assert_eq!(lease_v2.key().version, 2);
+        assert_eq!(lease_v2.estimate(&q(), None, &mut scratch), Ok(20.0));
+        assert_eq!(lease_v1.estimate(&q(), None, &mut scratch), Ok(10.0));
+
+        // Exact requests for the superseded version are told about the swap.
+        assert_eq!(
+            registry.acquire(&ModelSelector::Exact(k1.clone())).err(),
+            Some(ServeError::StaleVersion {
+                requested: k1.clone(),
+                current: ModelKey::new(1, "m", 2),
+            })
+        );
+
+        // v1 is not drained while its lease lives...
+        assert!(!registry.wait_drained(&k1, Duration::from_millis(10)));
+        assert_eq!(registry.stats().retired, 0);
+        // ...and retires exactly when the last lease drops.
+        drop(lease_v1);
+        assert!(registry.wait_drained(&k1, Duration::from_secs(5)));
+        assert!(registry.draining_versions().is_empty());
+        let stats = registry.stats();
+        assert_eq!(stats.retired, 1);
+        assert_eq!(stats.swaps, 1);
+
+        // A swap with nothing in flight retires the old version immediately.
+        drop(lease_v2);
+        let receipt = registry.swap(1, "m", marker(30.0)).unwrap();
+        assert!(receipt.old_retired_immediately);
+        assert_eq!(receipt.new.version, 3);
+        assert_eq!(registry.stats().retired, 2);
+        assert!(registry.wait_drained(&receipt.old, Duration::from_millis(1)));
+
+        // Swapping an unregistered name is an error.
+        assert!(matches!(
+            registry.swap(1, "ghost", marker(0.0)),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // publish() is register-or-swap.
+        assert_eq!(registry.publish(1, "m", marker(40.0)).version, 4);
+        assert_eq!(registry.publish(1, "fresh", marker(1.0)).version, 1);
+    }
+
+    #[test]
+    fn anonymous_latest_follows_publishes_across_names() {
+        let registry = ModelRegistry::new();
+        registry.register(5, "a", marker(1.0)).unwrap();
+        registry.register(5, "b", marker(2.0)).unwrap();
+        // b was published last.
+        assert_eq!(
+            registry
+                .acquire(&ModelSelector::latest_for_schema(5))
+                .unwrap()
+                .key()
+                .name,
+            "b"
+        );
+        // Swapping a re-publishes it: it becomes the schema's most recent model.
+        registry.swap(5, "a", marker(3.0)).unwrap();
+        let lease = registry
+            .acquire(&ModelSelector::latest_for_schema(5))
+            .unwrap();
+        assert_eq!((lease.key().name.as_str(), lease.key().version), ("a", 2));
+    }
+
+    #[test]
+    fn keys_and_display_render() {
+        let registry = ModelRegistry::new();
+        let key = registry.register(0xabcd, "m", marker(1.0)).unwrap();
+        assert_eq!(key.to_string(), "000000000000abcd/m@v1");
+        assert_eq!(
+            ModelSelector::latest(0xabcd, "m").to_string(),
+            "000000000000abcd/m@latest"
+        );
+        assert_eq!(
+            ModelSelector::latest_for_schema(0xabcd).to_string(),
+            "000000000000abcd/*@latest"
+        );
+        assert_eq!(registry.keys(), vec![key.clone()]);
+        assert_eq!(registry.latest(0xabcd, "m"), Some(key));
+        assert_eq!(registry.latest(0xabcd, "nope"), None);
+    }
+}

@@ -1,0 +1,662 @@
+//! In-process serving: a worker pool that drains [`ServeRequest`]s through a
+//! [`ModelRegistry`].
+//!
+//! [`RegistryService`] is the multi-model successor of PR 4's single-model service: a
+//! **bounded** request channel (clients block when the queue is full — natural
+//! backpressure), N workers each checking a reusable [`SamplerScratch`] out of a
+//! pre-grown [`ScratchPool`] per request, and p50/p99 latency accounting.  Requests
+//! carry a [`crate::ModelSelector`], so one service serves every registered model — and
+//! keeps serving across hot swaps, since routing happens per request.
+//!
+//! [`EstimatorService`] remains as the one-model convenience wrapper: it builds a
+//! private registry around a single [`EstimatorCore`] and pins every request to it.
+//! Determinism is unchanged from PR 4: every estimate is **bit-identical** to a
+//! sequential [`EstimatorCore::estimate`] of the same query, regardless of worker
+//! count, queueing order or thread interleaving.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nc_schema::Query;
+use neurocard::{ArtifactLoadError, EstimatorCore, ModelArtifact};
+
+use crate::pool::ScratchPool;
+use crate::protocol::{ServeReply, ServeRequest};
+use crate::registry::{ModelKey, ModelRegistry, ModelSelector};
+use crate::ServeError;
+
+/// Configuration of a [`RegistryService`] / [`EstimatorService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Capacity of the bounded request queue (clients block when it is full).
+    pub queue_depth: usize,
+    /// Sample budget applied when a request carries none; `None` defers to the selected
+    /// model's own default.
+    pub default_samples: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_depth: 64,
+            default_samples: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Bounded per-request latency log: an exact served counter plus a ring of the most
+/// recent [`LATENCY_WINDOW`] latencies for quantile estimation — a long-lived service
+/// must not grow memory per request.
+struct LatencyLog {
+    total: u64,
+    ring: Vec<f64>,
+    next: usize,
+}
+
+/// How many of the most recent request latencies back the p50/p99 estimates.
+pub const LATENCY_WINDOW: usize = 1 << 16;
+
+impl LatencyLog {
+    fn new() -> Self {
+        LatencyLog {
+            total: 0,
+            ring: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.total += 1;
+        if self.ring.len() < LATENCY_WINDOW {
+            self.ring.push(v);
+        } else {
+            self.ring[self.next] = v;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Latency summary of a service (microseconds, nearest-rank quantiles over the most
+/// recent [`LATENCY_WINDOW`] requests; `served` counts everything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Requests completed.
+    pub served: usize,
+    /// Median request latency (enqueue → reply ready).
+    pub p50_us: f64,
+    /// 99th-percentile request latency.
+    pub p99_us: f64,
+    /// Worst request latency.
+    pub max_us: f64,
+    /// Mean request latency.
+    pub mean_us: f64,
+}
+
+impl ServiceStats {
+    fn from_log(served: u64, mut us: Vec<f64>) -> Self {
+        if us.is_empty() {
+            return ServiceStats {
+                served: served as usize,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+                mean_us: 0.0,
+            };
+        }
+        us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+        ServiceStats {
+            served: served as usize,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: *us.last().expect("non-empty"),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+}
+
+struct WorkItem {
+    request: ServeRequest,
+    enqueued: Instant,
+    reply: std::sync::mpsc::Sender<Result<ServeReply, ServeError>>,
+}
+
+/// A cloneable client handle onto a running [`RegistryService`].
+#[derive(Clone)]
+pub struct RegistryHandle {
+    tx: SyncSender<WorkItem>,
+}
+
+impl RegistryHandle {
+    /// Submits a request and blocks for the reply.
+    pub fn request(&self, request: ServeRequest) -> Result<ServeReply, ServeError> {
+        let (reply, rx) = std::sync::mpsc::channel();
+        self.tx
+            .send(WorkItem {
+                request,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Estimates `query` on the model `selector` resolves to, with its default budget.
+    pub fn estimate(
+        &self,
+        selector: &ModelSelector,
+        query: &Query,
+    ) -> Result<ServeReply, ServeError> {
+        self.request(ServeRequest::new(selector.clone(), query.clone()))
+    }
+}
+
+/// A long-lived, concurrent serving front over a [`ModelRegistry`].
+pub struct RegistryService {
+    registry: Arc<ModelRegistry>,
+    tx: Option<SyncSender<WorkItem>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    latencies: Arc<Mutex<LatencyLog>>,
+    scratch_pool: Arc<ScratchPool>,
+    /// Tells workers to exit at their next idle check even while cloned
+    /// [`RegistryHandle`]s keep the request channel open — shutdown must be bounded,
+    /// not hostage to a leaked handle.
+    stop: Arc<AtomicBool>,
+}
+
+impl RegistryService {
+    /// Starts a service over a registry (which may gain, lose and swap models while the
+    /// service runs — routing is per request).
+    pub fn new(registry: Arc<ModelRegistry>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let default_samples = config.default_samples;
+        let (tx, rx) = sync_channel::<WorkItem>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let latencies = Arc::new(Mutex::new(LatencyLog::new()));
+        let scratch_pool = Arc::new(ScratchPool::new(workers));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..workers)
+            .map(|i| {
+                let registry = registry.clone();
+                let rx = rx.clone();
+                let latencies = latencies.clone();
+                let pool = scratch_pool.clone();
+                let stop = stop.clone();
+                std::thread::Builder::new()
+                    .name(format!("nc-serve-{i}"))
+                    .spawn(move || {
+                        worker_loop(&registry, default_samples, &rx, &latencies, &pool, &stop)
+                    })
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        RegistryService {
+            registry,
+            tx: Some(tx),
+            workers: handles,
+            latencies,
+            scratch_pool,
+            stop,
+        }
+    }
+
+    /// A cloneable client handle (one per client thread).
+    pub fn handle(&self) -> RegistryHandle {
+        RegistryHandle {
+            tx: self.tx.clone().expect("service is running"),
+        }
+    }
+
+    /// The routed registry (register/swap while serving through it).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The scratch workspace pool (exposed for observability in benches/tests).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.scratch_pool
+    }
+
+    /// Latency summary: exact served count, quantiles over the most recent
+    /// [`LATENCY_WINDOW`] requests.
+    pub fn stats(&self) -> ServiceStats {
+        let log = self.latencies.lock().expect("latencies poisoned");
+        ServiceStats::from_log(log.total, log.ring.clone())
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers and returns the
+    /// final stats.
+    ///
+    /// Workers exit once the queue is empty — even if a leaked [`RegistryHandle`] still
+    /// keeps the channel open, shutdown completes within one idle-poll interval rather
+    /// than deadlocking (requests sent through such a handle afterwards fail with
+    /// [`ServeError::ShuttingDown`]).
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop.store(true, Ordering::Release);
+        self.tx = None; // close our side of the channel; workers drain, then exit
+        for w in self.workers.drain(..) {
+            w.join().expect("service worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for RegistryService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            // A panic in a worker already unwound; don't double-panic in drop.
+            let _ = w.join();
+        }
+    }
+}
+
+/// How often an idle worker wakes to check the stop flag.  Only reached when the queue
+/// is empty, so it costs nothing on the serving hot path; it bounds shutdown latency
+/// when a leaked handle keeps the channel open.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+fn worker_loop(
+    registry: &ModelRegistry,
+    default_samples: Option<usize>,
+    rx: &Mutex<Receiver<WorkItem>>,
+    latencies: &Mutex<LatencyLog>,
+    pool: &ScratchPool,
+    stop: &AtomicBool,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the compute.  Queued
+        // requests are always served before a stop-flag exit (recv_timeout only times
+        // out on an empty queue), so shutdown() still drains.
+        let item = match rx
+            .lock()
+            .expect("request queue poisoned")
+            .recv_timeout(IDLE_POLL)
+        {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return, // all senders gone
+        };
+        let mut request = item.request;
+        if request.samples.is_none() {
+            request.samples = default_samples;
+        }
+        let mut scratch = pool.checkout();
+        let result = registry.handle(&request, &mut scratch);
+        pool.checkin(scratch);
+        latencies
+            .lock()
+            .expect("latencies poisoned")
+            .push(item.enqueued.elapsed().as_secs_f64() * 1e6);
+        // A client that gave up (dropped the reply receiver) is not an error.
+        let _ = item.reply.send(result);
+    }
+}
+
+/// A cloneable client handle onto a running [`EstimatorService`] (the single-model
+/// facade: every request is pinned to the service's one core).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: RegistryHandle,
+    selector: ModelSelector,
+    default_samples: usize,
+}
+
+impl ServiceHandle {
+    /// Estimates with the service's default sample budget (blocking round trip).
+    pub fn estimate(&self, query: &Query) -> Result<f64, ServeError> {
+        self.estimate_with_samples(query, self.default_samples)
+    }
+
+    /// Estimates with an explicit sample budget (blocking round trip).
+    pub fn estimate_with_samples(&self, query: &Query, samples: usize) -> Result<f64, ServeError> {
+        self.inner
+            .request(ServeRequest::new(self.selector.clone(), query.clone()).with_samples(samples))
+            .map(|reply| reply.estimate)
+    }
+}
+
+/// A long-lived, concurrent estimator service over one loaded model.
+///
+/// Since the registry redesign this is a facade: a private [`ModelRegistry`] holding
+/// exactly one [`EstimatorCore`], served by a [`RegistryService`].  The public API (and
+/// its determinism contract) is unchanged from PR 4.
+pub struct EstimatorService {
+    service: RegistryService,
+    core: Arc<EstimatorCore>,
+    key: ModelKey,
+    default_samples: usize,
+}
+
+impl EstimatorService {
+    /// Starts a service over an estimation core.
+    pub fn new(core: Arc<EstimatorCore>, config: ServiceConfig) -> Self {
+        let default_samples = config
+            .default_samples
+            .unwrap_or(core.config().progressive_samples);
+        let registry = Arc::new(ModelRegistry::new());
+        let key = registry
+            .register_core("default", core.clone())
+            .expect("fresh registry has no entries");
+        let service = RegistryService::new(registry, config);
+        EstimatorService {
+            service,
+            core,
+            key,
+            default_samples,
+        }
+    }
+
+    /// Starts a service straight from a parsed [`ModelArtifact`].
+    pub fn from_artifact(
+        artifact: &ModelArtifact,
+        config: ServiceConfig,
+    ) -> Result<Self, ArtifactLoadError> {
+        Ok(Self::new(Arc::new(artifact.to_core()?), config))
+    }
+
+    /// Starts a service straight from artifact container bytes.
+    pub fn from_artifact_bytes(
+        bytes: &[u8],
+        config: ServiceConfig,
+    ) -> Result<Self, ArtifactLoadError> {
+        Self::from_artifact(&ModelArtifact::from_bytes(bytes)?, config)
+    }
+
+    /// A cloneable client handle (one per client thread).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: self.service.handle(),
+            selector: ModelSelector::Exact(self.key.clone()),
+            default_samples: self.default_samples,
+        }
+    }
+
+    /// Estimates through the service (blocking round trip; equivalent to
+    /// `self.handle().estimate(query)`).
+    pub fn estimate(&self, query: &Query) -> Result<f64, ServeError> {
+        self.handle().estimate(query)
+    }
+
+    /// Estimates with an explicit sample budget.
+    pub fn estimate_with_samples(&self, query: &Query, samples: usize) -> Result<f64, ServeError> {
+        self.handle().estimate_with_samples(query, samples)
+    }
+
+    /// The shared estimation core.
+    pub fn core(&self) -> &Arc<EstimatorCore> {
+        &self.core
+    }
+
+    /// The key the core is registered under in the service's private registry.
+    pub fn key(&self) -> &ModelKey {
+        &self.key
+    }
+
+    /// The scratch workspace pool (exposed for observability in benches/tests).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        self.service.scratch_pool()
+    }
+
+    /// Latency summary: exact served count, quantiles over the most recent
+    /// [`LATENCY_WINDOW`] requests.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers and returns the
+    /// final stats (see [`RegistryService::shutdown`]).
+    pub fn shutdown(self) -> ServiceStats {
+        self.service.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_schema::{JoinEdge, JoinSchema, Predicate};
+    use nc_storage::{Database, TableBuilder, Value};
+    use neurocard::{EstimateError, NeuroCard, NeuroCardConfig};
+
+    fn trained_core() -> Arc<EstimatorCore> {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new("A", &["x", "c"]);
+        for i in 0..50i64 {
+            a.push_row(vec![Value::Int(i % 6), Value::Int(i % 4)]);
+        }
+        db.add_table(a.finish());
+        let mut b = TableBuilder::new("B", &["x", "d"]);
+        for i in 0..70i64 {
+            b.push_row(vec![Value::Int(i % 6), Value::Int(i % 3)]);
+        }
+        db.add_table(b.finish());
+        let schema = JoinSchema::new(
+            vec!["A".into(), "B".into()],
+            vec![JoinEdge::parse("A.x", "B.x")],
+            "A",
+        )
+        .unwrap();
+        let config = NeuroCardConfig::tiny().with_training_tuples(600);
+        let artifact = NeuroCard::train(Arc::new(db), Arc::new(schema), &config);
+        // Serve through the full persistence path, as production would.
+        Arc::new(
+            ModelArtifact::from_bytes(&artifact.to_bytes())
+                .unwrap()
+                .to_core()
+                .unwrap(),
+        )
+    }
+
+    fn workload() -> Vec<Query> {
+        let mut queries = vec![Query::join(&["A", "B"]), Query::join(&["A"])];
+        for v in 0..4i64 {
+            queries.push(Query::join(&["A", "B"]).filter("A", "c", Predicate::eq(v)));
+            queries.push(Query::join(&["B"]).filter("B", "d", Predicate::le(v)));
+        }
+        queries
+    }
+
+    #[test]
+    fn concurrent_service_matches_sequential_estimates_at_any_worker_count() {
+        let core = trained_core();
+        let queries = workload();
+        let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+
+        for workers in [1usize, 2, 4] {
+            let service = EstimatorService::new(
+                core.clone(),
+                ServiceConfig {
+                    workers,
+                    queue_depth: 2,
+                    default_samples: None,
+                },
+            );
+            // 3 client threads hammer the service with interleaved repetitions.
+            let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..3)
+                    .map(|client| {
+                        let handle = service.handle();
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for round in 0..3 {
+                                for (i, q) in queries.iter().enumerate() {
+                                    if (i + round + client) % 3 == client % 3 {
+                                        out.push((i, handle.estimate(q).unwrap()));
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for client_results in &results {
+                for (i, est) in client_results {
+                    assert_eq!(
+                        est.to_bits(),
+                        sequential[*i].to_bits(),
+                        "service with {workers} workers diverged on query {i}"
+                    );
+                }
+            }
+            let stats = service.shutdown();
+            let expected = results.iter().map(|r| r.len()).sum::<usize>();
+            assert_eq!(stats.served, expected);
+            assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.max_us);
+            assert!(stats.p50_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let core = trained_core();
+        let service = EstimatorService::new(core, ServiceConfig::with_workers(2));
+        let q = Query::join(&["A"]);
+        // Zero sample budget → typed error (the PR-4 satellite contract).
+        assert_eq!(
+            service.estimate_with_samples(&q, 0),
+            Err(ServeError::Estimate(EstimateError::InvalidSampleCount))
+        );
+        // Unknown column → typed error; the worker survives to serve the next request.
+        let bad = Query::join(&["A", "B"]).filter("A", "x", Predicate::eq(0i64));
+        assert!(matches!(
+            service.estimate(&bad),
+            Err(ServeError::Estimate(EstimateError::UnknownColumn { .. }))
+        ));
+        assert!(service.estimate(&q).is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 3);
+    }
+
+    #[test]
+    fn service_under_load_never_grows_the_scratch_pool() {
+        let core = trained_core();
+        let service = EstimatorService::new(
+            core,
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 1,
+                default_samples: Some(16),
+            },
+        );
+        let queries = workload();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = service.handle();
+                let queries = &queries;
+                scope.spawn(move || {
+                    for q in queries {
+                        handle.estimate(q).unwrap();
+                    }
+                });
+            }
+        });
+        // One scratch per worker, checked out and in per request — no emergency growth.
+        assert_eq!(service.scratch_pool().total_created(), 2);
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 4 * queries.len());
+    }
+
+    #[test]
+    fn drop_with_leaked_handle_does_not_deadlock() {
+        let core = trained_core();
+        let service = EstimatorService::new(core, ServiceConfig::with_workers(2));
+        let handle = service.handle();
+        let q = Query::join(&["A"]);
+        assert!(service.estimate(&q).is_ok());
+        // The leaked handle keeps the request channel open; drop must still return
+        // (workers exit via the stop flag at their next idle poll).
+        drop(service);
+        // ...and the orphaned handle fails cleanly instead of blocking.
+        assert_eq!(handle.estimate(&q), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn registry_service_routes_and_survives_swaps() {
+        let core = trained_core();
+        let queries = workload();
+        let sequential: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+
+        let registry = Arc::new(ModelRegistry::new());
+        let key = registry.register_core("neurocard", core.clone()).unwrap();
+        let service = RegistryService::new(registry.clone(), ServiceConfig::with_workers(2));
+        let handle = service.handle();
+
+        // Routed estimates are bit-identical to the direct core.
+        let selector = ModelSelector::latest(key.schema_fingerprint, "neurocard");
+        for (q, want) in queries.iter().zip(&sequential) {
+            let reply = handle.estimate(&selector, q).unwrap();
+            assert_eq!(reply.key, key);
+            assert_eq!(reply.estimate.to_bits(), want.to_bits());
+        }
+
+        // Swap in "the same model, next version" mid-flight: routing follows.
+        let receipt = registry
+            .swap(key.schema_fingerprint, "neurocard", core.clone())
+            .unwrap();
+        let reply = handle.estimate(&selector, &queries[0]).unwrap();
+        assert_eq!(reply.key, receipt.new);
+        assert_eq!(reply.estimate.to_bits(), sequential[0].to_bits());
+
+        // Unknown models come back as routed errors, not worker deaths.
+        assert!(matches!(
+            handle.estimate(
+                &ModelSelector::latest(key.schema_fingerprint, "nope"),
+                &queries[0]
+            ),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(handle.estimate(&selector, &queries[1]).is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.served, queries.len() + 3);
+    }
+
+    #[test]
+    fn stats_on_empty_service_are_zero() {
+        let stats = ServiceStats::from_log(0, Vec::new());
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.p99_us, 0.0);
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn latency_log_is_bounded_but_counts_everything() {
+        let mut log = LatencyLog::new();
+        for i in 0..(LATENCY_WINDOW + 500) {
+            log.push(i as f64);
+        }
+        assert_eq!(log.total, (LATENCY_WINDOW + 500) as u64);
+        assert_eq!(log.ring.len(), LATENCY_WINDOW);
+        let stats = ServiceStats::from_log(log.total, log.ring.clone());
+        assert_eq!(stats.served, LATENCY_WINDOW + 500);
+        // The window holds the most recent values: the oldest 500 were overwritten.
+        assert!(log.ring.iter().all(|&v| v >= 500.0));
+    }
+}
