@@ -29,8 +29,8 @@ use nc_baselines::{IbjsEstimator, PostgresLikeEstimator};
 use nc_bench::harness::{build_or_load_neurocard, print_preamble};
 use nc_bench::{BenchEnv, HarnessConfig};
 use nc_serve::{
-    BaselineModel, ModelRegistry, ModelSelector, RegistryService, ScratchPool, ServeClient,
-    ServeRequest, ServiceConfig, TcpServer,
+    BaselineModel, JournalEvent, ModelRegistry, ModelSelector, Quantiles, RegistryJournal,
+    RegistryService, ScratchPool, ServeClient, ServeRequest, ServiceConfig, TcpServer,
 };
 use nc_workloads::job_light_queries;
 
@@ -52,6 +52,27 @@ struct ModelResult {
     queries_per_sec: f64,
 }
 
+/// The registry's own per-version serving split ([`ModelRegistry::model_stats`]),
+/// keyed by the full `fingerprint:name@version` model key.
+#[derive(serde::Serialize)]
+struct ModelStatsRow {
+    key: String,
+    served: u64,
+    p50_us: f64,
+    p99_us: f64,
+    queries_per_sec: f64,
+}
+
+/// Reactor counters after the TCP phase.
+#[derive(serde::Serialize)]
+struct ReactorCounters {
+    accepted: u64,
+    served: u64,
+    overloaded: u64,
+    stalled_disconnects: u64,
+    overflow_disconnects: u64,
+}
+
 /// The machine-readable benchmark record CI archives.
 #[derive(serde::Serialize)]
 struct RegistryBenchRecord {
@@ -61,18 +82,20 @@ struct RegistryBenchRecord {
     queries: usize,
     psamples: usize,
     models: Vec<ModelResult>,
+    model_stats: Vec<ModelStatsRow>,
+    reactor: ReactorCounters,
     tcp_requests: usize,
     tcp_queries_per_sec: f64,
     swap_publish_us: f64,
     swap_drain_us: f64,
     swap_phase_requests: usize,
     determinism_checks: usize,
+    journal_events: usize,
 }
 
-fn quantiles(mut us: Vec<f64>) -> (f64, f64) {
-    us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
-    (pick(0.50), pick(0.99))
+fn quantiles(us: Vec<f64>) -> (f64, f64) {
+    let q = Quantiles::of(us);
+    (q.p50, q.p99)
 }
 
 fn main() {
@@ -292,7 +315,72 @@ fn main() {
     assert_eq!(reply.key, receipt.new);
     assert!(reply.estimate.to_bits() == sequential[0].to_bits());
     determinism_checks += 1;
+    let reactor_stats = server.stats();
     server.shutdown();
+
+    // ---- The registry's own per-version serving split ---------------------------------
+    println!("\nper-model serving stats (ModelRegistry::model_stats):");
+    println!(
+        "{:<44} {:>8} {:>10} {:>10} {:>14}",
+        "key", "served", "p50 (us)", "p99 (us)", "queries/sec"
+    );
+    let mut stats_rows = Vec::new();
+    for s in registry.model_stats() {
+        println!(
+            "{:<44} {:>8} {:>10.0} {:>10.0} {:>14.0}",
+            s.key.to_string(),
+            s.served,
+            s.p50_us,
+            s.p99_us,
+            s.queries_per_sec
+        );
+        stats_rows.push(ModelStatsRow {
+            key: s.key.to_string(),
+            served: s.served,
+            p50_us: s.p50_us,
+            p99_us: s.p99_us,
+            queries_per_sec: s.queries_per_sec,
+        });
+    }
+
+    // ---- Journal round trip: persistence is asserted every run ------------------------
+    // Replay the session's publish history through the registry journal and check the
+    // fold lands exactly on the versions the live registry is serving.
+    let journal_events = {
+        let path =
+            std::env::temp_dir().join(format!("nc-registry-bench-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, empty) = RegistryJournal::open(&path).expect("fresh journal");
+        assert!(empty.is_empty());
+        let mut history: Vec<nc_serve::ModelKey> = registry.keys();
+        history.push(receipt.old.clone()); // v1 was published before the swap superseded it
+        history.sort();
+        for key in &history {
+            journal
+                .append(&JournalEvent::publish(key, "<in-memory>"))
+                .expect("journal append");
+        }
+        drop(journal);
+        let (_, events) = RegistryJournal::open(&path).expect("reopening the journal");
+        let folded: Vec<nc_serve::ModelKey> = nc_serve::journal::fold_events(&events)
+            .expect("the journal folds")
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        let mut live = registry.keys();
+        live.sort();
+        assert_eq!(
+            folded, live,
+            "a journal replay must restore exactly the live registry"
+        );
+        let _ = std::fs::remove_file(&path);
+        println!(
+            "journal round trip: {} events fold to the {} live models — restart-safe",
+            events.len(),
+            live.len()
+        );
+        events.len()
+    };
 
     println!(
         "\ndeterminism verified: {determinism_checks} registry-routed estimates (in-process, \
@@ -306,12 +394,21 @@ fn main() {
         queries: queries.len(),
         psamples: config.psamples,
         models: model_results,
+        model_stats: stats_rows,
+        reactor: ReactorCounters {
+            accepted: reactor_stats.accepted,
+            served: reactor_stats.served,
+            overloaded: reactor_stats.overloaded,
+            stalled_disconnects: reactor_stats.stalled_disconnects,
+            overflow_disconnects: reactor_stats.overflow_disconnects,
+        },
         tcp_requests: queries.len(),
         tcp_queries_per_sec: tcp_qps,
         swap_publish_us: publish_us,
         swap_drain_us: drain_us,
         swap_phase_requests: service_stats.served,
         determinism_checks,
+        journal_events,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serialisation");
     let json_path = std::env::var("NC_BENCH_REGISTRY_JSON")

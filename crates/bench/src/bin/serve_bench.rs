@@ -8,9 +8,11 @@
 //!
 //! * p50 / p99 request latency (queue wait + compute, from the service's own accounting),
 //! * sustained queries/sec across all clients,
+//! * the same workload over the nonblocking TCP reactor (client-measured round-trip
+//!   latency via the shared nearest-rank [`Quantiles`]),
 //! * and it **asserts** the serving determinism contract on every run: each estimate
 //!   must be bit-identical to a sequential `EstimatorCore::estimate` of the same query,
-//!   regardless of worker count or interleaving.
+//!   regardless of worker count, transport, or interleaving.
 //!
 //! The model is loaded through the full persistence path (train → artifact bytes →
 //! registry), so this binary doubles as the end-to-end artifact smoke test, and with
@@ -28,7 +30,10 @@ use std::time::Instant;
 
 use nc_bench::harness::{build_or_load_neurocard, print_preamble};
 use nc_bench::{BenchEnv, HarnessConfig};
-use nc_serve::{ModelRegistry, ModelSelector, RegistryService, ServeRequest, ServiceConfig};
+use nc_serve::{
+    ModelRegistry, ModelSelector, Quantiles, RegistryService, ServeClient, ServeRequest,
+    ServiceConfig, TcpServer,
+};
 use nc_workloads::job_light_queries;
 
 fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
@@ -61,6 +66,15 @@ struct RunResult {
     queries_per_sec: f64,
 }
 
+/// The TCP reactor phase: the same workload through real sockets.
+#[derive(serde::Serialize)]
+struct TcpResult {
+    served: u64,
+    p50_us: f64,
+    p99_us: f64,
+    queries_per_sec: f64,
+}
+
 /// The machine-readable benchmark record CI archives.
 #[derive(serde::Serialize)]
 struct ServeBenchRecord {
@@ -74,6 +88,7 @@ struct ServeBenchRecord {
     artifact_bytes: usize,
     schema_fingerprint: String,
     runs: Vec<RunResult>,
+    tcp: TcpResult,
 }
 
 fn main() {
@@ -179,10 +194,65 @@ fn main() {
         });
     }
 
+    // ---- The same workload over the nonblocking TCP reactor ---------------------------
+    // Concurrent blocking clients over real sockets: client-measured round-trip
+    // latency (socket + framing + queue + compute), determinism asserted per reply.
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_core("neurocard", core.clone())
+        .expect("fresh registry");
+    let server = TcpServer::bind(registry, "127.0.0.1:0").expect("binding loopback");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let (queries, sequential, selector) = (&queries, &sequential, &selector);
+                scope.spawn(move || {
+                    let mut conn = ServeClient::connect(addr).expect("connecting to loopback");
+                    let mut us = Vec::with_capacity(rounds * queries.len());
+                    for round in 0..rounds {
+                        for i in 0..queries.len() {
+                            let idx = (i + client + round) % queries.len();
+                            let t = Instant::now();
+                            let reply = conn
+                                .request(
+                                    &ServeRequest::new(selector.clone(), queries[idx].clone())
+                                        .with_samples(config.psamples),
+                                )
+                                .expect("workload queries are valid over the wire");
+                            us.push(t.elapsed().as_secs_f64() * 1e6);
+                            assert!(
+                                reply.estimate.to_bits() == sequential[idx].to_bits(),
+                                "TCP estimate diverged from the sequential core on query {idx}"
+                            );
+                        }
+                    }
+                    us
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let tcp_wall = start.elapsed().as_secs_f64();
+    let tcp_served = server.served();
+    assert_eq!(tcp_served as usize, clients * rounds * queries.len());
+    server.shutdown();
+    let q = Quantiles::of(latencies);
+    let tcp_qps = tcp_served as f64 / tcp_wall.max(1e-12);
+    println!(
+        "{:<10} {:>10} {:>12.0} {:>12.0} {:>14.0}   (TCP reactor, {clients} clients)",
+        "tcp", tcp_served, q.p50, q.p99, tcp_qps
+    );
+
     println!();
     println!(
-        "determinism verified: every served estimate was bit-identical to the sequential \
-         core (workers ∈ {worker_counts:?}, {clients} clients, {rounds} rounds)"
+        "determinism verified: every served estimate — in-process and over TCP — was \
+         bit-identical to the sequential core (workers ∈ {worker_counts:?}, {clients} \
+         clients, {rounds} rounds)"
     );
 
     let record = ServeBenchRecord {
@@ -196,6 +266,12 @@ fn main() {
         artifact_bytes: artifact_bytes.len(),
         schema_fingerprint: format!("{fingerprint:016x}"),
         runs: results,
+        tcp: TcpResult {
+            served: tcp_served,
+            p50_us: q.p50,
+            p99_us: q.p99,
+            queries_per_sec: tcp_qps,
+        },
     };
     let json = serde_json::to_string_pretty(&record).expect("record serialisation");
     let json_path =

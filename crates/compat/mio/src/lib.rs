@@ -1,0 +1,442 @@
+//! Offline, mio-style readiness poller: a minimal `epoll(7)` + `eventfd(2)` subset.
+//!
+//! This is the `crates/compat` answer to the real `mio` crate: the same vocabulary —
+//! [`Poll`], [`Events`], [`Token`], [`Interest`], [`Waker`] — hand-rolled over raw
+//! Linux syscalls so the workspace needs no external dependency for a nonblocking
+//! multiplexed server.  Divergences from real mio, by design:
+//!
+//! * registration takes a [`RawFd`] directly (the equivalent of mio's `SourceFd`)
+//!   instead of a `&mut impl event::Source`;
+//! * readiness is **level-triggered** (real mio is edge-triggered): an event keeps
+//!   firing while the condition holds, so dropped wakeups cannot wedge a connection;
+//! * [`Waker`] exposes an explicit [`Waker::drain`] the poll loop calls when it sees
+//!   the waker's token (eventfd readiness is level-triggered too).
+//!
+//! Linux-only: the syscalls are declared directly against the C library the binary is
+//! linked with anyway, so there is nothing to vendor.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Identifies one registered event source in an [`Events`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness kinds a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// No readiness (a shim divergence from real mio): the fd stays registered and
+    /// still reports hangup/error — how a reactor pauses a backpressured connection
+    /// without losing its disconnect notification.
+    pub const NONE: Interest = Interest(0b00);
+
+    /// Combines two interests (mio's `Interest::add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether readable readiness is requested.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Whether writable readiness is requested.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+mod sys {
+    //! The raw syscall surface: declared against the libc every Linux Rust binary is
+    //! already linked with, so no crate needs vendoring.
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    // The kernel ABI packs epoll_event on x86 so the 64-bit data field is unaligned;
+    // every other architecture uses natural alignment.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn interest_bits(interests: Interest) -> u32 {
+    let mut bits = sys::EPOLLRDHUP; // always learn about peer half-close
+    if interests.is_readable() {
+        bits |= sys::EPOLLIN;
+    }
+    if interests.is_writable() {
+        bits |= sys::EPOLLOUT;
+    }
+    bits
+}
+
+/// One readiness event out of a [`Poll::poll`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable (includes peer hangup/error, which a read will surface as EOF/error).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Writable.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// The peer closed its half of the connection (or the socket errored).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+}
+
+/// A reusable batch of readiness events.
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A batch that can hold up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| {
+            // Copy out of the (possibly packed) kernel struct before touching fields.
+            let (events, data) = (e.events, e.data);
+            Event {
+                token: Token(data as usize),
+                bits: events,
+            }
+        })
+    }
+
+    /// Whether the last poll returned no events (i.e. it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The readiness selector: an `epoll` instance.
+///
+/// Registrations are **level-triggered**: while a registered condition holds (unread
+/// bytes, writable buffer space), every `poll` reports it again.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events: interest_bits(interests),
+            data: token.0 as u64,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` for `interests`, reporting readiness under `token`.
+    pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interests)
+    }
+
+    /// Changes the interests (and/or token) of an already registered `fd`.
+    pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interests)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, std::ptr::null_mut()) })?;
+        Ok(())
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout` passes
+    /// (`None` blocks indefinitely).  Fills `events` with the ready batch.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            // Round up so a 1ns timeout does not busy-spin as 0ms.
+            Some(t) => i32::try_from(t.as_millis().max(u128::from(t.subsec_nanos() > 0)))
+                .unwrap_or(i32::MAX),
+            None => -1,
+        };
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                events.len = n as usize;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry (with the full timeout again — good enough for a poll loop
+            // that re-checks its own deadlines every iteration).
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`] loop: an `eventfd` registered like any other
+/// source.  Any thread may call [`Waker::wake`]; the poll loop sees a readable event
+/// under the waker's token and calls [`Waker::drain`].
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker registered on `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        if let Err(e) = poll.register(efd, token, Interest::READABLE) {
+            unsafe { sys::close(efd) };
+            return Err(e);
+        }
+        Ok(Waker { efd })
+    }
+
+    /// Wakes the poll loop (cheap, async-signal-safe, callable from any thread).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let n = unsafe {
+            sys::write(
+                self.efd,
+                (&one as *const u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+        // A full eventfd counter (EAGAIN) still leaves the fd readable: the loop will
+        // wake, which is all this call promises.
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears pending wakeups (called by the poll loop when it sees the waker token;
+    /// without this, level-triggered readiness would re-fire forever).
+    pub fn drain(&self) {
+        let mut buf = 0u64;
+        unsafe {
+            sys::read(
+                self.efd,
+                (&mut buf as *mut u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.efd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn polls_tcp_readability_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(server.as_raw_fd(), Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing to read yet: the poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("readable event");
+        assert_eq!(event.token(), Token(7));
+        assert!(event.is_readable());
+
+        // Level-triggered: unread bytes re-fire on the next poll.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+
+        // Reading everything clears readiness.
+        let mut sink = [0u8; 16];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut sink).unwrap(), 4);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Peer hangup is reported as read-closed readiness.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("hangup event");
+        assert!(event.is_readable() && event.is_read_closed());
+        poll.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn reregister_switches_interests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        // An idle socket with writable interest is immediately writable.
+        poll.register(server.as_raw_fd(), Token(1), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().next().unwrap().is_writable());
+
+        // Switching to readable-only stops the writable storm...
+        poll.reregister(server.as_raw_fd(), Token(2), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        // ...and reports reads under the new token.
+        client.write_all(b"x").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token(), Token(2));
+        assert!(event.is_readable() && !event.is_read_closed());
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_drains() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(99)).unwrap());
+        let mut events = Events::with_capacity(8);
+
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake().unwrap();
+        });
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.iter().next().unwrap().token(), Token(99));
+        t.join().unwrap();
+
+        // Drained wakeups stop firing; fresh wakes fire again.
+        waker.drain();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        waker.wake().unwrap();
+        waker.wake().unwrap(); // coalesced
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+        waker.drain();
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert_eq!(Interest::READABLE.add(Interest::WRITABLE), both);
+    }
+}

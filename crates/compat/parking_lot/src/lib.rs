@@ -1,12 +1,16 @@
 //! Offline, API-compatible subset of `parking_lot`, backed by `std::sync`.
 //!
-//! The parking_lot API differs from std in that `lock()` / `read()` / `write()` return
-//! guards directly rather than `Result`s. Poisoning is translated to a panic, which keeps
-//! the "a panicked writer aborts the test" semantics the workspace expects.
+//! The parking_lot API differs from std in two ways this shim preserves: `lock()` /
+//! `read()` / `write()` return guards directly rather than `Result`s, and **locks are
+//! never poisoned** — a panic while holding the lock releases it, and the next holder
+//! simply sees the data as the panicking thread left it.  That second property is what
+//! serving code relies on: one panicking connection or worker must not wedge every
+//! other thread that shares a stats map or connection table (std's poisoning would turn
+//! the first panic into a cascade of `lock()` panics server-wide).
 
 use std::sync;
 
-/// Mutual exclusion lock with parking_lot's panic-on-poison `lock()` signature.
+/// Mutual exclusion lock with parking_lot's direct-guard, no-poisoning `lock()`.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
     inner: sync::Mutex<T>,
@@ -23,27 +27,29 @@ impl<T> Mutex<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|_| panic!("mutex poisoned"))
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|_| panic!("mutex poisoned"))
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(|_| panic!("mutex poisoned"))
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
-/// Reader-writer lock with parking_lot's panic-on-poison signatures.
+/// Reader-writer lock with parking_lot's direct-guard, no-poisoning signatures.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
@@ -60,29 +66,21 @@ impl<T> RwLock<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|_| panic!("rwlock poisoned"))
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner
-            .read()
-            .unwrap_or_else(|_| panic!("rwlock poisoned"))
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner
-            .write()
-            .unwrap_or_else(|_| panic!("rwlock poisoned"))
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(|_| panic!("rwlock poisoned"))
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -127,5 +125,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn panic_while_locked_does_not_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7u64));
+        let victim = m.clone();
+        let t = std::thread::spawn(move || {
+            let _guard = victim.lock();
+            panic!("holder dies mid-critical-section");
+        });
+        assert!(t.join().is_err());
+        // parking_lot semantics: later lockers proceed and see the last written state.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 8);
+
+        let l = std::sync::Arc::new(RwLock::new(1u64));
+        let victim = l.clone();
+        let t = std::thread::spawn(move || {
+            let _guard = victim.write();
+            panic!("writer dies");
+        });
+        assert!(t.join().is_err());
+        assert_eq!(*l.read(), 1);
+        assert!(m.try_lock().is_some());
     }
 }

@@ -1,15 +1,20 @@
 //! `neurocard-serve`: the TCP front-end binary.
 //!
 //! Loads one or more model artifacts, registers each in a [`ModelRegistry`] under its
-//! schema fingerprint, and serves the wire protocol on a `std::net::TcpListener` until
-//! killed.  Usage:
+//! schema fingerprint, and serves the wire protocol on a nonblocking epoll reactor
+//! until killed.  Usage:
 //!
 //! ```text
-//! neurocard-serve [--listen ADDR] [name=]artifact.ncar [[name=]artifact2.ncar ...]
+//! neurocard-serve [--listen ADDR] [--journal PATH] [name=]artifact.ncar [...]
 //! ```
 //!
 //! * `--listen ADDR` — bind address (default `127.0.0.1:8466`; use port 0 for an
 //!   ephemeral port, printed on startup).
+//! * `--journal PATH` — registry persistence: every publish is appended (durably,
+//!   before it takes effect) to a JSON-lines journal, and on startup the journal is
+//!   replayed first — a `kill -9` + restart comes back with every model at the exact
+//!   version it had, before the command-line artifacts are applied on top.  With a
+//!   journal, zero positional artifacts is valid (pure restart).
 //! * each positional argument is an artifact path, optionally prefixed `name=`; without
 //!   a prefix the file stem is the model name.  Registering the same name twice (for
 //!   the same schema) hot-swaps it to the next version.
@@ -21,17 +26,28 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use nc_serve::{ModelRegistry, TcpServer};
-use neurocard::ModelArtifact;
+use nc_serve::{JournalEvent, ModelKey, ModelRegistry, RegistryJournal, TcpServer};
+use neurocard::{EstimatorCore, ModelArtifact};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: neurocard-serve [--listen ADDR] [name=]artifact.ncar [...]");
+    eprintln!("usage: neurocard-serve [--listen ADDR] [--journal PATH] [name=]artifact.ncar [...]");
     ExitCode::FAILURE
+}
+
+fn load_core(path: &str) -> Result<(ModelArtifact, EstimatorCore), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("error: could not read {path}: {e}"))?;
+    let artifact = ModelArtifact::from_bytes(&bytes)
+        .map_err(|e| format!("error: {path} is not a loadable model artifact: {e}"))?;
+    let core = artifact
+        .to_core()
+        .map_err(|e| format!("error: could not build the estimator from {path}: {e}"))?;
+    Ok((artifact, core))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:8466".to_string();
+    let mut journal_path: Option<String> = None;
     let mut artifacts: Vec<(Option<String>, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -39,6 +55,13 @@ fn main() -> ExitCode {
             "--listen" => match args.get(i + 1) {
                 Some(addr) => {
                     listen = addr.clone();
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--journal" => match args.get(i + 1) {
+                Some(path) => {
+                    journal_path = Some(path.clone());
                     i += 2;
                 }
                 None => return usage(),
@@ -54,30 +77,54 @@ fn main() -> ExitCode {
             }
         }
     }
-    if artifacts.is_empty() {
+    if artifacts.is_empty() && journal_path.is_none() {
         return usage();
     }
 
     let registry = Arc::new(ModelRegistry::new());
+
+    // Replay the journal first: a restart restores every model at its pre-crash
+    // version before the command line applies on top.
+    let mut journal = match journal_path {
+        Some(path) => {
+            let (journal, events) = match RegistryJournal::open(&path) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: could not open journal {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let survivors = match nc_serve::journal::fold_events(&events) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: journal {path} does not fold: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, artifact_path) in survivors {
+                let (_, core) = match load_core(&artifact_path) {
+                    Ok(pair) => pair,
+                    Err(msg) => {
+                        eprintln!("{msg} (while replaying journal {path})");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = registry.restore(key.clone(), Arc::new(core)) {
+                    eprintln!("error: journal replay of {key} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("restored {key} from {artifact_path} (journal)");
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+
     for (name, path) in &artifacts {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("error: could not read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let artifact = match ModelArtifact::from_bytes(&bytes) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("error: {path} is not a loadable model artifact: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let core = match artifact.to_core() {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("error: could not build the estimator from {path}: {e}");
+        let (artifact, core) = match load_core(path) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                eprintln!("{msg}");
                 return ExitCode::FAILURE;
             }
         };
@@ -87,12 +134,34 @@ fn main() -> ExitCode {
                 .map(|s| s.to_string_lossy().into_owned())
                 .unwrap_or_else(|| "model".to_string())
         });
-        let key = registry.publish(artifact.schema_fingerprint(), &name, Arc::new(core));
+        let fingerprint = artifact.schema_fingerprint();
+        // Write-ahead: journal the publish durably before it takes effect, so the
+        // journal is never behind the served state.
+        let next_key = ModelKey::new(
+            fingerprint,
+            name.clone(),
+            registry
+                .latest(fingerprint, &name)
+                .map_or(1, |k| k.version + 1),
+        );
+        if let Some(journal) = journal.as_mut() {
+            if let Err(e) = journal.append(&JournalEvent::publish(&next_key, path.as_str())) {
+                eprintln!("error: could not journal {next_key}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let key = registry.publish(fingerprint, &name, Arc::new(core));
+        debug_assert_eq!(key, next_key);
         println!(
             "registered {key} from {path} ({} params, |J| = {})",
             artifact.manifest().num_params,
             artifact.manifest().full_join_rows
         );
+    }
+
+    if registry.keys().is_empty() {
+        eprintln!("error: nothing to serve (empty journal and no artifacts)");
+        return ExitCode::FAILURE;
     }
 
     let server = match TcpServer::bind(registry, listen.as_str()) {

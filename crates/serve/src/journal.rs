@@ -1,0 +1,309 @@
+//! Registry persistence: an append-only journal of publish/deregister events.
+//!
+//! `neurocard-serve` survives a `kill -9`: every [`ModelRegistry`] mutation it performs
+//! is journalled to a JSON-lines manifest **before** it takes effect, and a restarted
+//! server folds the journal back into the exact pre-crash registry — same names, same
+//! *versions* (via [`ModelRegistry::restore`]), so clients pinning an exact
+//! [`ModelKey`] resume without renegotiation.
+//!
+//! Format: one [`JournalEvent`] per line, serialised by the workspace's offline serde
+//! shim.  Fingerprints are 16-digit hex strings (JSON numbers are not trusted with
+//! 64-bit identifiers).  Each append is flushed and `fdatasync`ed before the registry
+//! mutation happens, so the journal can only ever be *ahead* of the served state, never
+//! behind it.  A crash mid-append leaves a torn final line; [`read_events`] tolerates a
+//! corrupt **last** line (and only the last) for exactly that reason.
+//!
+//! [`ModelRegistry`]: crate::ModelRegistry
+//! [`ModelRegistry::restore`]: crate::ModelRegistry::restore
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::ModelKey;
+
+/// Why a journal operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying file I/O failed (message attached).
+    Io(String),
+    /// A journal line other than the (possibly torn) final one failed to parse.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// Parse error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(msg) => write!(f, "journal I/O error: {msg}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// One registry mutation, as journalled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// `"publish"` (register or swap — both install a current version) or
+    /// `"deregister"`.
+    pub op: String,
+    /// Schema fingerprint as a 16-digit hex string.
+    pub schema_fingerprint: String,
+    /// Model name within the schema.
+    pub name: String,
+    /// Version installed by a publish (`0` for deregister).
+    pub version: u64,
+    /// Artifact container the model loads from (empty for deregister).
+    pub artifact_path: String,
+}
+
+impl JournalEvent {
+    /// A publish event: `key` became the current version, loadable from
+    /// `artifact_path`.
+    pub fn publish(key: &ModelKey, artifact_path: impl Into<String>) -> Self {
+        JournalEvent {
+            op: "publish".into(),
+            schema_fingerprint: format!("{:016x}", key.schema_fingerprint),
+            name: key.name.clone(),
+            version: key.version,
+            artifact_path: artifact_path.into(),
+        }
+    }
+
+    /// A deregister event: `(schema_fingerprint, name)` left the routing table.
+    pub fn deregister(schema_fingerprint: u64, name: impl Into<String>) -> Self {
+        JournalEvent {
+            op: "deregister".into(),
+            schema_fingerprint: format!("{schema_fingerprint:016x}"),
+            name: name.into(),
+            version: 0,
+            artifact_path: String::new(),
+        }
+    }
+
+    /// The fingerprint parsed back out of its hex form.
+    pub fn fingerprint(&self) -> Result<u64, JournalError> {
+        u64::from_str_radix(&self.schema_fingerprint, 16).map_err(|e| JournalError::Corrupt {
+            line: 0,
+            message: format!("bad fingerprint {:?}: {e}", self.schema_fingerprint),
+        })
+    }
+
+    /// The model key a publish event installs.
+    pub fn key(&self) -> Result<ModelKey, JournalError> {
+        Ok(ModelKey::new(
+            self.fingerprint()?,
+            self.name.clone(),
+            self.version,
+        ))
+    }
+}
+
+/// Parses a journal file into its event list.
+///
+/// A missing file is an empty journal.  A final line that fails to parse is treated as
+/// torn by the crash that made the journal matter, and skipped; a bad line anywhere
+/// *else* is real corruption and fails with [`JournalError::Corrupt`].
+pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, JournalError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let lines: Vec<String> = BufReader::new(file)
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(JournalError::from)?;
+    let mut events = Vec::new();
+    let last = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalEvent>(line) {
+            Ok(ev) => events.push(ev),
+            Err(_) if i + 1 == last => break, // torn final append
+            Err(e) => {
+                return Err(JournalError::Corrupt {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// Folds an event sequence into the surviving state: for every still-registered model,
+/// the key it must come back as and the artifact to load it from.
+pub fn fold_events(events: &[JournalEvent]) -> Result<Vec<(ModelKey, String)>, JournalError> {
+    let mut state: BTreeMap<(u64, String), (ModelKey, String)> = BTreeMap::new();
+    for ev in events {
+        let fp = ev.fingerprint()?;
+        match ev.op.as_str() {
+            "publish" => {
+                state.insert((fp, ev.name.clone()), (ev.key()?, ev.artifact_path.clone()));
+            }
+            "deregister" => {
+                state.remove(&(fp, ev.name.clone()));
+            }
+            other => {
+                return Err(JournalError::Corrupt {
+                    line: 0,
+                    message: format!("unknown journal op {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(state.into_values().collect())
+}
+
+/// The append handle: write-ahead journalling of registry mutations.
+pub struct RegistryJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl RegistryJournal {
+    /// Opens (creating if absent) the journal at `path` for appending, first reading
+    /// back the events already recorded — the caller replays those into its registry.
+    pub fn open(path: impl Into<PathBuf>) -> Result<(Self, Vec<JournalEvent>), JournalError> {
+        let path = path.into();
+        let events = read_events(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((RegistryJournal { path, file }, events))
+    }
+
+    /// Appends one event durably: the line is written and `fdatasync`ed before this
+    /// returns, so callers may apply the mutation the moment it does.
+    pub fn append(&mut self, event: &JournalEvent) -> Result<(), JournalError> {
+        let mut line = serde_json::to_string(event).map_err(|e| JournalError::Io(e.to_string()))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "nc-journal-test-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn events_round_trip_and_fold() {
+        let path = temp_path("roundtrip");
+        let (mut journal, existing) = RegistryJournal::open(&path).unwrap();
+        assert!(existing.is_empty(), "fresh journal starts empty");
+
+        let k1 = ModelKey::new(0xfeed, "m", 1);
+        let k2 = ModelKey::new(0xfeed, "m", 2);
+        let kb = ModelKey::new(0xbeef, "other", 1);
+        journal
+            .append(&JournalEvent::publish(&k1, "/tmp/a.ncm"))
+            .unwrap();
+        journal
+            .append(&JournalEvent::publish(&k2, "/tmp/b.ncm"))
+            .unwrap();
+        journal
+            .append(&JournalEvent::publish(&kb, "/tmp/c.ncm"))
+            .unwrap();
+        journal
+            .append(&JournalEvent::deregister(0xbeef, "other"))
+            .unwrap();
+        drop(journal);
+
+        // Reopen: all four events come back, and folding yields only the survivor at
+        // its *latest* version.
+        let (_, events) = RegistryJournal::open(&path).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].key().unwrap(), k1);
+        let folded = fold_events(&events).unwrap();
+        assert_eq!(folded, vec![(k2, "/tmp/b.ncm".to_string())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_but_interior_corruption_is_not() {
+        let path = temp_path("torn");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal
+            .append(&JournalEvent::publish(
+                &ModelKey::new(1, "m", 1),
+                "/tmp/a.ncm",
+            ))
+            .unwrap();
+        drop(journal);
+
+        // Simulate a crash mid-append: a torn trailing half-line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"op\":\"publish\",\"schema_fing");
+        std::fs::write(&path, &text).unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 1, "torn last line is skipped");
+
+        // The same garbage *before* a valid line is corruption, not a torn tail.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.rotate_right(1);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(matches!(
+            read_events(&path),
+            Err(JournalError::Corrupt { line: 1, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_and_fingerprints_are_hex_exact() {
+        assert_eq!(
+            read_events(Path::new("/nonexistent/nc-journal.jsonl")).unwrap(),
+            Vec::new()
+        );
+        // The full 64-bit range survives the hex round trip (JSON numbers would not be
+        // trusted with this).
+        let key = ModelKey::new(u64::MAX, "m", 3);
+        let ev = JournalEvent::publish(&key, "p");
+        assert_eq!(ev.schema_fingerprint, "ffffffffffffffff");
+        assert_eq!(ev.key().unwrap(), key);
+        let reparsed: JournalEvent =
+            serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(reparsed, ev);
+        // Unknown ops fail the fold loudly.
+        let bad = JournalEvent {
+            op: "vanish".into(),
+            ..ev
+        };
+        assert!(fold_events(&[bad]).is_err());
+    }
+}

@@ -33,26 +33,31 @@
 //!   tests, the `registry_swap` / `wire_protocol` integration tests, and asserted on
 //!   every `registry_bench` run.
 
+pub mod journal;
 pub mod model;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod service;
+pub mod stats;
 pub mod tcp;
 
+pub use journal::{JournalError, JournalEvent, RegistryJournal};
 pub use model::{BaselineModel, ServingEstimator};
 pub use pool::ScratchPool;
 pub use protocol::{
     decode_request, decode_result, encode_request, encode_result, read_frame, write_frame,
     ServeReply, ServeRequest, MAX_FRAME_LEN,
 };
+pub use reactor::{ReactorConfig, ReactorStats};
 pub use registry::{
-    ModelKey, ModelLease, ModelRegistry, ModelSelector, RegistryStats, SwapReceipt,
+    ModelKey, ModelLease, ModelRegistry, ModelSelector, ModelStats, RegistryStats, SwapReceipt,
 };
 pub use service::{
     EstimatorService, RegistryHandle, RegistryService, ServiceConfig, ServiceHandle, ServiceStats,
-    LATENCY_WINDOW,
 };
+pub use stats::{nearest_rank, Quantiles, LATENCY_WINDOW};
 pub use tcp::{ServeClient, TcpServer};
 
 use neurocard::EstimateError;
@@ -78,6 +83,12 @@ pub enum ServeError {
     AlreadyRegistered(ModelKey),
     /// The service is shutting down (workers gone before the reply was produced).
     ShuttingDown,
+    /// Admission control: the request queue is full.  The request was **not** queued —
+    /// the client should back off and retry; the connection stays healthy.
+    Overloaded,
+    /// The estimator panicked while serving (caught; the worker and the connection
+    /// survive, the panic message is attached).
+    Internal(String),
     /// The transport failed (connection closed, read/write error).
     Transport(String),
     /// A wire payload failed to decode (corrupt, truncated, or hostile).
@@ -99,6 +110,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "model {key} is already registered (use swap to update)")
             }
             ServeError::ShuttingDown => write!(f, "estimator service is shutting down"),
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: request queue is full, retry later")
+            }
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
             ServeError::Transport(msg) => write!(f, "transport error: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
@@ -123,6 +138,8 @@ mod tests {
             },
             ServeError::AlreadyRegistered(key),
             ServeError::ShuttingDown,
+            ServeError::Overloaded,
+            ServeError::Internal("panic".into()),
             ServeError::Transport("t".into()),
             ServeError::Protocol("p".into()),
         ] {

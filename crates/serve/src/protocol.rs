@@ -271,6 +271,11 @@ fn error_code(e: &ServeError) -> (u8, Vec<u8>) {
             put_string(&mut fields, msg);
             8
         }
+        ServeError::Overloaded => 9,
+        ServeError::Internal(msg) => {
+            put_string(&mut fields, msg);
+            10
+        }
     };
     (code, fields)
 }
@@ -292,6 +297,8 @@ fn decode_error(r: &mut BinReader<'_>) -> Result<ServeError, ServeError> {
         6 => ServeError::ShuttingDown,
         7 => ServeError::Transport(r.string().map_err(bin)?),
         8 => ServeError::Protocol(r.string().map_err(bin)?),
+        9 => ServeError::Overloaded,
+        10 => ServeError::Internal(r.string().map_err(bin)?),
         other => return Err(protocol_err(format!("unknown error code {other}"))),
     })
 }
@@ -479,6 +486,8 @@ mod tests {
             },
             ServeError::AlreadyRegistered(ModelKey::new(1, "m", 1)),
             ServeError::ShuttingDown,
+            ServeError::Overloaded,
+            ServeError::Internal("estimator panicked: boom".into()),
             ServeError::Transport("connection reset".into()),
             ServeError::Protocol("bad tag".into()),
         ];

@@ -15,9 +15,9 @@
 //! requests at swap time is retired immediately.  No request is ever dropped or served
 //! by a half-installed model.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use nc_schema::Query;
@@ -26,6 +26,7 @@ use neurocard::{schema_fingerprint, EstimateError, EstimatorCore};
 
 use crate::model::ServingEstimator;
 use crate::protocol::{ServeReply, ServeRequest};
+use crate::stats::{LatencyLog, MODEL_LATENCY_WINDOW};
 use crate::ServeError;
 
 /// Identity of one published model version.
@@ -143,6 +144,39 @@ struct RegistryInner {
     acquires: AtomicU64,
     swaps: AtomicU64,
     retired: AtomicU64,
+    /// Per-model latency split, fed by [`ModelRegistry::handle`] (the entry point every
+    /// transport routes through).  A poison-free lock: one panicking request must not
+    /// take the whole stats surface down with it.
+    model_stats: parking_lot::Mutex<HashMap<ModelKey, ModelLatency>>,
+}
+
+/// Per-model serving log: bounded latency ring plus the wall-clock span it covers.
+struct ModelLatency {
+    log: LatencyLog,
+    first_serve: Instant,
+    last_serve: Instant,
+}
+
+/// Per-model latency/throughput split (see [`ModelRegistry::model_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// The exact version the stats belong to.
+    pub key: ModelKey,
+    /// Requests this version served through [`ModelRegistry::handle`].
+    pub served: u64,
+    /// Median serve latency (µs, nearest-rank over the retained window).
+    pub p50_us: f64,
+    /// 99th-percentile serve latency (µs; the max below 100 samples).
+    pub p99_us: f64,
+    /// Served requests divided by the first-to-last serve wall-clock span.
+    pub queries_per_sec: f64,
+}
+
+/// Recovers the registry state even if a past holder panicked: the state is a routing
+/// table whose invariants hold between statements, so the std poison bit is noise here —
+/// propagating it would turn one panicked request into a server-wide denial of service.
+fn state_lock<'a>(inner: &'a RegistryInner) -> MutexGuard<'a, RegistryState> {
+    inner.state.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Counters and gauges of a registry (see [`ModelRegistry::stats`]).
@@ -214,7 +248,7 @@ impl Drop for ModelLease {
         if self.slot.inflight.fetch_sub(1, Ordering::SeqCst) == 1
             && self.slot.superseded.load(Ordering::SeqCst)
         {
-            let mut state = self.inner.state.lock().expect("registry poisoned");
+            let mut state = state_lock(&self.inner);
             let before = state.draining.len();
             state.draining.retain(|s| !Arc::ptr_eq(s, &self.slot));
             if state.draining.len() < before {
@@ -256,6 +290,7 @@ impl ModelRegistry {
                 acquires: AtomicU64::new(0),
                 swaps: AtomicU64::new(0),
                 retired: AtomicU64::new(0),
+                model_stats: parking_lot::Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -271,7 +306,7 @@ impl ModelRegistry {
         model: Arc<dyn ServingEstimator>,
     ) -> Result<ModelKey, ServeError> {
         let name = name.into();
-        let mut state = self.inner.state.lock().expect("registry poisoned");
+        let mut state = state_lock(&self.inner);
         if let Some(entry) = state.entries.get(&(schema_fingerprint, name.clone())) {
             return Err(ServeError::AlreadyRegistered(entry.current.key.clone()));
         }
@@ -317,7 +352,7 @@ impl ModelRegistry {
         name: &str,
         model: Arc<dyn ServingEstimator>,
     ) -> Result<SwapReceipt, ServeError> {
-        let mut state = self.inner.state.lock().expect("registry poisoned");
+        let mut state = state_lock(&self.inner);
         state.publish_seq += 1;
         let publish_seq = state.publish_seq;
         let entry = state
@@ -376,9 +411,73 @@ impl ModelRegistry {
         }
     }
 
+    /// Removes a model from routing entirely.
+    ///
+    /// Acquires issued after this call fail with [`ServeError::UnknownModel`]; requests
+    /// already holding a lease drain the removed version exactly like a swapped-out one
+    /// (retired at the last lease drop, [`ModelRegistry::wait_drained`]-visible).
+    /// Returns the key that was current at removal, or [`ServeError::UnknownModel`].
+    pub fn deregister(&self, schema_fingerprint: u64, name: &str) -> Result<ModelKey, ServeError> {
+        let mut state = state_lock(&self.inner);
+        let entry = state
+            .entries
+            .remove(&(schema_fingerprint, name.to_string()))
+            .ok_or_else(|| {
+                ServeError::UnknownModel(
+                    ModelSelector::latest(schema_fingerprint, name).to_string(),
+                )
+            })?;
+        let old = entry.current;
+        old.superseded.store(true, Ordering::SeqCst);
+        let key = old.key.clone();
+        if old.inflight.load(Ordering::SeqCst) == 0 {
+            self.inner.retired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.draining.push(old);
+        }
+        drop(state);
+        self.inner.drained.notify_all();
+        Ok(key)
+    }
+
+    /// Re-publishes a model at an **explicit** version — the journal-replay path, where
+    /// a restarted server must come back with the exact versions clients had pinned.
+    ///
+    /// The entry's next swap continues from `key.version + 1`.  Fails with
+    /// [`ServeError::AlreadyRegistered`] if the name is already present.
+    pub fn restore(
+        &self,
+        key: ModelKey,
+        model: Arc<dyn ServingEstimator>,
+    ) -> Result<ModelKey, ServeError> {
+        let mut state = state_lock(&self.inner);
+        if let Some(entry) = state
+            .entries
+            .get(&(key.schema_fingerprint, key.name.clone()))
+        {
+            return Err(ServeError::AlreadyRegistered(entry.current.key.clone()));
+        }
+        state.publish_seq += 1;
+        let slot = Arc::new(VersionSlot {
+            key: key.clone(),
+            model,
+            inflight: AtomicU64::new(0),
+            superseded: AtomicBool::new(false),
+            publish_seq: state.publish_seq,
+        });
+        state.entries.insert(
+            (key.schema_fingerprint, key.name.clone()),
+            Entry {
+                current: slot,
+                next_version: key.version + 1,
+            },
+        );
+        Ok(key)
+    }
+
     /// Resolves a selector and pins the resulting version.
     pub fn acquire(&self, selector: &ModelSelector) -> Result<ModelLease, ServeError> {
-        let state = self.inner.state.lock().expect("registry poisoned");
+        let state = state_lock(&self.inner);
         let slot = match selector {
             ModelSelector::Exact(key) => {
                 let entry = state
@@ -434,20 +533,36 @@ impl ModelRegistry {
         scratch: &mut SamplerScratch,
     ) -> Result<ServeReply, ServeError> {
         let lease = self.acquire(&request.selector)?;
+        let started = Instant::now();
         let estimate = lease
             .estimate(&request.query, request.samples, scratch)
             .map_err(ServeError::Estimate)?;
+        self.record_serve(lease.key(), started);
         Ok(ServeReply {
             key: lease.key().clone(),
             estimate,
         })
     }
 
+    /// Feeds the per-model latency split for one completed estimate.
+    fn record_serve(&self, key: &ModelKey, started: Instant) {
+        let now = Instant::now();
+        let us = now.duration_since(started).as_secs_f64() * 1e6;
+        let mut stats = self.inner.model_stats.lock();
+        let entry = stats.entry(key.clone()).or_insert_with(|| ModelLatency {
+            log: LatencyLog::new(MODEL_LATENCY_WINDOW),
+            first_serve: started,
+            last_serve: now,
+        });
+        entry.log.push(us);
+        entry.last_serve = now;
+    }
+
     /// Blocks until no superseded version with this key is draining (true), or the
     /// timeout passes (false).  A key that never drained returns true immediately.
     pub fn wait_drained(&self, key: &ModelKey, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut state = self.inner.state.lock().expect("registry poisoned");
+        let mut state = state_lock(&self.inner);
         loop {
             if !state.draining.iter().any(|s| &s.key == key) {
                 return true;
@@ -460,14 +575,14 @@ impl ModelRegistry {
                 .inner
                 .drained
                 .wait_timeout(state, deadline - now)
-                .expect("registry poisoned");
+                .unwrap_or_else(|p| p.into_inner());
             state = next;
         }
     }
 
     /// Keys of all currently published (current-version) models.
     pub fn keys(&self) -> Vec<ModelKey> {
-        let state = self.inner.state.lock().expect("registry poisoned");
+        let state = state_lock(&self.inner);
         state
             .entries
             .values()
@@ -477,7 +592,7 @@ impl ModelRegistry {
 
     /// The current version of `(schema_fingerprint, name)`, if registered.
     pub fn latest(&self, schema_fingerprint: u64, name: &str) -> Option<ModelKey> {
-        let state = self.inner.state.lock().expect("registry poisoned");
+        let state = state_lock(&self.inner);
         state
             .entries
             .get(&(schema_fingerprint, name.to_string()))
@@ -486,13 +601,43 @@ impl ModelRegistry {
 
     /// Keys of superseded versions still draining.
     pub fn draining_versions(&self) -> Vec<ModelKey> {
-        let state = self.inner.state.lock().expect("registry poisoned");
+        let state = state_lock(&self.inner);
         state.draining.iter().map(|s| s.key.clone()).collect()
+    }
+
+    /// Per-model latency/throughput split over every version that served through
+    /// [`ModelRegistry::handle`], sorted by key.  Retired versions keep their stats —
+    /// the split is a serving history, not a routing table.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        let stats = self.inner.model_stats.lock();
+        let mut out: Vec<ModelStats> = stats
+            .iter()
+            .map(|(key, lat)| {
+                let q = lat.log.quantiles();
+                let span = lat.last_serve.duration_since(lat.first_serve).as_secs_f64();
+                ModelStats {
+                    key: key.clone(),
+                    served: lat.log.total(),
+                    p50_us: q.p50,
+                    p99_us: q.p99,
+                    // A single-sample span is ~0: report the inverse of its own latency
+                    // rather than an infinite/NaN rate.
+                    queries_per_sec: if span > 0.0 {
+                        lat.log.total() as f64 / span
+                    } else {
+                        let q_us = q.p50.max(1e-3);
+                        1e6 / q_us
+                    },
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
     }
 
     /// Counters and gauges.
     pub fn stats(&self) -> RegistryStats {
-        let state = self.inner.state.lock().expect("registry poisoned");
+        let state = state_lock(&self.inner);
         RegistryStats {
             models: state.entries.len(),
             draining: state.draining.len(),
@@ -653,6 +798,102 @@ mod tests {
             .acquire(&ModelSelector::latest_for_schema(5))
             .unwrap();
         assert_eq!((lease.key().name.as_str(), lease.key().version), ("a", 2));
+    }
+
+    #[test]
+    fn deregister_removes_routing_and_drains_in_flight() {
+        let registry = ModelRegistry::new();
+        let k1 = registry.register(3, "m", marker(1.0)).unwrap();
+
+        // Deregistering while a lease is held drains like a swap would.
+        let lease = registry.acquire(&ModelSelector::latest(3, "m")).unwrap();
+        assert_eq!(registry.deregister(3, "m"), Ok(k1.clone()));
+        assert!(matches!(
+            registry.acquire(&ModelSelector::latest(3, "m")),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert_eq!(registry.draining_versions(), vec![k1.clone()]);
+        assert!(!registry.wait_drained(&k1, Duration::from_millis(10)));
+        drop(lease);
+        assert!(registry.wait_drained(&k1, Duration::from_secs(5)));
+        assert_eq!(registry.stats().retired, 1);
+        assert_eq!(registry.stats().models, 0);
+
+        // Deregistering an unknown name is a typed error.
+        assert!(matches!(
+            registry.deregister(3, "m"),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        // The name is free again: a fresh register starts at v1.
+        assert_eq!(
+            registry.register(3, "m", marker(2.0)).unwrap(),
+            ModelKey::new(3, "m", 1)
+        );
+        // With no lease in flight, deregister retires immediately.
+        assert_eq!(registry.deregister(3, "m").unwrap().version, 1);
+        assert!(registry.draining_versions().is_empty());
+        assert_eq!(registry.stats().retired, 2);
+    }
+
+    #[test]
+    fn restore_preserves_versions_across_restart() {
+        let registry = ModelRegistry::new();
+        registry.register(4, "m", marker(1.0)).unwrap();
+        let live = registry.swap(4, "m", marker(2.0)).unwrap().new;
+        assert_eq!(live.version, 2);
+
+        // "Restart": a fresh registry restored from the journal keeps v2 current...
+        let restarted = ModelRegistry::new();
+        assert_eq!(
+            restarted.restore(live.clone(), marker(2.0)),
+            Ok(live.clone())
+        );
+        assert_eq!(restarted.latest(4, "m"), Some(live.clone()));
+        let mut scratch = SamplerScratch::new();
+        let lease = restarted
+            .acquire(&ModelSelector::Exact(live.clone()))
+            .unwrap();
+        assert_eq!(lease.estimate(&q(), None, &mut scratch), Ok(2.0));
+        drop(lease);
+
+        // ...double restore is rejected, and the next swap continues the sequence.
+        assert_eq!(
+            restarted.restore(live, marker(9.0)),
+            Err(ServeError::AlreadyRegistered(ModelKey::new(4, "m", 2)))
+        );
+        assert_eq!(restarted.swap(4, "m", marker(3.0)).unwrap().new.version, 3);
+    }
+
+    #[test]
+    fn model_stats_split_by_version() {
+        let registry = ModelRegistry::new();
+        let mut scratch = SamplerScratch::new();
+        registry.register(6, "m", marker(1.0)).unwrap();
+        let request = ServeRequest {
+            selector: ModelSelector::latest(6, "m"),
+            query: q(),
+            samples: None,
+        };
+        for _ in 0..3 {
+            registry.handle(&request, &mut scratch).unwrap();
+        }
+        registry.swap(6, "m", marker(2.0)).unwrap();
+        registry.handle(&request, &mut scratch).unwrap();
+
+        let stats = registry.model_stats();
+        assert_eq!(stats.len(), 2, "retired versions keep their history");
+        assert_eq!(stats[0].key, ModelKey::new(6, "m", 1));
+        assert_eq!(stats[0].served, 3);
+        assert_eq!(stats[1].key, ModelKey::new(6, "m", 2));
+        assert_eq!(stats[1].served, 1);
+        for s in &stats {
+            assert!(s.p50_us >= 0.0 && s.p99_us >= s.p50_us);
+            assert!(s.queries_per_sec.is_finite() && s.queries_per_sec > 0.0);
+        }
+        // Acquire-only paths (no handle) record nothing.
+        drop(registry.acquire(&ModelSelector::latest(6, "m")).unwrap());
+        assert_eq!(registry.model_stats()[1].served, 1);
     }
 
     #[test]

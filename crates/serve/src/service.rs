@@ -14,18 +14,22 @@
 //! sequential [`EstimatorCore::estimate`] of the same query, regardless of worker
 //! count, queueing order or thread interleaving.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nc_schema::Query;
 use neurocard::{ArtifactLoadError, EstimatorCore, ModelArtifact};
+use parking_lot::Mutex;
 
 use crate::pool::ScratchPool;
 use crate::protocol::{ServeReply, ServeRequest};
-use crate::registry::{ModelKey, ModelRegistry, ModelSelector};
+use crate::registry::{ModelKey, ModelRegistry, ModelSelector, ModelStats};
+use crate::stats::{LatencyLog, Quantiles};
 use crate::ServeError;
+
+pub use crate::stats::LATENCY_WINDOW;
 
 /// Configuration of a [`RegistryService`] / [`EstimatorService`].
 #[derive(Debug, Clone)]
@@ -61,38 +65,6 @@ impl ServiceConfig {
     }
 }
 
-/// Bounded per-request latency log: an exact served counter plus a ring of the most
-/// recent [`LATENCY_WINDOW`] latencies for quantile estimation — a long-lived service
-/// must not grow memory per request.
-struct LatencyLog {
-    total: u64,
-    ring: Vec<f64>,
-    next: usize,
-}
-
-/// How many of the most recent request latencies back the p50/p99 estimates.
-pub const LATENCY_WINDOW: usize = 1 << 16;
-
-impl LatencyLog {
-    fn new() -> Self {
-        LatencyLog {
-            total: 0,
-            ring: Vec::new(),
-            next: 0,
-        }
-    }
-
-    fn push(&mut self, v: f64) {
-        self.total += 1;
-        if self.ring.len() < LATENCY_WINDOW {
-            self.ring.push(v);
-        } else {
-            self.ring[self.next] = v;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
-    }
-}
-
 /// Latency summary of a service (microseconds, nearest-rank quantiles over the most
 /// recent [`LATENCY_WINDOW`] requests; `served` counts everything).
 #[derive(Debug, Clone, PartialEq)]
@@ -110,24 +82,14 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    fn from_log(served: u64, mut us: Vec<f64>) -> Self {
-        if us.is_empty() {
-            return ServiceStats {
-                served: served as usize,
-                p50_us: 0.0,
-                p99_us: 0.0,
-                max_us: 0.0,
-                mean_us: 0.0,
-            };
-        }
-        us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pick = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+    fn from_log(served: u64, us: Vec<f64>) -> Self {
+        let q = Quantiles::of(us);
         ServiceStats {
             served: served as usize,
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-            max_us: *us.last().expect("non-empty"),
-            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+            p50_us: q.p50,
+            p99_us: q.p99,
+            max_us: q.max,
+            mean_us: q.mean,
         }
     }
 }
@@ -142,10 +104,12 @@ struct WorkItem {
 #[derive(Clone)]
 pub struct RegistryHandle {
     tx: SyncSender<WorkItem>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl RegistryHandle {
-    /// Submits a request and blocks for the reply.
+    /// Submits a request and blocks for the reply (waiting for queue space if the
+    /// request channel is full — in-process callers get blocking backpressure).
     pub fn request(&self, request: ServeRequest) -> Result<ServeReply, ServeError> {
         let (reply, rx) = std::sync::mpsc::channel();
         self.tx
@@ -155,7 +119,33 @@ impl RegistryHandle {
                 reply,
             })
             .map_err(|_| ServeError::ShuttingDown)?;
+        self.depth.fetch_add(1, Ordering::Relaxed);
         rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Submits a request **without blocking for queue space**: a full queue is an
+    /// immediate [`ServeError::Overloaded`] (the request was not queued) — the
+    /// admission-control path transports use so a burst sheds load instead of pinning
+    /// client connections.  Still blocks for the reply once admitted.
+    pub fn try_request(&self, request: ServeRequest) -> Result<ServeReply, ServeError> {
+        let (reply, rx) = std::sync::mpsc::channel();
+        match self.tx.try_send(WorkItem {
+            request,
+            enqueued: Instant::now(),
+            reply,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => return Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Requests currently queued (admitted, not yet picked up by a worker).  A probe —
+    /// racy by nature, exact enough for load shedding and dashboards.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Estimates `query` on the model `selector` resolves to, with its default budget.
@@ -175,6 +165,7 @@ pub struct RegistryService {
     workers: Vec<std::thread::JoinHandle<()>>,
     latencies: Arc<Mutex<LatencyLog>>,
     scratch_pool: Arc<ScratchPool>,
+    depth: Arc<AtomicUsize>,
     /// Tells workers to exit at their next idle check even while cloned
     /// [`RegistryHandle`]s keep the request channel open — shutdown must be bounded,
     /// not hostage to a leaked handle.
@@ -189,9 +180,10 @@ impl RegistryService {
         let default_samples = config.default_samples;
         let (tx, rx) = sync_channel::<WorkItem>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let latencies = Arc::new(Mutex::new(LatencyLog::new()));
+        let latencies = Arc::new(Mutex::new(LatencyLog::new(LATENCY_WINDOW)));
         let scratch_pool = Arc::new(ScratchPool::new(workers));
         let stop = Arc::new(AtomicBool::new(false));
+        let depth = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let registry = registry.clone();
@@ -199,10 +191,19 @@ impl RegistryService {
                 let latencies = latencies.clone();
                 let pool = scratch_pool.clone();
                 let stop = stop.clone();
+                let depth = depth.clone();
                 std::thread::Builder::new()
                     .name(format!("nc-serve-{i}"))
                     .spawn(move || {
-                        worker_loop(&registry, default_samples, &rx, &latencies, &pool, &stop)
+                        worker_loop(
+                            &registry,
+                            default_samples,
+                            &rx,
+                            &latencies,
+                            &pool,
+                            &stop,
+                            &depth,
+                        )
                     })
                     .expect("spawning a service worker")
             })
@@ -213,6 +214,7 @@ impl RegistryService {
             workers: handles,
             latencies,
             scratch_pool,
+            depth,
             stop,
         }
     }
@@ -221,7 +223,18 @@ impl RegistryService {
     pub fn handle(&self) -> RegistryHandle {
         RegistryHandle {
             tx: self.tx.clone().expect("service is running"),
+            depth: self.depth.clone(),
         }
+    }
+
+    /// Requests currently queued (admitted, not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Per-model latency/throughput split (see [`ModelRegistry::model_stats`]).
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        self.registry.model_stats()
     }
 
     /// The routed registry (register/swap while serving through it).
@@ -237,8 +250,8 @@ impl RegistryService {
     /// Latency summary: exact served count, quantiles over the most recent
     /// [`LATENCY_WINDOW`] requests.
     pub fn stats(&self) -> ServiceStats {
-        let log = self.latencies.lock().expect("latencies poisoned");
-        ServiceStats::from_log(log.total, log.ring.clone())
+        let log = self.latencies.lock();
+        ServiceStats::from_log(log.total(), log.window_samples())
     }
 
     /// Stops accepting requests, drains the queue, joins the workers and returns the
@@ -274,6 +287,17 @@ impl Drop for RegistryService {
 /// when a leaked handle keeps the channel open.
 const IDLE_POLL: Duration = Duration::from_millis(25);
 
+/// Renders a caught panic payload for a [`ServeError::Internal`] reply.
+pub(crate) fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "estimator panicked".to_string()
+    }
+}
+
 fn worker_loop(
     registry: &ModelRegistry,
     default_samples: Option<usize>,
@@ -281,16 +305,13 @@ fn worker_loop(
     latencies: &Mutex<LatencyLog>,
     pool: &ScratchPool,
     stop: &AtomicBool,
+    depth: &AtomicUsize,
 ) {
     loop {
         // Hold the receiver lock only for the dequeue, not the compute.  Queued
         // requests are always served before a stop-flag exit (recv_timeout only times
         // out on an empty queue), so shutdown() still drains.
-        let item = match rx
-            .lock()
-            .expect("request queue poisoned")
-            .recv_timeout(IDLE_POLL)
-        {
+        let item = match rx.lock().recv_timeout(IDLE_POLL) {
             Ok(r) => r,
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::Acquire) {
@@ -300,16 +321,24 @@ fn worker_loop(
             }
             Err(RecvTimeoutError::Disconnected) => return, // all senders gone
         };
+        depth.fetch_sub(1, Ordering::Relaxed);
         let mut request = item.request;
         if request.samples.is_none() {
             request.samples = default_samples;
         }
-        let mut scratch = pool.checkout();
-        let result = registry.handle(&request, &mut scratch);
-        pool.checkin(scratch);
+        // A panicking model must not take the worker (and with it the whole service)
+        // down: catch the unwind, reply with a typed Internal error, and *discard* the
+        // scratch that was live during the panic — its state is suspect, and the pool
+        // replaces discarded scratches on demand.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut scratch = pool.checkout();
+            let result = registry.handle(&request, &mut scratch);
+            pool.checkin(scratch);
+            result
+        }))
+        .unwrap_or_else(|panic| Err(ServeError::Internal(panic_message(panic))));
         latencies
             .lock()
-            .expect("latencies poisoned")
             .push(item.enqueued.elapsed().as_secs_f64() * 1e6);
         // A client that gave up (dropped the reply receiver) is not an error.
         let _ = item.reply.send(result);
@@ -637,6 +666,139 @@ mod tests {
     }
 
     #[test]
+    fn panicking_model_yields_internal_error_and_service_survives() {
+        use crate::model::BaselineModel;
+        use nc_baselines::CardinalityEstimator;
+
+        struct Bomb;
+        impl CardinalityEstimator for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn estimate(&self, _q: &Query) -> f64 {
+                panic!("boom")
+            }
+        }
+        struct One;
+        impl CardinalityEstimator for One {
+            fn name(&self) -> &str {
+                "one"
+            }
+            fn estimate(&self, _q: &Query) -> f64 {
+                1.0
+            }
+        }
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register(1, "bomb", Arc::new(BaselineModel::new(Bomb)))
+            .unwrap();
+        registry
+            .register(1, "one", Arc::new(BaselineModel::new(One)))
+            .unwrap();
+        // One worker: if the panic killed it, nothing would serve the next request.
+        let service = RegistryService::new(registry, ServiceConfig::with_workers(1));
+        let handle = service.handle();
+        let q = Query::join(&["t"]);
+        match handle.estimate(&ModelSelector::latest(1, "bomb"), &q) {
+            Err(ServeError::Internal(msg)) => assert!(msg.contains("boom"), "got {msg:?}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        let reply = handle
+            .estimate(&ModelSelector::latest(1, "one"), &q)
+            .unwrap();
+        assert_eq!(reply.estimate, 1.0);
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn try_request_sheds_load_when_the_queue_is_full() {
+        use crate::model::BaselineModel;
+        use nc_baselines::CardinalityEstimator;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+
+        struct Gate {
+            state: Arc<(StdMutex<bool>, StdCondvar)>,
+            waiters: Arc<AtomicUsize>,
+        }
+        impl CardinalityEstimator for Gate {
+            fn name(&self) -> &str {
+                "gate"
+            }
+            fn estimate(&self, _q: &Query) -> f64 {
+                let (lock, cv) = &*self.state;
+                let mut open = lock.lock().unwrap();
+                self.waiters.fetch_add(1, Ordering::SeqCst);
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                7.0
+            }
+        }
+
+        let state = Arc::new((StdMutex::new(false), StdCondvar::new()));
+        let waiters = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register(
+                1,
+                "gate",
+                Arc::new(BaselineModel::new(Gate {
+                    state: state.clone(),
+                    waiters: waiters.clone(),
+                })),
+            )
+            .unwrap();
+        let service = RegistryService::new(
+            registry,
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                default_samples: None,
+            },
+        );
+        let handle = service.handle();
+        let q = Query::join(&["t"]);
+        let sel = ModelSelector::latest(1, "gate");
+
+        // Two blocking clients: one request held inside the (closed) gate by the single
+        // worker, the second filling the queue's one slot.
+        let blocked: Vec<_> = (0..2)
+            .map(|_| {
+                let h = handle.clone();
+                let sel = sel.clone();
+                let q = q.clone();
+                std::thread::spawn(move || h.estimate(&sel, &q))
+            })
+            .collect();
+        while waiters.load(Ordering::SeqCst) != 1 || handle.queue_depth() != 1 {
+            std::thread::yield_now();
+        }
+
+        // The queue is provably full: admission control refuses instead of blocking.
+        assert_eq!(
+            handle.try_request(ServeRequest::new(sel.clone(), q.clone())),
+            Err(ServeError::Overloaded)
+        );
+
+        // Open the gate: both admitted requests complete; the shed one never ran.
+        *state.0.lock().unwrap() = true;
+        state.1.notify_all();
+        for t in blocked {
+            assert_eq!(t.join().unwrap().unwrap().estimate, 7.0);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 2);
+        // A post-shutdown try_request reports shutdown, not overload.
+        assert!(matches!(
+            handle.try_request(ServeRequest::new(sel, q)),
+            Err(ServeError::ShuttingDown) | Err(ServeError::Overloaded)
+        ));
+    }
+
+    #[test]
     fn stats_on_empty_service_are_zero() {
         let stats = ServiceStats::from_log(0, Vec::new());
         assert_eq!(stats.served, 0);
@@ -648,15 +810,16 @@ mod tests {
 
     #[test]
     fn latency_log_is_bounded_but_counts_everything() {
-        let mut log = LatencyLog::new();
+        let mut log = LatencyLog::new(LATENCY_WINDOW);
         for i in 0..(LATENCY_WINDOW + 500) {
             log.push(i as f64);
         }
-        assert_eq!(log.total, (LATENCY_WINDOW + 500) as u64);
-        assert_eq!(log.ring.len(), LATENCY_WINDOW);
-        let stats = ServiceStats::from_log(log.total, log.ring.clone());
+        assert_eq!(log.total(), (LATENCY_WINDOW + 500) as u64);
+        let window = log.window_samples();
+        assert_eq!(window.len(), LATENCY_WINDOW);
+        let stats = ServiceStats::from_log(log.total(), window.clone());
         assert_eq!(stats.served, LATENCY_WINDOW + 500);
         // The window holds the most recent values: the oldest 500 were overwritten.
-        assert!(log.ring.iter().all(|&v| v >= 500.0));
+        assert!(window.iter().all(|&v| v >= 500.0));
     }
 }

@@ -1,258 +1,90 @@
 //! The TCP front-end: the wire transport of the serving protocol.
 //!
-//! [`TcpServer`] accepts connections on a `std::net::TcpListener`, reads
-//! length-prefixed [`ServeRequest`] frames, routes each through the shared
-//! [`ModelRegistry`] (the same `handle` entry point the in-process service uses), and
-//! writes the reply frame back.  One thread per connection, one scratch workspace per
-//! connection (checked out of a shared [`ScratchPool`]); requests on one connection are
-//! served in order, connections are independent.
+//! [`TcpServer`] is the public face of the [`crate::reactor`]: a nonblocking
+//! epoll-multiplexed listener driving every connection from a fixed I/O + worker
+//! thread set (no thread per connection).  Requests are length-prefixed
+//! [`ServeRequest`] frames routed through the shared [`ModelRegistry`] — the same
+//! `handle` entry point the in-process service uses — and replies come back strictly
+//! in per-connection order, so clients may pipeline.
 //!
 //! [`ServeClient`] is the matching blocking client.  Because the estimate crosses the
 //! wire as raw `f64` bits, a TCP round trip is **bit-identical** to calling the
-//! registry in process — pinned by the `wire_protocol` integration test and asserted on
-//! every `registry_bench` run.
+//! registry in process — pinned by the `wire_protocol` and `reactor_frontend`
+//! integration tests and asserted on every `registry_bench` run.
 //!
 //! Decode failures are answered with a framed [`ServeError::Protocol`] before the
-//! connection closes; transport failures (peer gone) just end the connection thread.
+//! connection closes; a full worker queue answers [`ServeError::Overloaded`] without
+//! queueing; hostile or stalled peers are disconnected (see
+//! [`ReactorConfig`] for the knobs).
 
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 
 use nc_schema::Query;
 
-use crate::pool::ScratchPool;
 use crate::protocol::{
-    decode_request, decode_result, encode_request, encode_result, read_frame, write_frame,
-    ServeReply, ServeRequest,
+    decode_result, encode_request, read_frame, write_frame, ServeReply, ServeRequest,
 };
+use crate::reactor::{Reactor, ReactorConfig, ReactorStats};
 use crate::registry::{ModelRegistry, ModelSelector};
 use crate::ServeError;
 
-/// How often the accept loop polls the stop flag while no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
 /// A running TCP front-end over a model registry.
 pub struct TcpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    shared: Arc<ServerShared>,
-}
-
-struct ServerShared {
-    registry: Arc<ModelRegistry>,
-    scratch_pool: ScratchPool,
-    served: AtomicU64,
-    next_conn_id: AtomicU64,
-    /// Clones of every **live** connection stream (keyed by connection id), so
-    /// shutdown can unblock their readers.  A connection removes its own entry on
-    /// exit; finished handler threads are reaped at each accept — a long-lived server
-    /// with short-lived clients must not accumulate dead fds or thread handles.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    stop: AtomicBool,
+    reactor: Reactor,
 }
 
 impl TcpServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts accepting.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts serving
+    /// with default [`ReactorConfig`] tuning.
     pub fn bind(registry: Arc<ModelRegistry>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let shared = Arc::new(ServerShared {
-            registry,
-            scratch_pool: ScratchPool::new(0),
-            served: AtomicU64::new(0),
-            next_conn_id: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
-            stop: AtomicBool::new(false),
-        });
-        let accept_thread = {
-            let stop = stop.clone();
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("nc-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &stop, &shared))
-                .expect("spawning the accept thread")
-        };
+        Self::bind_with(registry, addr, ReactorConfig::default())
+    }
+
+    /// Binds with explicit reactor tuning.
+    pub fn bind_with(
+        registry: Arc<ModelRegistry>,
+        addr: impl ToSocketAddrs,
+        config: ReactorConfig,
+    ) -> std::io::Result<Self> {
         Ok(TcpServer {
-            addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            shared,
+            reactor: Reactor::bind(registry, addr, config)?,
         })
     }
 
     /// The bound address (with the resolved port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.reactor.local_addr()
     }
 
     /// The registry requests are routed through.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
-        &self.shared.registry
+        self.reactor.registry()
     }
 
     /// Frames answered so far (replies and framed errors).
     pub fn served(&self) -> u64 {
-        self.shared.served.load(Ordering::Relaxed)
+        self.reactor.served()
     }
 
     /// Connections currently open (closed connections remove themselves).
     pub fn live_connections(&self) -> usize {
-        self.shared.conns.lock().expect("conns poisoned").len()
+        self.reactor.live_connections()
     }
 
-    /// Stops accepting, unblocks and joins every connection thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
+    /// Reactor counters and gauges (accepted/overloaded/disconnect splits).
+    pub fn stats(&self) -> ReactorStats {
+        self.reactor.stats()
     }
 
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Unblock readers stuck in read_exact: shut the sockets down.
-        for (_, conn) in self.shared.conns.lock().expect("conns poisoned").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        let threads: Vec<_> = self
-            .shared
-            .conn_threads
-            .lock()
-            .expect("conn threads poisoned")
-            .drain(..)
-            .collect();
-        for t in threads {
-            let _ = t.join();
-        }
+    /// Stops accepting, closes every connection, joins the I/O and worker threads.
+    pub fn shutdown(self) {
+        self.reactor.shutdown();
     }
 }
 
-impl Drop for TcpServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-/// Joins handler threads that have already finished, so a long-lived server does not
-/// accumulate one dead handle per past connection.
-fn reap_finished_threads(shared: &ServerShared) {
-    let mut threads = shared.conn_threads.lock().expect("conn threads poisoned");
-    let mut i = 0;
-    while i < threads.len() {
-        if threads[i].is_finished() {
-            let _ = threads.swap_remove(i).join();
-        } else {
-            i += 1;
-        }
-    }
-}
-
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, shared: &Arc<ServerShared>) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                reap_finished_threads(shared);
-                // Connection handlers do blocking framed reads; only the listener is
-                // non-blocking.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                // Replies are one small frame each: without NODELAY, Nagle + delayed
-                // ACKs add tens of milliseconds to every round trip.
-                stream.set_nodelay(true).ok();
-                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-                if let Ok(clone) = stream.try_clone() {
-                    shared
-                        .conns
-                        .lock()
-                        .expect("conns poisoned")
-                        .insert(conn_id, clone);
-                }
-                let shared_for_conn = shared.clone();
-                match std::thread::Builder::new()
-                    .name("nc-serve-conn".into())
-                    .spawn(move || connection_loop(conn_id, stream, &shared_for_conn))
-                {
-                    Ok(handle) => shared
-                        .conn_threads
-                        .lock()
-                        .expect("conn threads poisoned")
-                        .push(handle),
-                    Err(_) => {
-                        shared
-                            .conns
-                            .lock()
-                            .expect("conns poisoned")
-                            .remove(&conn_id);
-                        continue;
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-fn connection_loop(conn_id: u64, mut stream: TcpStream, shared: &ServerShared) {
-    let mut scratch = shared.scratch_pool.checkout();
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
-            // EOF, peer reset, or shutdown() closing the socket: end the connection.
-            Err(ServeError::Transport(_)) => break,
-            Err(e) => {
-                // Decodable-but-invalid framing (oversized length): tell the peer, then
-                // close — the stream position is unrecoverable.
-                shared.served.fetch_add(1, Ordering::SeqCst);
-                let _ = write_frame(&mut stream, &encode_result(&Err(e)));
-                break;
-            }
-        };
-        let result = match decode_request(&frame) {
-            Ok(request) => shared.registry.handle(&request, &mut scratch),
-            Err(e) => Err(e),
-        };
-        let malformed = matches!(result, Err(ServeError::Protocol(_)));
-        // Count before the reply leaves: a client that has its answer must already be
-        // visible in `served()` (tests join clients and then read the counter).
-        shared.served.fetch_add(1, Ordering::SeqCst);
-        if write_frame(&mut stream, &encode_result(&result)).is_err() {
-            break;
-        }
-        if malformed {
-            // After a malformed request the frame boundary cannot be trusted.
-            break;
-        }
-    }
-    let _ = stream.flush();
-    let _ = stream.shutdown(Shutdown::Both);
-    // Drop this connection's bookkeeping: the cloned fd must not outlive the
-    // connection (a long-lived server would otherwise leak one fd per past client).
-    shared
-        .conns
-        .lock()
-        .expect("conns poisoned")
-        .remove(&conn_id);
-    shared.scratch_pool.checkin(scratch);
-}
-
-/// A blocking client for the TCP front-end (one connection, requests in order).
+/// A blocking client for the TCP front-end: one connection, in-order replies, with
+/// optional pipelining via [`ServeClient::send_request`] / [`ServeClient::recv_result`].
 pub struct ServeClient {
     stream: TcpStream,
 }
@@ -269,7 +101,19 @@ impl ServeClient {
     /// and the remote serving result collapse into one `Result`, so callers match on a
     /// single [`ServeError`].
     pub fn request(&mut self, request: &ServeRequest) -> Result<ServeReply, ServeError> {
-        write_frame(&mut self.stream, &encode_request(request))?;
+        self.send_request(request)?;
+        self.recv_result()
+    }
+
+    /// Writes one request frame without waiting for its reply — the pipelining half.
+    /// The server answers every request in send order, so `k` sends followed by `k`
+    /// [`ServeClient::recv_result`] calls pair up exactly.
+    pub fn send_request(&mut self, request: &ServeRequest) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, &encode_request(request))
+    }
+
+    /// Blocks for the next in-order reply frame.
+    pub fn recv_result(&mut self) -> Result<ServeReply, ServeError> {
         let frame = read_frame(&mut self.stream)?;
         decode_result(&frame)?
     }
@@ -289,6 +133,7 @@ mod tests {
     use super::*;
     use crate::model::BaselineModel;
     use nc_baselines::CardinalityEstimator;
+    use std::time::Duration;
 
     struct Fixed(f64);
     impl CardinalityEstimator for Fixed {
@@ -373,27 +218,61 @@ mod tests {
         server.shutdown();
     }
 
+    /// How many OS threads this process currently has (Linux: /proc).
+    fn thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
+    }
+
     #[test]
-    fn closed_connections_are_pruned() {
+    fn connection_churn_leaks_neither_fds_nor_threads() {
         let registry = Arc::new(ModelRegistry::new());
         registry
             .register(1, "m", Arc::new(BaselineModel::new(Fixed(1.0))))
             .unwrap();
         let server = TcpServer::bind(registry, "127.0.0.1:0").unwrap();
-        // A burst of short-lived clients: each connects, queries, disconnects.
-        for _ in 0..8 {
+        let baseline_threads = thread_count();
+        // A burst of short-lived clients: each connects, queries, disconnects.  The
+        // old front-end spawned (and could accumulate) one thread per connection;
+        // the reactor's thread count must not move at all.
+        for _ in 0..32 {
             let mut client = ServeClient::connect(server.local_addr()).unwrap();
             client
                 .estimate(&ModelSelector::latest(1, "m"), &Query::join(&["t"]))
                 .unwrap();
         }
-        // Each handler removes its own bookkeeping when the client hangs up — the
-        // server must not accumulate one leaked fd per past connection.
+        assert_eq!(thread_count(), baseline_threads);
+        // Each close removes its bookkeeping — the server must not accumulate one
+        // leaked fd per past connection.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while server.live_connections() > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(server.live_connections(), 0);
+        assert_eq!(server.served(), 32);
+        assert_eq!(server.stats().accepted, 32);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_pipelining_round_trips_in_order() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register(1, "m", Arc::new(BaselineModel::new(Fixed(4.0))))
+            .unwrap();
+        let server = TcpServer::bind(registry, "127.0.0.1:0").unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let request = ServeRequest::new(ModelSelector::latest(1, "m"), Query::join(&["t"]));
+        for _ in 0..8 {
+            client.send_request(&request).unwrap();
+        }
+        for _ in 0..8 {
+            assert_eq!(client.recv_result().unwrap().estimate, 4.0);
+        }
         assert_eq!(server.served(), 8);
         server.shutdown();
     }
