@@ -1,0 +1,202 @@
+//! Typed diagnostics and the rendered report (human + `LINT_report.json`).
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.  Every current lint gates CI, so everything is `Error`; the
+/// distinction exists so future advisory lints can ride the same pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (non-zero exit).
+    Error,
+    /// Reported but does not fail the run.
+    Warn,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint id (`lock-poison`, `lock-order`, ... or `suppression` for directive
+    /// errors).
+    pub lint: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human message.
+    pub message: String,
+}
+
+/// A finding that was silenced by a justified `nc-lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// Lint id.
+    pub lint: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line the silenced finding was on.
+    pub line: usize,
+    /// The written justification the directive carried.
+    pub justification: String,
+}
+
+/// Everything one run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Live findings (suppressed ones are moved to `suppressed`).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by justified allows.
+    pub suppressed: Vec<Suppressed>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when nothing error-severity survived.
+    pub fn ok(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The terminal rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let mut diags: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for d in &diags {
+            let _ = writeln!(
+                out,
+                "{}[{}]: {}:{}: {}",
+                d.severity.as_str(),
+                d.lint,
+                d.file,
+                d.line,
+                d.message
+            );
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let _ = writeln!(
+            out,
+            "nc-lint: {} error{}, {} finding{} suppressed with justification, {} file{} scanned",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            self.suppressed.len(),
+            if self.suppressed.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// The machine-readable rendering (`LINT_report.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"ok\": {},", self.ok());
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&d.lint),
+                json_string(d.severity.as_str()),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message)
+            );
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"suppressed\": [\n");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"justification\": {}}}",
+                json_string(&s.lint),
+                json_string(&s.file),
+                s.line,
+                json_string(&s.justification)
+            );
+            out.push_str(if i + 1 < self.suppressed.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_renders_and_ok_tracks_errors() {
+        let mut r = Report {
+            files_scanned: 3,
+            ..Default::default()
+        };
+        assert!(r.ok());
+        r.diagnostics.push(Diagnostic {
+            lint: "lock-poison".into(),
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "bad".into(),
+        });
+        assert!(!r.ok());
+        let human = r.render_human();
+        assert!(human.contains("error[lock-poison]: crates/x/src/lib.rs:7: bad"));
+        assert!(human.contains("1 error"));
+        let json = r.to_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"line\": 7"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The analysis driver: scope filtering, test-region exemption, suppression
+//! application, directive validation.
+
+use std::collections::HashSet;
+
+use crate::diag::{Diagnostic, Report, Severity, Suppressed};
+use crate::lints::{all_lints, known_ids};
+use crate::source::SourceFile;
+
+/// Runs every lint over `files` and folds the results into one [`Report`].
+///
+/// Pipeline per the registry contract: each lint sees only files its spec covers;
+/// findings inside test regions are discarded unless the lint opts in
+/// (`include_tests`); `finish()` runs once after all files (workspace lints emit
+/// there, and those findings skip the test filter — they already filtered at
+/// collection time).  Then suppression directives are validated (malformed ones and
+/// unknown lint ids are themselves error diagnostics under the `suppression` id) and
+/// matching findings move from `diagnostics` to `suppressed`, carrying the written
+/// justification into the report.
+pub fn analyze(files: &[SourceFile]) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+
+    let mut lints = all_lints();
+    let mut per_lint_test_exempt: Vec<Diagnostic> = Vec::new();
+    for lint in &mut lints {
+        let spec = lint.spec();
+        for file in files.iter().filter(|f| spec.applies_to(f)) {
+            let mut found = Vec::new();
+            lint.check_file(file, &mut found);
+            for d in found {
+                if !spec.include_tests && file.is_test_line(d.line) {
+                    continue;
+                }
+                per_lint_test_exempt.push(d);
+            }
+        }
+    }
+    // Workspace-level findings (lock-order cycles) arrive here.
+    for lint in &mut lints {
+        lint.finish(&mut per_lint_test_exempt);
+    }
+    report.diagnostics = per_lint_test_exempt;
+
+    // Directive validation: malformed directives and unknown ids are findings.
+    let known: HashSet<&'static str> = known_ids().into_iter().collect();
+    for file in files {
+        for err in &file.suppression_errors {
+            report.diagnostics.push(Diagnostic {
+                lint: "suppression".to_string(),
+                severity: Severity::Error,
+                file: file.rel_path.clone(),
+                line: err.line,
+                message: err.message.clone(),
+            });
+        }
+        for sup in &file.suppressions {
+            for id in &sup.ids {
+                if !known.contains(id.as_str()) {
+                    report.diagnostics.push(Diagnostic {
+                        lint: "suppression".to_string(),
+                        severity: Severity::Error,
+                        file: file.rel_path.clone(),
+                        line: sup.line,
+                        message: format!(
+                            "allow({id}) names an unknown lint (known: {})",
+                            known_ids().join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Apply suppressions: a justified allow on a finding's line moves it aside.
+    let mut live = Vec::with_capacity(report.diagnostics.len());
+    for d in report.diagnostics.drain(..) {
+        let sup = files.iter().find(|f| f.rel_path == d.file).and_then(|f| {
+            f.suppressions
+                .iter()
+                .find(|s| s.target_line == d.line && s.ids.iter().any(|id| id == &d.lint))
+        });
+        match sup {
+            Some(s) => report.suppressed.push(Suppressed {
+                lint: d.lint,
+                file: d.file,
+                line: d.line,
+                justification: s.justification.clone(),
+            }),
+            None => live.push(d),
+        }
+    }
+    report.diagnostics = live;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn lib_file(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::new(
+            format!("crates/{crate_name}/src/lib.rs"),
+            crate_name,
+            FileKind::Lib,
+            src,
+        )
+    }
+
+    #[test]
+    fn suppressed_finding_moves_to_suppressed_list() {
+        let src = "fn f(m: &std::sync::Mutex<i32>) {\n    // nc-lint: allow(lock-poison) — unit-test fixture, lock cannot poison\n    let _g = m.lock().unwrap();\n}\n";
+        let report = analyze(&[lib_file("neurocard", src)]);
+        assert!(report.ok(), "diags: {:?}", report.diagnostics);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].lint, "lock-poison");
+        assert!(report.suppressed[0].justification.contains("fixture"));
+    }
+
+    #[test]
+    fn unknown_allow_id_is_an_error() {
+        let src = "// nc-lint: allow(no-such-lint) — whatever\nfn f() {}\n";
+        let report = analyze(&[lib_file("neurocard", src)]);
+        assert!(!report.ok());
+        assert_eq!(report.diagnostics[0].lint, "suppression");
+        assert!(report.diagnostics[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn missing_justification_leaves_finding_live_and_adds_error() {
+        let src = "fn f(m: &std::sync::Mutex<i32>) {\n    // nc-lint: allow(lock-poison)\n    let _g = m.lock().unwrap();\n}\n";
+        let report = analyze(&[lib_file("neurocard", src)]);
+        let lints: Vec<&str> = report.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        assert!(lints.contains(&"lock-poison"), "finding must stay live");
+        assert!(
+            lints.contains(&"suppression"),
+            "and the broken allow reported"
+        );
+        assert!(report.suppressed.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! A comment- and string-literal-aware lexer.
+//!
+//! [`lex`] produces a **masked** copy of the source — byte-for-byte the same length,
+//! with the contents of every comment, string literal and char literal blanked to
+//! spaces (newlines preserved) — plus the list of comments with their text.  Lints
+//! pattern-match against the masked text, so `".lock().unwrap()"` inside a string or a
+//! doc comment can never fire a diagnostic, while suppression directives are parsed
+//! from the recovered comment text.
+//!
+//! The lexer understands: line comments (`//`, `///`, `//!`), nested block comments,
+//! ordinary strings with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth, plus
+//! `b`/`c` prefixes), byte strings, char literals (including escaped ones), and tells
+//! lifetimes (`'a`) apart from char literals.
+
+/// One comment recovered from the source.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text without its delimiters (`//` / `/* */`).
+    pub text: String,
+    /// True when code precedes the comment on its starting line (a trailing comment).
+    pub trailing: bool,
+}
+
+/// The lexer's output: masked source + recovered comments.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Same length as the input; comment/string/char interiors blanked to spaces.
+    pub masked: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn mask_range(masked: &mut [u8], from: usize, to: usize) {
+    let to = to.min(masked.len());
+    for b in &mut masked[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source` (see module docs).  Never fails: malformed input (unterminated
+/// strings/comments) is masked to end of file, which is the conservative direction —
+/// nothing inside can fire a lint.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let len = b.len();
+    let mut masked = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_has_code = false;
+
+    while i < len {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers /// and //! doc comments).
+        if c == b'/' && i + 1 < len && b[i + 1] == b'/' {
+            let start = i;
+            while i < len && b[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: source[start + 2..i].to_string(),
+                trailing: line_has_code,
+            });
+            mask_range(&mut masked, start, i);
+            continue;
+        }
+        // Block comment, nesting included (also covers /** and /*! doc comments).
+        if c == b'/' && i + 1 < len && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < len && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < len && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text_end = if depth == 0 { i - 2 } else { i };
+            comments.push(Comment {
+                line: start_line,
+                text: source[start + 2..text_end.max(start + 2)].to_string(),
+                trailing,
+            });
+            mask_range(&mut masked, start, i);
+            continue;
+        }
+        // Raw strings: r"…" / r#"…"# / br#"…"# / cr"…" — only when the prefix letter
+        // is not the tail of an identifier (`var` vs `r"..."`).
+        if (c == b'r' || ((c == b'b' || c == b'c') && i + 1 < len && b[i + 1] == b'r'))
+            && (i == 0 || !is_ident_byte(b[i - 1]))
+        {
+            let after_r = if c == b'r' { i + 1 } else { i + 2 };
+            let mut hashes = 0usize;
+            let mut j = after_r;
+            while j < len && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < len && b[j] == b'"' {
+                // Interior runs until `"` followed by `hashes` hashes.
+                let open = j;
+                j += 1;
+                'scan: while j < len {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < len && seen < hashes && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break 'scan;
+                        }
+                    }
+                    j += 1;
+                }
+                mask_range(&mut masked, open + 1, j.saturating_sub(1 + hashes));
+                line_has_code = true;
+                i = j;
+                continue;
+            }
+            // Not a raw string after all: plain identifier character.
+            line_has_code = true;
+            i += 1;
+            continue;
+        }
+        // Ordinary (or byte) string.
+        if c == b'"' {
+            let open = i;
+            i += 1;
+            while i < len {
+                if b[i] == b'\\' {
+                    // A `\<newline>` line continuation still ends a source line.
+                    if i + 1 < len && b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    break;
+                }
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            mask_range(&mut masked, open + 1, i);
+            i = (i + 1).min(len);
+            line_has_code = true;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < len && b[i + 1] == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{1F600}'.
+                let open = i;
+                i += 2;
+                while i < len && b[i] != b'\'' {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                mask_range(&mut masked, open + 1, i);
+                i = (i + 1).min(len);
+                line_has_code = true;
+                continue;
+            }
+            if i + 2 < len && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                // Plain char literal 'x' (multi-byte scalars are rare enough that
+                // treating them as lifetimes below is harmless: nothing is masked,
+                // nothing lint-relevant hides in one scalar).
+                masked[i + 1] = b' ';
+                i += 3;
+                line_has_code = true;
+                continue;
+            }
+            // Lifetime ('a) or label: leave as-is.
+            line_has_code = true;
+            i += 1;
+            continue;
+        }
+        if !c.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        i += 1;
+    }
+
+    // Masking never changes length, so line numbers in the masked text line up with
+    // the original byte-for-byte.
+    debug_assert_eq!(masked.len(), source.len());
+    Lexed {
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = r#"let a = "x.lock().unwrap()"; // c.lock().unwrap()
+let b = 1; /* block .unwrap() */ let c = 2;
+"#;
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("let a ="));
+        assert!(lexed.masked.contains("let c = 2;"));
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(lexed.comments[0].text.contains("c.lock().unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src = "let a = r#\"panic!(\"x\")\"#; let b = 'p'; let l: &'static str = \"y\";";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("panic!"));
+        assert!(lexed.masked.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let src = "/* a /* b */ c.unwrap() */ code();\n/// doc .unwrap()\nfn f() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("code();"));
+        assert!(lexed.masked.contains("fn f() {}"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn newlines_survive_masking_for_line_numbers() {
+        let src = "let s = \"line\nline\nline\";\nlet t = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.masked.matches('\n').count(),
+            src.matches('\n').count()
+        );
+        assert!(lexed.masked.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\".unwrap()\"b"; call();"#;
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("call();"));
+    }
+
+    #[test]
+    fn backslash_line_continuations_keep_comment_lines_aligned() {
+        // The `\<newline>` inside the string swallows the escape but the line still
+        // ends — the comment after it must land on line 3, not line 2.
+        let src = "let s = \"one \\\n         two\";\n// after\nlet x = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 3);
+        assert!(!lexed.comments[0].trailing);
+    }
+}

@@ -1,0 +1,45 @@
+//! `nc-lint`: workspace-native static analysis for the neurocard workspace.
+//!
+//! The toolchain here is deliberately dependency-free (every external-looking crate
+//! in this workspace is a hand-written shim), so this is not a rustc driver: it is a
+//! purpose-built pass over the source tree that enforces the handful of invariants
+//! the previous PRs established and that generic tooling cannot know about —
+//! poison-free locking, bounded serving queues, determinism of the estimator core,
+//! typed errors on the request path, silent libraries, and a consistent lock
+//! hierarchy.
+//!
+//! Layers:
+//! - [`lexer`]: masks comments/strings so lints never fire on text;
+//! - [`source`]: per-file model — line table, `#[cfg(test)]`/`mod tests` regions,
+//!   `// nc-lint: allow(<id>) — <justification>` suppressions (justification is
+//!   mandatory);
+//! - [`lints`]: the registry and the six lints;
+//! - [`engine`]: scope filtering, suppression application, report assembly;
+//! - [`walker`]: workspace discovery;
+//! - [`diag`]: typed diagnostics, human rendering, `LINT_report.json`.
+//!
+//! Run as `cargo run -p nc-lint -- --workspace`; CI gates on its exit status.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+pub mod walker;
+
+use std::io;
+use std::path::Path;
+
+pub use diag::{Diagnostic, Report, Severity, Suppressed};
+pub use source::{FileKind, SourceFile};
+
+/// Analyzes pre-built [`SourceFile`]s (the test harness entry point).
+pub fn analyze_files(files: &[SourceFile]) -> Report {
+    engine::analyze(files)
+}
+
+/// Walks the workspace at `root` and analyzes everything found.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let files = walker::walk_workspace(root)?;
+    Ok(engine::analyze(&files))
+}

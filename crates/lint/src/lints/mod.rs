@@ -1,0 +1,82 @@
+//! The lint registry: the `Lint` trait, per-lint scoping, and the catalogue.
+
+pub mod lock_order;
+pub mod patterns;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::{FileKind, SourceFile};
+
+/// Which crates a lint applies to (crate names as the walker reports them, e.g.
+/// `"serve"`, `"neurocard"`, `"compat/rand"`).
+#[derive(Debug, Clone, Copy)]
+pub enum Crates {
+    /// Every crate (subject to `include_compat`).
+    All,
+    /// Every crate except these (subject to `include_compat`).
+    Except(&'static [&'static str]),
+    /// Only these crates.
+    Only(&'static [&'static str]),
+}
+
+/// The static description of one lint.
+#[derive(Debug, Clone, Copy)]
+pub struct LintSpec {
+    /// Stable id used in diagnostics and `allow(...)` directives.
+    pub id: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// One-line description (rendered by `--list` and docs).
+    pub summary: &'static str,
+    /// Whether findings inside `#[cfg(test)]` / `mod tests` regions count.
+    pub include_tests: bool,
+    /// Crate scope.
+    pub crates: Crates,
+    /// Whether the hand-written dependency shims under `crates/compat` are in scope
+    /// (they deliberately emulate *external* crates' innards, locks included).
+    pub include_compat: bool,
+    /// File kinds in scope.
+    pub kinds: &'static [FileKind],
+}
+
+impl LintSpec {
+    /// Does this lint look at `file` at all?
+    pub fn applies_to(&self, file: &SourceFile) -> bool {
+        if !self.include_compat && file.crate_name.starts_with("compat/") {
+            return false;
+        }
+        let crate_ok = match self.crates {
+            Crates::All => true,
+            Crates::Except(list) => !list.contains(&file.crate_name.as_str()),
+            Crates::Only(list) => list.contains(&file.crate_name.as_str()),
+        };
+        crate_ok && self.kinds.contains(&file.kind)
+    }
+}
+
+/// One lint: a spec plus per-file (and optionally end-of-run) checking.
+pub trait Lint {
+    /// The lint's static description.
+    fn spec(&self) -> &'static LintSpec;
+    /// Examines one in-scope file.  Test-region filtering happens in the engine —
+    /// report everything found.
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+    /// Runs after every file was seen (workspace-level lints emit here).
+    fn finish(&mut self, _out: &mut Vec<Diagnostic>) {}
+}
+
+/// The full catalogue, fresh state per run.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(patterns::lock_poison()),
+        Box::new(patterns::unbounded_channel()),
+        Box::new(patterns::wall_clock_in_core()),
+        Box::new(patterns::panic_in_serving()),
+        Box::new(patterns::print_in_lib()),
+        Box::new(lock_order::LockOrder::new()),
+    ]
+}
+
+/// Every known lint id (suppressions naming anything else are errors).
+pub fn known_ids() -> Vec<&'static str> {
+    all_lints().iter().map(|l| l.spec().id).collect()
+}

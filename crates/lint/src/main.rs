@@ -1,0 +1,73 @@
+//! The `nc-lint` binary: `cargo run -p nc-lint -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nc_lint::lints::all_lints;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nc-lint --workspace [--root <dir>] [--report <path>]\n       nc-lint --list\n\n\
+         --workspace       lint every crate under <root>/crates\n\
+         --root <dir>      workspace root (default: current directory)\n\
+         --report <path>   write the JSON report here (default: <root>/LINT_report.json)\n\
+         --list            print the lint catalogue and exit"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut list = false;
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    if list {
+        for lint in all_lints() {
+            let spec = lint.spec();
+            println!("{:<20} {}", spec.id, spec.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !workspace {
+        usage();
+    }
+
+    // `cargo run` sets the cwd to the workspace root already; honour an explicit
+    // --root for out-of-tree invocations.
+    let report = match nc_lint::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nc-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_human());
+    let json_path = report_path.unwrap_or_else(|| root.join("LINT_report.json"));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("nc-lint: writing {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,402 @@
+//! The per-file analysis model: masked text, line table, test regions, suppressions.
+
+use crate::lexer::{lex, Comment};
+
+/// What role a file plays in its crate — lints scope themselves by kind (e.g.
+/// `panic-in-serving` applies to library code only; a `tests/` file is test code in
+/// its entirety).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` reachable from the crate's lib target.
+    Lib,
+    /// `src/bin/**`, `src/main.rs`, `build.rs` — binary / build code.
+    Bin,
+    /// `tests/**` integration tests.
+    Test,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// One parsed `// nc-lint: allow(<id>) — <justification>` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Lint ids the directive allows.
+    pub ids: Vec<String>,
+    /// The mandatory human justification.
+    pub justification: String,
+    /// Line the comment starts on.
+    pub line: usize,
+    /// Line the suppression applies to: the comment's own line for a trailing
+    /// comment, the next line carrying code for a standalone one.
+    pub target_line: usize,
+}
+
+/// A malformed suppression directive (reported as a diagnostic — a broken allow must
+/// never silently allow nothing, or silently allow everything).
+#[derive(Debug, Clone)]
+pub struct SuppressionError {
+    /// Line the directive is on.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One source file, lexed and indexed for the lints.
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostics render it).
+    pub rel_path: String,
+    /// Crate the file belongs to: `"serve"`, `"neurocard"`, `"compat/rand"`, ...
+    pub crate_name: String,
+    /// Role of the file in its crate.
+    pub kind: FileKind,
+    /// Masked source (comments/strings blanked; see [`crate::lexer`]).
+    pub masked: String,
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppression directives.
+    pub suppression_errors: Vec<SuppressionError>,
+    /// Byte offset of each line start in `masked` (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// Per line: is it inside a `#[cfg(test)]` item or a `mod tests` block?
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    pub fn new(
+        rel_path: impl Into<String>,
+        crate_name: impl Into<String>,
+        kind: FileKind,
+        source: &str,
+    ) -> Self {
+        let lexed = lex(source);
+        let line_starts = line_starts(&lexed.masked);
+        let line_count = line_starts.len();
+        let mut test_lines = vec![false; line_count + 2];
+        for (from, to) in find_test_regions(&lexed.masked, &line_starts) {
+            for flag in test_lines
+                .iter_mut()
+                .take(to.min(line_count) + 1)
+                .skip(from)
+            {
+                *flag = true;
+            }
+        }
+        let (suppressions, suppression_errors) =
+            parse_suppressions(&lexed.comments, &lexed.masked, &line_starts);
+        SourceFile {
+            rel_path: rel_path.into(),
+            crate_name: crate_name.into(),
+            kind,
+            masked: lexed.masked,
+            suppressions,
+            suppression_errors,
+            line_starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based line containing byte offset `pos` of the (masked) source.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` item or `mod tests` block?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Matches the closing `}` for the `{` at `open` (masked text: string/comment braces
+/// are already blanked, so plain counting is exact).
+pub fn match_brace(masked: &str, open: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    debug_assert_eq!(b[open], b'{');
+    let mut depth = 0usize;
+    for (off, &c) in b[open..].iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn match_bracket(masked: &str, open: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    debug_assert_eq!(b[open], b'[');
+    let mut depth = 0usize;
+    for (off, &c) in b[open..].iter().enumerate() {
+        match c {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items and `mod tests`
+/// blocks.
+fn find_test_regions(masked: &str, starts: &[usize]) -> Vec<(usize, usize)> {
+    let line_of = |pos: usize| match starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+
+    // `#[cfg(test)]` followed by (possibly more attributes and) a braced item.
+    let mut search = 0usize;
+    while let Some(off) = masked[search..].find("#[cfg(test)]") {
+        let attr_at = search + off;
+        let mut j = attr_at + "#[cfg(test)]".len();
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j + 1 < b.len() && b[j] == b'#' && b[j + 1] == b'[' {
+                match match_bracket(masked, j + 1) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        // Scan the item header for its body brace; a `;` first means no body here
+        // (e.g. `#[cfg(test)] mod tests;` — the out-of-line file is test code, but
+        // that is the walker's concern, not this file's).
+        let mut k = j;
+        while k < b.len() && b[k] != b'{' && b[k] != b';' {
+            k += 1;
+        }
+        if k < b.len() && b[k] == b'{' {
+            if let Some(close) = match_brace(masked, k) {
+                regions.push((line_of(attr_at), line_of(close)));
+            }
+        }
+        search = attr_at + 1;
+    }
+
+    // `mod tests { … }` even without the attribute.
+    let mut search = 0usize;
+    while let Some(off) = masked[search..].find("mod tests") {
+        let at = search + off;
+        search = at + 1;
+        if at > 0 && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+            continue;
+        }
+        let mut j = at + "mod tests".len();
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'{' {
+            if let Some(close) = match_brace(masked, j) {
+                regions.push((line_of(at), line_of(close)));
+            }
+        }
+    }
+    regions
+}
+
+/// Separators accepted between `allow(...)` and the justification.
+const JUSTIFICATION_SEPARATORS: [char; 4] = ['\u{2014}', '\u{2013}', '-', ':'];
+
+fn parse_suppressions(
+    comments: &[Comment],
+    masked: &str,
+    starts: &[usize],
+) -> (Vec<Suppression>, Vec<SuppressionError>) {
+    let mut ok = Vec::new();
+    let mut errors = Vec::new();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    for comment in comments {
+        let Some(at) = comment.text.find("nc-lint:") else {
+            continue;
+        };
+        // Only a directive at the start of the comment counts: prose *about* the
+        // syntax (doc comments, code samples) must not become a live allow.
+        if !comment.text[..at].trim().is_empty() {
+            continue;
+        }
+        let rest = comment.text[at + "nc-lint:".len()..].trim_start();
+        let Some(ids_part) = rest.strip_prefix("allow(") else {
+            errors.push(SuppressionError {
+                line: comment.line,
+                message: format!(
+                    "malformed nc-lint directive (expected `nc-lint: allow(<id>) — <justification>`): {}",
+                    comment.text.trim()
+                ),
+            });
+            continue;
+        };
+        let Some(close) = ids_part.find(')') else {
+            errors.push(SuppressionError {
+                line: comment.line,
+                message: "malformed nc-lint directive: unclosed allow(...)".to_string(),
+            });
+            continue;
+        };
+        let ids: Vec<String> = ids_part[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if ids.is_empty() {
+            errors.push(SuppressionError {
+                line: comment.line,
+                message: "malformed nc-lint directive: allow() names no lint".to_string(),
+            });
+            continue;
+        }
+        let mut justification = ids_part[close + 1..].trim_start();
+        let had_separator = justification
+            .chars()
+            .next()
+            .is_some_and(|c| JUSTIFICATION_SEPARATORS.contains(&c));
+        justification = justification
+            .trim_start_matches(|c| JUSTIFICATION_SEPARATORS.contains(&c))
+            .trim();
+        if !had_separator || justification.is_empty() {
+            errors.push(SuppressionError {
+                line: comment.line,
+                message: format!(
+                    "suppression of {} requires a written justification: `nc-lint: allow({}) — <why this is safe>`",
+                    ids.join(", "),
+                    ids.join(", ")
+                ),
+            });
+            continue;
+        }
+        let target_line = if comment.trailing {
+            comment.line
+        } else {
+            // Standalone comment: applies to the next line that carries code (in the
+            // masked text, comment-only and blank lines are both blank).
+            let mut t = comment.line + 1;
+            while t <= masked_lines.len() && masked_lines[t - 1].trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        ok.push(Suppression {
+            ids,
+            justification: justification.to_string(),
+            line: comment.line,
+            target_line,
+        });
+    }
+    let _ = starts;
+    (ok, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", "x", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_and_mod_tests_regions_are_detected() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod checks {\n    fn b() {}\n}\nfn c() {}\nmod tests {\n    fn d() {}\n}\n";
+        let f = file(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+        assert!(f.is_test_line(8));
+    }
+
+    #[test]
+    fn attributes_between_cfg_test_and_item_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod m {\n    fn x() {}\n}\n";
+        let f = file(src);
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn suppression_parses_with_justification() {
+        let src = "// nc-lint: allow(lock-poison) — fixture exercising the parser\nlet g = m.lock().unwrap();\n";
+        let f = file(src);
+        assert_eq!(f.suppression_errors.len(), 0);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.ids, vec!["lock-poison"]);
+        assert_eq!(s.target_line, 2);
+        assert!(s.justification.contains("fixture"));
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "let g = m.lock().unwrap(); // nc-lint: allow(lock-poison) - reason here\n";
+        let f = file(src);
+        assert_eq!(f.suppressions[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_skips_blank_and_comment_lines() {
+        let src =
+            "// nc-lint: allow(print-in-lib) — reason\n\n// another comment\nprintln!(\"x\");\n";
+        let f = file(src);
+        assert_eq!(f.suppressions[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        for src in [
+            "// nc-lint: allow(lock-poison)\nlet x = 1;\n",
+            "// nc-lint: allow(lock-poison) —   \nlet x = 1;\n",
+            "// nc-lint: allow(lock-poison) trailing words without separator\nlet x = 1;\n",
+        ] {
+            let f = file(src);
+            assert_eq!(f.suppressions.len(), 0, "src: {src}");
+            assert_eq!(f.suppression_errors.len(), 1, "src: {src}");
+            assert!(f.suppression_errors[0].message.contains("justification"));
+        }
+    }
+
+    #[test]
+    fn malformed_directives_are_errors_but_prose_is_not() {
+        let f = file("// nc-lint: deny(everything)\nlet x = 1;\n");
+        assert_eq!(f.suppression_errors.len(), 1);
+        // Mentioning the syntax mid-sentence is not a directive.
+        let f = file("// the syntax is nc-lint: allow(id) — see docs\nlet x = 1;\n");
+        assert_eq!(f.suppressions.len(), 0);
+        assert_eq!(f.suppression_errors.len(), 0);
+    }
+
+    #[test]
+    fn multiple_ids_in_one_allow() {
+        let f = file("// nc-lint: allow(lock-poison, panic-in-serving) — shared reason\nx();\n");
+        assert_eq!(f.suppressions[0].ids.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace file discovery: walks `crates/*` (and `crates/compat/*`), classifying
+//! every `.rs` file by crate and role.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::{FileKind, SourceFile};
+
+/// Classifies `rel` (path relative to the crate root, e.g. `src/bin/serve.rs`).
+fn classify(rel: &Path) -> FileKind {
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    match parts.next().as_deref() {
+        Some("src") => match parts.next().as_deref() {
+            Some("bin") => FileKind::Bin,
+            Some("main.rs") => FileKind::Bin,
+            _ => FileKind::Lib,
+        },
+        Some("tests") => FileKind::Test,
+        Some("examples") => FileKind::Example,
+        Some("benches") => FileKind::Bench,
+        Some("build.rs") => FileKind::Bin,
+        _ => FileKind::Lib,
+    }
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            // Build output never counts.
+            if name == "target" {
+                continue;
+            }
+            rust_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks one crate directory, producing a [`SourceFile`] per `.rs` file.
+fn walk_crate(
+    workspace_root: &Path,
+    crate_dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut paths = Vec::new();
+    rust_files_under(crate_dir, &mut paths)?;
+    paths.sort();
+    for path in paths {
+        let rel_in_crate = path.strip_prefix(crate_dir).unwrap_or(&path);
+        let rel_in_workspace = path.strip_prefix(workspace_root).unwrap_or(&path);
+        let source = fs::read_to_string(&path)?;
+        out.push(SourceFile::new(
+            rel_in_workspace.to_string_lossy().replace('\\', "/"),
+            crate_name,
+            classify(rel_in_crate),
+            &source,
+        ));
+    }
+    Ok(())
+}
+
+/// Walks the whole workspace rooted at `root`: every `crates/<name>` member plus the
+/// `crates/compat/<name>` shims (crate name `compat/<name>`, so lints can scope them
+/// out).  Deterministic order (sorted paths) so reports diff cleanly.
+pub fn walk_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name == "compat" {
+            let mut shims: Vec<PathBuf> = fs::read_dir(&member)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            shims.sort();
+            for shim in shims {
+                let shim_name = shim
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                walk_crate(root, &shim, &format!("compat/{shim_name}"), &mut out)?;
+            }
+        } else {
+            walk_crate(root, &member, &name, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify(Path::new("src/lib.rs")), FileKind::Lib);
+        assert_eq!(classify(Path::new("src/service.rs")), FileKind::Lib);
+        assert_eq!(classify(Path::new("src/bin/serve.rs")), FileKind::Bin);
+        assert_eq!(classify(Path::new("src/main.rs")), FileKind::Bin);
+        assert_eq!(classify(Path::new("tests/restart.rs")), FileKind::Test);
+        assert_eq!(classify(Path::new("examples/demo.rs")), FileKind::Example);
+        assert_eq!(classify(Path::new("benches/query.rs")), FileKind::Bench);
+        assert_eq!(classify(Path::new("build.rs")), FileKind::Bin);
+    }
+}

@@ -1,0 +1,445 @@
+//! Fixture-driven coverage for every lint: fires / suppressed / masked-by-string /
+//! masked-by-comment / test-region behavior, the mandatory-justification rule, and
+//! the seeded lock-order inversion the static pass must catch.
+//!
+//! Every planted violation lives inside a string literal in THIS file, so running
+//! `nc-lint --workspace` over the real tree never sees them — which is itself a
+//! live demonstration of the masking lexer the fixtures exercise.
+
+use nc_lint::{analyze_files, FileKind, Report, SourceFile};
+
+fn analyze_one(path: &str, krate: &str, kind: FileKind, src: &str) -> Report {
+    analyze_files(&[SourceFile::new(path, krate, kind, src)])
+}
+
+fn lib(krate: &str, src: &str) -> Report {
+    analyze_one(
+        &format!("crates/{krate}/src/lib.rs"),
+        krate,
+        FileKind::Lib,
+        src,
+    )
+}
+
+fn ids(report: &Report) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.lint.as_str()).collect()
+}
+
+fn count(report: &Report, id: &str) -> usize {
+    report.diagnostics.iter().filter(|d| d.lint == id).count()
+}
+
+// ---- lock-poison ------------------------------------------------------------
+
+#[test]
+fn lock_poison_fires_on_all_three_acquisition_methods() {
+    let src = r#"fn f(m: &std::sync::Mutex<i32>, rw: &std::sync::RwLock<i32>) {
+    let a = m.lock().unwrap();
+    let b = rw.read().expect("poisoned");
+    let c = rw
+        .write()
+        .unwrap();
+    let _ = (a, b, c);
+}
+"#;
+    let report = lib("neurocard", src);
+    assert_eq!(count(&report, "lock-poison"), 3, "ids: {:?}", ids(&report));
+    let mut lines: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "lock-poison")
+        .map(|d| d.line)
+        .collect();
+    lines.sort_unstable();
+    // The split `.write()\n.unwrap()` anchors at the consumer, line 6.
+    assert_eq!(lines, vec![2, 3, 6]);
+}
+
+#[test]
+fn lock_poison_opts_into_test_regions() {
+    // Unlike every other lint, lock-poison covers test code: a poisoned lock in a
+    // test hides the real assertion failure behind PoisonError noise.
+    let src = r#"fn fine() {}
+#[cfg(test)]
+mod tests {
+    fn t(m: &std::sync::Mutex<i32>) {
+        let _g = m.lock().unwrap();
+    }
+}
+"#;
+    let report = lib("neurocard", src);
+    assert_eq!(count(&report, "lock-poison"), 1);
+    assert_eq!(report.diagnostics[0].line, 5);
+}
+
+#[test]
+fn lock_poison_ignores_the_poison_free_pattern_and_non_lock_unwraps() {
+    let src = r#"fn f(m: &std::sync::Mutex<i32>, v: Option<i32>) {
+    let a = m.lock().unwrap_or_else(|p| p.into_inner());
+    let b = v.unwrap();
+    let _ = (a, b);
+}
+"#;
+    let report = lib("neurocard", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_poison_skips_the_compat_shims() {
+    let src = r#"fn f(m: &std::sync::Mutex<i32>) {
+    let _g = m.lock().unwrap();
+}
+"#;
+    let report = analyze_one(
+        "crates/compat/parking_lot/src/lib.rs",
+        "compat/parking_lot",
+        FileKind::Lib,
+        src,
+    );
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+// ---- masking: strings and comments can never fire any lint ------------------
+
+#[test]
+fn violations_inside_strings_and_comments_are_masked() {
+    let serve_src = r#"fn f() {
+    let doc = "m.lock().unwrap(); mpsc::channel(); panic!(oops); println!(oops)";
+    // m.lock().unwrap()  mpsc::channel()  panic!("x")  println!("x")  todo!()
+    /* .read().expect("p")  unimplemented!()  dbg!(1) */
+    let _ = doc;
+}
+"#;
+    let core_src = r#"fn g() {
+    let doc = "Instant::now() and SystemTime::now() are banned here";
+    // Instant::now()  SystemTime::now()
+    let _ = doc;
+}
+"#;
+    let files = [
+        SourceFile::new("crates/serve/src/lib.rs", "serve", FileKind::Lib, serve_src),
+        SourceFile::new(
+            "crates/neurocard/src/lib.rs",
+            "neurocard",
+            FileKind::Lib,
+            core_src,
+        ),
+    ];
+    let report = analyze_files(&files);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+    assert!(report.diagnostics.is_empty());
+    assert_eq!(report.files_scanned, 2);
+}
+
+// ---- unbounded-channel ------------------------------------------------------
+
+#[test]
+fn unbounded_channel_fires_in_serve_but_not_elsewhere_and_not_in_tests() {
+    let src = r#"fn f() {
+    let pair = std::sync::mpsc::channel();
+    let typed = mpsc::channel::<u32>();
+    let bounded = mpsc::sync_channel(1);
+    let _ = (pair, typed, bounded);
+}
+"#;
+    let in_serve = lib("serve", src);
+    assert_eq!(count(&in_serve, "unbounded-channel"), 2);
+
+    let elsewhere = lib("neurocard", src);
+    assert_eq!(count(&elsewhere, "unbounded-channel"), 0);
+
+    let in_tests = lib("serve", &format!("#[cfg(test)]\nmod tests {{\n{src}}}\n"));
+    assert_eq!(count(&in_tests, "unbounded-channel"), 0);
+}
+
+// ---- wall-clock-in-core -----------------------------------------------------
+
+#[test]
+fn wall_clock_fires_in_deterministic_crates_only() {
+    let src = r#"fn f() {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = (t0, wall);
+}
+"#;
+    let in_core = lib("neurocard", src);
+    assert_eq!(count(&in_core, "wall-clock-in-core"), 2);
+
+    // The serving tier measures latency for a living; out of scope.
+    let in_serve = lib("serve", src);
+    assert_eq!(count(&in_serve, "wall-clock-in-core"), 0);
+
+    let in_tests = lib(
+        "neurocard",
+        &format!("#[cfg(test)]\nmod tests {{\n{src}}}\n"),
+    );
+    assert!(in_tests.ok(), "diags: {:?}", in_tests.diagnostics);
+}
+
+// ---- panic-in-serving -------------------------------------------------------
+
+#[test]
+fn panic_in_serving_fires_in_lib_code_but_not_bins_or_tests() {
+    let src = r#"fn f(v: Option<i32>) -> i32 {
+    let a = v.unwrap();
+    let b = v.expect("gone");
+    panic!("boom");
+    todo!();
+    unimplemented!()
+}
+"#;
+    let in_lib = lib("serve", src);
+    assert_eq!(
+        count(&in_lib, "panic-in-serving"),
+        5,
+        "diags: {:?}",
+        in_lib.diagnostics
+    );
+
+    // Binaries may die loudly at startup: FileKind::Bin is out of scope.
+    let in_bin = analyze_one(
+        "crates/serve/src/bin/neurocard_serve.rs",
+        "serve",
+        FileKind::Bin,
+        src,
+    );
+    assert_eq!(count(&in_bin, "panic-in-serving"), 0);
+
+    let in_tests = lib("serve", &format!("#[cfg(test)]\nmod tests {{\n{src}}}\n"));
+    assert_eq!(count(&in_tests, "panic-in-serving"), 0);
+}
+
+// ---- print-in-lib -----------------------------------------------------------
+
+#[test]
+fn print_in_lib_fires_in_libs_but_not_bench_or_binaries() {
+    let src = r#"fn f() {
+    println!("hi");
+    eprintln!("warn");
+    dbg!(1 + 1);
+    my_println!("word boundary: not a match");
+}
+"#;
+    let in_lib = lib("neurocard", src);
+    assert_eq!(count(&in_lib, "print-in-lib"), 3);
+
+    // bench's lib is the CLI harness layer; printing is its contract.
+    let in_bench = lib("bench", src);
+    assert_eq!(count(&in_bench, "print-in-lib"), 0);
+
+    let in_bin = analyze_one("crates/serve/src/main.rs", "serve", FileKind::Bin, src);
+    assert_eq!(count(&in_bin, "print-in-lib"), 0);
+}
+
+// ---- lock-order -------------------------------------------------------------
+
+/// The seeded ABBA inversion: `first` takes alpha then beta, `second` takes beta
+/// then alpha.  The static pass must connect the two functions into one cycle.
+const ABBA: &str = r#"fn first() {
+    let ga = alpha.lock();
+    let gb = beta.lock();
+    let _ = (ga, gb);
+}
+fn second() {
+    let gb = beta.lock();
+    let ga = alpha.lock();
+    let _ = (ga, gb);
+}
+"#;
+
+#[test]
+fn lock_order_catches_the_seeded_abba_inversion() {
+    let report = lib("serve", ABBA);
+    assert_eq!(count(&report, "lock-order"), 1, "ids: {:?}", ids(&report));
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("serve::alpha"), "msg: {}", d.message);
+    assert!(d.message.contains("serve::beta"), "msg: {}", d.message);
+    assert!(d.message.contains("deadlocks"), "msg: {}", d.message);
+    // Anchored at the first witness: beta acquired while alpha is held (line 3).
+    assert_eq!((d.file.as_str(), d.line), ("crates/serve/src/lib.rs", 3));
+}
+
+#[test]
+fn lock_order_accepts_a_consistent_hierarchy() {
+    let src = r#"fn first() {
+    let ga = alpha.lock();
+    let gb = beta.lock();
+    let _ = (ga, gb);
+}
+fn second() {
+    let ga = alpha.lock();
+    let gb = beta.lock();
+    let _ = (ga, gb);
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_order_respects_drop_and_scope_release() {
+    // Both `first` variants release alpha before taking beta, so only the
+    // beta→alpha edge from `second` exists — one edge is not a cycle.
+    let src = r#"fn first_drops() {
+    let ga = alpha.lock();
+    drop(ga);
+    let gb = beta.lock();
+    let _ = gb;
+}
+fn first_scopes() {
+    {
+        let ga = alpha.lock();
+        let _ = ga;
+    }
+    let gb = beta.lock();
+    let _ = gb;
+}
+fn second() {
+    let gb = beta.lock();
+    let ga = alpha.lock();
+    let _ = (ga, gb);
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_order_treats_unbound_guards_as_transient() {
+    // `alpha.lock().insert(1)` holds its guard only for the statement, so the
+    // later beta acquisition is NOT performed "while holding alpha".
+    let src = r#"fn first() {
+    alpha.lock().insert(1);
+    let gb = beta.lock();
+    let _ = gb;
+}
+fn second() {
+    let gb = beta.lock();
+    alpha.lock().insert(2);
+    let _ = gb;
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_order_labels_are_crate_qualified() {
+    // The same field names in two crates are different locks — no false cycle.
+    let files = [
+        SourceFile::new(
+            "crates/serve/src/lib.rs",
+            "serve",
+            FileKind::Lib,
+            "fn f() {\n    let ga = alpha.lock();\n    let gb = beta.lock();\n    let _ = (ga, gb);\n}\n",
+        ),
+        SourceFile::new(
+            "crates/nn/src/lib.rs",
+            "nn",
+            FileKind::Lib,
+            "fn g() {\n    let gb = beta.lock();\n    let ga = alpha.lock();\n    let _ = (ga, gb);\n}\n",
+        ),
+    ];
+    let report = analyze_files(&files);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_order_ignores_inversions_confined_to_test_code() {
+    let src = format!("#[cfg(test)]\nmod tests {{\n{ABBA}}}\n");
+    let report = lib("serve", &src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
+#[test]
+fn lock_order_cycle_is_suppressible_at_its_anchor() {
+    // Same ABBA, with a justified allow on the anchor line (beta-while-alpha).
+    let src = r#"fn first() {
+    let ga = alpha.lock();
+    let gb = beta.lock(); // nc-lint: allow(lock-order) — fixture: inversion is the point
+    let _ = (ga, gb);
+}
+fn second() {
+    let gb = beta.lock();
+    let ga = alpha.lock();
+    let _ = (ga, gb);
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].lint, "lock-order");
+}
+
+// ---- suppression machinery --------------------------------------------------
+
+#[test]
+fn every_pattern_lint_is_suppressible_with_a_justified_allow() {
+    let cases: [(&str, &str, &str); 5] = [
+        ("neurocard", "lock-poison", "let g = m.lock().unwrap();"),
+        (
+            "serve",
+            "unbounded-channel",
+            "let pair = mpsc::channel::<u32>();",
+        ),
+        (
+            "neurocard",
+            "wall-clock-in-core",
+            "let t = std::time::Instant::now();",
+        ),
+        ("serve", "panic-in-serving", "panic!(\"boom\");"),
+        ("neurocard", "print-in-lib", "println!(\"x\");"),
+    ];
+    for (krate, id, trigger) in cases {
+        let src = format!(
+            "fn f() {{\n    {trigger} // nc-lint: allow({id}) — fixture justification\n}}\n"
+        );
+        let report = lib(krate, &src);
+        assert!(report.ok(), "{id}: diags: {:?}", report.diagnostics);
+        assert_eq!(report.suppressed.len(), 1, "{id}");
+        assert_eq!(report.suppressed[0].lint, id);
+        assert_eq!(report.suppressed[0].justification, "fixture justification");
+    }
+}
+
+#[test]
+fn standalone_allow_covers_the_next_code_line() {
+    let src = r#"fn f() {
+    // nc-lint: allow(unbounded-channel) — fixture: drained synchronously below
+    let pair = mpsc::channel::<u32>();
+    let _ = pair;
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn missing_justification_keeps_the_finding_live_and_reports_the_directive() {
+    let src = r#"fn f(m: &std::sync::Mutex<i32>) {
+    // nc-lint: allow(lock-poison)
+    let _g = m.lock().unwrap();
+}
+"#;
+    let report = lib("neurocard", src);
+    assert!(!report.ok());
+    let found = ids(&report);
+    assert!(found.contains(&"lock-poison"), "finding must stay live");
+    assert!(
+        found.contains(&"suppression"),
+        "broken allow must be reported"
+    );
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn unknown_lint_id_in_allow_is_an_error_even_with_a_justification() {
+    let src = r#"// nc-lint: allow(made-up-lint) — justified but unknown
+fn f() {}
+"#;
+    let report = lib("neurocard", src);
+    assert!(!report.ok());
+    assert_eq!(count(&report, "suppression"), 1);
+    assert!(report.diagnostics[0].message.contains("unknown lint"));
+}

@@ -227,10 +227,13 @@ impl Trainer {
                 next += 1;
             }
             let ticket = pending.pop_front().expect("a ticket is always in flight");
+            // nc-lint: allow(wall-clock-in-core) — phase timing for TrainProgress
+            // only; the elapsed values never feed RNG streams, weights or estimates.
             let t0 = Instant::now();
             let targets = ticket.wait().into_encoded();
             progress.sampling_time += t0.elapsed();
 
+            // nc-lint: allow(wall-clock-in-core) — same: training-phase stopwatch.
             let t1 = Instant::now();
             let loss = self.train_step(&targets);
             progress.training_time += t1.elapsed();
@@ -245,6 +248,8 @@ impl Trainer {
             let seed = derive_stream_seed(self.config.seed, self.batch_counter, 0);
             self.batch_counter += 1;
 
+            // nc-lint: allow(wall-clock-in-core) — sampling-phase stopwatch for
+            // TrainProgress; never feeds RNG streams, weights or estimates.
             let t0 = Instant::now();
             let TrainingSource::Biased(sampler) = &self.source else {
                 unreachable!("unbiased sources train on the pool path")
@@ -255,6 +260,7 @@ impl Trainer {
             let targets = self.encoded.encode_batch(&wide_rows);
             progress.sampling_time += t0.elapsed();
 
+            // nc-lint: allow(wall-clock-in-core) — same: training-phase stopwatch.
             let t1 = Instant::now();
             let loss = self.train_step(&targets);
             progress.training_time += t1.elapsed();

@@ -84,20 +84,15 @@ fn main() -> ExitCode {
     let registry = Arc::new(ModelRegistry::new());
 
     // Replay the journal first: a restart restores every model at its pre-crash
-    // version before the command line applies on top.
+    // version before the command line applies on top.  `open_compacted` folds the
+    // history and rewrites the file atomically, so a long-lived server's journal
+    // stays proportional to the number of live models, not the number of swaps.
     let mut journal = match journal_path {
         Some(path) => {
-            let (journal, events) = match RegistryJournal::open(&path) {
+            let (journal, survivors) = match RegistryJournal::open_compacted(&path) {
                 Ok(pair) => pair,
                 Err(e) => {
                     eprintln!("error: could not open journal {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let survivors = match nc_serve::journal::fold_events(&events) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: journal {path} does not fold: {e}");
                     return ExitCode::FAILURE;
                 }
             };

@@ -191,6 +191,57 @@ impl RegistryJournal {
         Ok((RegistryJournal { path, file }, events))
     }
 
+    /// Opens the journal at `path` **compacted**: the recorded history is folded to
+    /// the surviving state, the file is atomically rewritten to hold exactly one
+    /// publish line per surviving model, and the folded state is returned for replay.
+    ///
+    /// A journal only grows in normal operation (every swap appends), so a server
+    /// restarted after months of retraining would otherwise replay — and keep —
+    /// an unbounded history.  Compaction happens before the append handle opens:
+    ///
+    /// 1. read + fold (torn-tail tolerance identical to [`read_events`]);
+    /// 2. write the folded lines to a `<path>.compact` temp file and `fdatasync` it;
+    /// 3. atomically `rename` over the journal, then fsync the parent directory so
+    ///    the rename itself survives power loss.
+    ///
+    /// A crash anywhere in that sequence leaves either the old journal or the fully
+    /// synced compacted one — never a mix.  The rewrite is skipped when it would not
+    /// shrink the file (fresh journals, already-compact journals).
+    pub fn open_compacted(
+        path: impl Into<PathBuf>,
+    ) -> Result<(Self, Vec<(ModelKey, String)>), JournalError> {
+        let path = path.into();
+        let events = read_events(&path)?;
+        let folded = fold_events(&events)?;
+        if folded.len() < events.len() {
+            let mut text = String::new();
+            for (key, artifact_path) in &folded {
+                let ev = JournalEvent::publish(key, artifact_path.clone());
+                text.push_str(
+                    &serde_json::to_string(&ev).map_err(|e| JournalError::Io(e.to_string()))?,
+                );
+                text.push('\n');
+            }
+            let tmp = path.with_extension("compact");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(text.as_bytes())?;
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+            if let Some(dir) = path.parent() {
+                // Directory fsync makes the rename durable; a filesystem that
+                // cannot open directories (exotic, but possible) just loses the
+                // guarantee, not the data.
+                if let Ok(d) = File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((RegistryJournal { path, file }, folded))
+    }
+
     /// Appends one event durably: the line is written and `fdatasync`ed before this
     /// returns, so callers may apply the mutation the moment it does.
     pub fn append(&mut self, event: &JournalEvent) -> Result<(), JournalError> {
@@ -281,6 +332,84 @@ mod tests {
             read_events(&path),
             Err(JournalError::Corrupt { line: 1, .. })
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_compacted_folds_history_and_shrinks_the_file() {
+        let path = temp_path("compact");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        // Two models, one swapped twice, one deregistered: 5 events, 1 survivor.
+        for (key, artifact) in [
+            (ModelKey::new(0xfeed, "m", 1), "/tmp/a.ncm"),
+            (ModelKey::new(0xfeed, "m", 2), "/tmp/b.ncm"),
+            (ModelKey::new(0xfeed, "m", 3), "/tmp/c.ncm"),
+            (ModelKey::new(0xbeef, "gone", 1), "/tmp/d.ncm"),
+        ] {
+            journal
+                .append(&JournalEvent::publish(&key, artifact))
+                .unwrap();
+        }
+        journal
+            .append(&JournalEvent::deregister(0xbeef, "gone"))
+            .unwrap();
+        drop(journal);
+        assert_eq!(read_events(&path).unwrap().len(), 5);
+
+        let (mut journal, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(
+            folded,
+            vec![(ModelKey::new(0xfeed, "m", 3), "/tmp/c.ncm".to_string())]
+        );
+        // The on-disk file now holds exactly the folded line...
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key().unwrap(), ModelKey::new(0xfeed, "m", 3));
+        // ...and the handle appends after it without clobbering.
+        journal
+            .append(&JournalEvent::publish(
+                &ModelKey::new(0xfeed, "m", 4),
+                "/tmp/e.ncm",
+            ))
+            .unwrap();
+        drop(journal);
+        assert_eq!(read_events(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_compacted_tolerates_fresh_torn_and_already_compact_journals() {
+        // Fresh (missing) journal: empty state, file created for appends.
+        let path = temp_path("compact-fresh");
+        let (journal, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert!(folded.is_empty());
+        drop(journal);
+
+        // Already compact: one live publish per model — no rewrite needed, nothing
+        // lost.
+        let (mut journal, _) = RegistryJournal::open_compacted(&path).unwrap();
+        let key = ModelKey::new(7, "m", 1);
+        journal
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .unwrap();
+        drop(journal);
+        let before = std::fs::read_to_string(&path).unwrap();
+        let (_, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(folded, vec![(key.clone(), "/tmp/a.ncm".to_string())]);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+
+        // A torn tail is dropped by the compaction rewrite (it follows a swap, so
+        // the file shrinks and is rewritten clean).
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let k2 = ModelKey::new(7, "m", 2);
+        text.push_str(&serde_json::to_string(&JournalEvent::publish(&k2, "/tmp/b.ncm")).unwrap());
+        text.push_str("\n{\"op\":\"publish\",\"schema_fing");
+        std::fs::write(&path, &text).unwrap();
+        let (_, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(folded, vec![(k2.clone(), "/tmp/b.ncm".to_string())]);
+        let clean = read_events(&path).unwrap();
+        assert_eq!(clean.len(), 1);
+        assert_eq!(clean[0].key().unwrap(), k2);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -34,6 +34,7 @@
 //!   every `registry_bench` run.
 
 pub mod journal;
+pub mod lockcheck;
 pub mod model;
 pub mod pool;
 pub mod protocol;

@@ -1,8 +1,8 @@
 //! A pool of reusable [`SamplerScratch`] workspaces shared by serving threads.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
+use crate::lockcheck;
 use neurocard::infer::SamplerScratch;
 
 /// A pool of reusable [`SamplerScratch`] workspaces shared by the worker threads.
@@ -10,8 +10,12 @@ use neurocard::infer::SamplerScratch;
 /// Pre-grown to the worker count, so steady-state checkouts never allocate; if more
 /// checkouts than pooled scratches ever race (not possible with one checkout per worker,
 /// but harmless), a fresh scratch is grown and joins the pool on check-in.
+///
+/// The free list is a [`lockcheck::Mutex`]: no poisoning (the pool is touched inside
+/// `catch_unwind` on the request path, where a poisoned std mutex would turn one
+/// estimator panic into a permanent pool outage) and debug-build lock-order tracking.
 pub struct ScratchPool {
-    free: Mutex<Vec<Box<SamplerScratch>>>,
+    free: lockcheck::Mutex<Vec<Box<SamplerScratch>>>,
     grown: AtomicU64,
 }
 
@@ -19,7 +23,8 @@ impl ScratchPool {
     /// A pool pre-populated with `capacity` workspaces.
     pub fn new(capacity: usize) -> Self {
         ScratchPool {
-            free: Mutex::new(
+            free: lockcheck::Mutex::new(
+                "serve.scratch_pool",
                 (0..capacity)
                     .map(|_| Box::new(SamplerScratch::new()))
                     .collect(),
@@ -30,7 +35,7 @@ impl ScratchPool {
 
     /// Checks a workspace out (grows only if the pool is empty).
     pub fn checkout(&self) -> Box<SamplerScratch> {
-        if let Some(s) = self.free.lock().expect("scratch pool poisoned").pop() {
+        if let Some(s) = self.free.lock().pop() {
             return s;
         }
         self.grown.fetch_add(1, Ordering::Relaxed);
@@ -39,10 +44,7 @@ impl ScratchPool {
 
     /// Returns a workspace to the pool.
     pub fn checkin(&self, scratch: Box<SamplerScratch>) {
-        self.free
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
+        self.free.lock().push(scratch);
     }
 
     /// Total workspaces ever created (capacity + emergency growths).

@@ -37,8 +37,8 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::lockcheck::Mutex;
 use mio::{Events, Interest, Poll, Token, Waker};
-use parking_lot::Mutex;
 
 use crate::pool::ScratchPool;
 use crate::protocol::{decode_request, encode_result, MAX_FRAME_LEN};
@@ -203,7 +203,7 @@ impl Reactor {
             let waker = Waker::new(&poll, TOKEN_WAKER)?;
             polls.push(poll);
             io_shared.push(IoShared {
-                mailbox: Mutex::new(Mailbox::default()),
+                mailbox: Mutex::new("reactor.mailbox", Mailbox::default()),
                 waker,
             });
         }
@@ -231,7 +231,7 @@ impl Reactor {
         });
 
         let (jobs_tx, jobs_rx) = sync_channel::<Job>(queue_depth);
-        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let jobs_rx = Arc::new(Mutex::new("reactor.worker_rx", jobs_rx));
         let scratch_pool = Arc::new(ScratchPool::new(worker_count));
 
         let workers = (0..worker_count)
@@ -242,6 +242,9 @@ impl Reactor {
                 std::thread::Builder::new()
                     .name(format!("nc-reactor-worker-{i}"))
                     .spawn(move || worker_loop(&shared, &rx, &pool))
+                    // nc-lint: allow(panic-in-serving) — bind-time path, before the
+                    // listener accepts anything; thread-spawn failure means the
+                    // process cannot serve at all.
                     .expect("spawning a reactor worker")
             })
             .collect();
@@ -259,6 +262,8 @@ impl Reactor {
                 std::thread::Builder::new()
                     .name(format!("nc-reactor-io-{i}"))
                     .spawn(move || IoThread::new(i, poll, listener, shared, jobs_tx).run())
+                    // nc-lint: allow(panic-in-serving) — same bind-time reasoning as
+                    // the worker spawns above: no connection exists yet to answer.
                     .expect("spawning a reactor I/O thread")
             })
             .collect();
@@ -485,7 +490,11 @@ impl IoThread {
     // ---- connection lifecycle -------------------------------------------------
 
     fn accept_all(&mut self) {
-        let listener = self.listener.take().expect("listener on io thread 0");
+        // Only I/O thread 0 owns the listener; a spurious TOKEN_LISTENER on another
+        // thread (impossible today — nothing else registers that token) is a no-op.
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -604,7 +613,10 @@ impl IoThread {
     /// Reads everything available into `read_buf`.  Returns false if the connection
     /// was closed.
     fn fill(&mut self, slot: usize) -> bool {
-        let conn = self.conns[slot].as_mut().expect("live slot");
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            debug_assert!(false, "fill() on an empty slot");
+            return false;
+        };
         if conn.read_closed || conn.draining_close {
             // Still must notice a full hangup so a drain-phase peer that vanished
             // (e.g. reset) does not linger until the stall sweep.
@@ -673,7 +685,9 @@ impl IoThread {
             if conn.read_buf.len() < 4 {
                 break;
             }
-            let len = u32::from_le_bytes(conn.read_buf[..4].try_into().expect("4 bytes")) as usize;
+            let mut len_bytes = [0u8; 4];
+            len_bytes.copy_from_slice(&conn.read_buf[..4]);
+            let len = u32::from_le_bytes(len_bytes) as usize;
             if len > MAX_FRAME_LEN || len + 4 > self.shared.config.read_buffer_limit {
                 // Tell the peer, then close once the error flushes: the declared
                 // length cannot be skipped over, the boundary is lost.
@@ -989,7 +1003,7 @@ mod tests {
             }
             fn estimate(&self, _query: &Query) -> f64 {
                 let (lock, cv) = &*self.state;
-                let mut open = lock.lock().unwrap();
+                let mut open = lock.lock().unwrap_or_else(|p| p.into_inner());
                 self.entered.fetch_add(1, Ordering::SeqCst);
                 while !*open {
                     open = cv.wait(open).unwrap();
@@ -1038,7 +1052,7 @@ mod tests {
 
         // Open the gate: replies arrive strictly in request order — two estimates,
         // then the typed Overloaded for the shed request.
-        *state.0.lock().unwrap() = true;
+        *state.0.lock().unwrap_or_else(|p| p.into_inner()) = true;
         state.1.notify_all();
         for want_ok in [true, true, false] {
             let frame = read_frame(&mut stream).unwrap();

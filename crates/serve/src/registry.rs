@@ -16,6 +16,7 @@
 //! by a half-installed model.
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -24,6 +25,7 @@ use nc_schema::Query;
 use neurocard::infer::SamplerScratch;
 use neurocard::{schema_fingerprint, EstimateError, EstimatorCore};
 
+use crate::lockcheck;
 use crate::model::ServingEstimator;
 use crate::protocol::{ServeReply, ServeRequest};
 use crate::stats::{LatencyLog, MODEL_LATENCY_WINDOW};
@@ -147,7 +149,7 @@ struct RegistryInner {
     /// Per-model latency split, fed by [`ModelRegistry::handle`] (the entry point every
     /// transport routes through).  A poison-free lock: one panicking request must not
     /// take the whole stats surface down with it.
-    model_stats: parking_lot::Mutex<HashMap<ModelKey, ModelLatency>>,
+    model_stats: lockcheck::Mutex<HashMap<ModelKey, ModelLatency>>,
 }
 
 /// Per-model serving log: bounded latency ring plus the wall-clock span it covers.
@@ -172,11 +174,38 @@ pub struct ModelStats {
     pub queries_per_sec: f64,
 }
 
+/// Guard over the registry state: the raw std guard (it must stay `std::sync` — the
+/// drain [`Condvar`] needs it) plus the debug-build lock-order tracking token.
+struct StateGuard<'a> {
+    guard: MutexGuard<'a, RegistryState>,
+    _held: lockcheck::Held,
+}
+
+impl Deref for StateGuard<'_> {
+    type Target = RegistryState;
+    fn deref(&self) -> &RegistryState {
+        &self.guard
+    }
+}
+
+impl DerefMut for StateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut RegistryState {
+        &mut self.guard
+    }
+}
+
 /// Recovers the registry state even if a past holder panicked: the state is a routing
 /// table whose invariants hold between statements, so the std poison bit is noise here —
 /// propagating it would turn one panicked request into a server-wide denial of service.
-fn state_lock<'a>(inner: &'a RegistryInner) -> MutexGuard<'a, RegistryState> {
-    inner.state.lock().unwrap_or_else(|p| p.into_inner())
+#[track_caller]
+fn state_lock(inner: &RegistryInner) -> StateGuard<'_> {
+    // The token is taken before blocking on the lock, so an inversion panics instead
+    // of deadlocking (debug builds).
+    let held = lockcheck::acquire("registry.state");
+    StateGuard {
+        guard: inner.state.lock().unwrap_or_else(|p| p.into_inner()),
+        _held: held,
+    }
 }
 
 /// Counters and gauges of a registry (see [`ModelRegistry::stats`]).
@@ -290,7 +319,7 @@ impl ModelRegistry {
                 acquires: AtomicU64::new(0),
                 swaps: AtomicU64::new(0),
                 retired: AtomicU64::new(0),
-                model_stats: parking_lot::Mutex::new(HashMap::new()),
+                model_stats: lockcheck::Mutex::new("registry.model_stats", HashMap::new()),
             }),
         }
     }
@@ -401,12 +430,17 @@ impl ModelRegistry {
         name: &str,
         model: Arc<dyn ServingEstimator>,
     ) -> ModelKey {
-        match self.register(schema_fingerprint, name, model.clone()) {
-            Ok(key) => key,
-            Err(_) => {
-                self.swap(schema_fingerprint, name, model)
-                    .expect("entry exists: register reported AlreadyRegistered")
-                    .new
+        loop {
+            match self.register(schema_fingerprint, name, model.clone()) {
+                Ok(key) => return key,
+                // The name was taken, so update it — but a concurrent `deregister`
+                // may remove the entry between the failed register and the swap.
+                // Retry the pair instead of panicking on that race; one of the two
+                // must succeed on a quiescent name.
+                Err(_) => match self.swap(schema_fingerprint, name, model.clone()) {
+                    Ok(receipt) => return receipt.new,
+                    Err(_) => continue,
+                },
             }
         }
     }
@@ -562,7 +596,13 @@ impl ModelRegistry {
     /// timeout passes (false).  A key that never drained returns true immediately.
     pub fn wait_drained(&self, key: &ModelKey, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut state = state_lock(&self.inner);
+        // `Condvar::wait_timeout` consumes the raw std guard, so this path manages
+        // its lock-order token by hand instead of going through `state_lock`.  The
+        // token stays conservatively "held" across the waits (the real lock is
+        // released and reacquired by the Condvar) — this thread holds nothing else,
+        // so the over-approximation can record no spurious edge.
+        let _held = lockcheck::acquire("registry.state");
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !state.draining.iter().any(|s| &s.key == key) {
                 return true;

@@ -50,16 +50,17 @@ impl Quantiles {
         mean: 0.0,
     };
 
-    /// Summarises a sample (order irrelevant; non-finite values must not appear).
+    /// Summarises a sample (order irrelevant; a stray NaN sorts to the end via IEEE
+    /// total order instead of panicking the stats path).
     pub fn of(mut samples: Vec<f64>) -> Quantiles {
         if samples.is_empty() {
             return Quantiles::ZERO;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Quantiles {
             p50: nearest_rank(&samples, 0.50),
             p99: nearest_rank(&samples, 0.99),
-            max: *samples.last().expect("non-empty"),
+            max: samples.last().copied().unwrap_or(0.0),
             mean: samples.iter().sum::<f64>() / samples.len() as f64,
         }
     }
