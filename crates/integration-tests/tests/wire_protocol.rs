@@ -116,11 +116,13 @@ proptest! {
     /// Any reply survives the wire codec with bit-exact estimates — including NaN,
     /// infinities and subnormals, since the wire carries raw f64 bits.
     #[test]
-    fn replies_round_trip_bit_exactly(key in arb_key(), bits in 0u64..u64::MAX) {
-        let reply = ServeReply { key, estimate: f64::from_bits(bits) };
+    fn replies_round_trip_bit_exactly(key in arb_key(), bits in 0u64..u64::MAX, flag in 0u64..2) {
+        let degraded = flag == 1;
+        let reply = ServeReply { key, estimate: f64::from_bits(bits), degraded };
         let back = decode_result(&encode_result(&Ok(reply.clone()))).unwrap().unwrap();
         prop_assert_eq!(back.key, reply.key);
         prop_assert_eq!(back.estimate.to_bits(), bits);
+        prop_assert_eq!(back.degraded, degraded);
     }
 
     /// Any serving error survives the wire codec unchanged.

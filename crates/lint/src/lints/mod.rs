@@ -71,6 +71,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(patterns::unbounded_channel()),
         Box::new(patterns::wall_clock_in_core()),
         Box::new(patterns::panic_in_serving()),
+        Box::new(patterns::sleep_in_serving()),
         Box::new(patterns::print_in_lib()),
         Box::new(lock_order::LockOrder::new()),
     ]

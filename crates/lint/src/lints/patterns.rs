@@ -266,6 +266,42 @@ pub fn panic_in_serving() -> PatternLint {
     }
 }
 
+fn sleep_sites(file: &SourceFile) -> Vec<(usize, String)> {
+    find_word(&file.masked, "thread::sleep(")
+        .into_iter()
+        .map(|pos| {
+            (
+                file.line_of(pos),
+                "raw `thread::sleep` in serving-tier library code: it blocks an I/O or \
+                 worker thread (stalling every connection it multiplexes) and bypasses \
+                 the injectable clock, so chaos runs cannot observe or replay the delay. \
+                 Route waits through `FaultInjector::sleep`, or justify a deliberate \
+                 blocking wait with `nc-lint: allow(sleep-in-serving)`."
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+static SLEEP_IN_SERVING: LintSpec = LintSpec {
+    id: "sleep-in-serving",
+    severity: Severity::Error,
+    summary: "raw `thread::sleep` in `crates/serve` library code",
+    include_tests: false,
+    crates: Crates::Only(&["serve"]),
+    include_compat: false,
+    kinds: LIB_ONLY,
+};
+
+/// `sleep-in-serving`: the PR-8 injectable-clock invariant — serving-tier delays go
+/// through [`FaultInjector::sleep`] so chaos schedules stay replayable.
+pub fn sleep_in_serving() -> PatternLint {
+    PatternLint {
+        spec: &SLEEP_IN_SERVING,
+        finder: sleep_sites,
+    }
+}
+
 fn print_sites(file: &SourceFile) -> Vec<(usize, String)> {
     let mut sites: Vec<(usize, &str)> = Vec::new();
     for mac in ["println!(", "eprintln!(", "dbg!("] {

@@ -209,6 +209,50 @@ fn panic_in_serving_fires_in_lib_code_but_not_bins_or_tests() {
     assert_eq!(count(&in_tests, "panic-in-serving"), 0);
 }
 
+// ---- sleep-in-serving -------------------------------------------------------
+
+#[test]
+fn sleep_in_serving_fires_in_serve_lib_code_only() {
+    let src = r#"fn f() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    thread::sleep(BACKOFF);
+    my_thread::sleep(1);
+}
+"#;
+    let in_serve = lib("serve", src);
+    assert_eq!(
+        count(&in_serve, "sleep-in-serving"),
+        2,
+        "diags: {:?}",
+        in_serve.diagnostics
+    );
+
+    // Other crates may block freely; so may serve's tests and binaries.
+    let elsewhere = lib("neurocard", src);
+    assert_eq!(count(&elsewhere, "sleep-in-serving"), 0);
+    let in_tests = lib("serve", &format!("#[cfg(test)]\nmod tests {{\n{src}}}\n"));
+    assert_eq!(count(&in_tests, "sleep-in-serving"), 0);
+    let in_bin = analyze_one(
+        "crates/serve/src/bin/neurocard_serve.rs",
+        "serve",
+        FileKind::Bin,
+        src,
+    );
+    assert_eq!(count(&in_bin, "sleep-in-serving"), 0);
+}
+
+#[test]
+fn sleep_in_serving_is_masked_inside_strings_and_comments() {
+    let src = r#"fn f() {
+    let doc = "thread::sleep(dur) is banned here";
+    // std::thread::sleep(dur)
+    let _ = doc;
+}
+"#;
+    let report = lib("serve", src);
+    assert!(report.ok(), "diags: {:?}", report.diagnostics);
+}
+
 // ---- print-in-lib -----------------------------------------------------------
 
 #[test]
@@ -375,7 +419,7 @@ fn second() {
 
 #[test]
 fn every_pattern_lint_is_suppressible_with_a_justified_allow() {
-    let cases: [(&str, &str, &str); 5] = [
+    let cases: [(&str, &str, &str); 6] = [
         ("neurocard", "lock-poison", "let g = m.lock().unwrap();"),
         (
             "serve",
@@ -388,6 +432,11 @@ fn every_pattern_lint_is_suppressible_with_a_justified_allow() {
             "let t = std::time::Instant::now();",
         ),
         ("serve", "panic-in-serving", "panic!(\"boom\");"),
+        (
+            "serve",
+            "sleep-in-serving",
+            "std::thread::sleep(std::time::Duration::from_millis(1));",
+        ),
         ("neurocard", "print-in-lib", "println!(\"x\");"),
     ];
     for (krate, id, trigger) in cases {

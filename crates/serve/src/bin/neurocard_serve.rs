@@ -5,7 +5,7 @@
 //! until killed.  Usage:
 //!
 //! ```text
-//! neurocard-serve [--listen ADDR] [--journal PATH] [name=]artifact.ncar [...]
+//! neurocard-serve [--listen ADDR] [--journal PATH] [--chaos-seed N] [name=]artifact.ncar [...]
 //! ```
 //!
 //! * `--listen ADDR` — bind address (default `127.0.0.1:8466`; use port 0 for an
@@ -14,7 +14,12 @@
 //!   before it takes effect) to a JSON-lines journal, and on startup the journal is
 //!   replayed first — a `kill -9` + restart comes back with every model at the exact
 //!   version it had, before the command-line artifacts are applied on top.  With a
-//!   journal, zero positional artifacts is valid (pure restart).
+//!   journal, zero positional artifacts is valid (pure restart).  Wire `deregister`
+//!   requests are journaled the same way (write-ahead), so removals also survive.
+//! * `--chaos-seed N` — arm the deterministic fault-injection plan
+//!   ([`nc_serve::FaultPlan::chaos`]) at seed `N`: journal, socket and worker fault
+//!   points fire on a replayable schedule (see `docs/faults.md`).  Debug builds only;
+//!   release builds compile the hooks away and print a notice instead.
 //! * each positional argument is an artifact path, optionally prefixed `name=`; without
 //!   a prefix the file stem is the model name.  Registering the same name twice (for
 //!   the same schema) hot-swaps it to the next version.
@@ -26,11 +31,17 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use nc_serve::{JournalEvent, ModelKey, ModelRegistry, RegistryJournal, TcpServer};
+use nc_serve::{
+    FaultInjector, FaultPlan, JournalEvent, ModelKey, ModelRegistry, ReactorConfig,
+    RegistryJournal, SharedJournal, TcpServer,
+};
 use neurocard::{EstimatorCore, ModelArtifact};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: neurocard-serve [--listen ADDR] [--journal PATH] [name=]artifact.ncar [...]");
+    eprintln!(
+        "usage: neurocard-serve [--listen ADDR] [--journal PATH] [--chaos-seed N] \
+         [name=]artifact.ncar [...]"
+    );
     ExitCode::FAILURE
 }
 
@@ -48,6 +59,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen = "127.0.0.1:8466".to_string();
     let mut journal_path: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut artifacts: Vec<(Option<String>, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -62,6 +74,13 @@ fn main() -> ExitCode {
             "--journal" => match args.get(i + 1) {
                 Some(path) => {
                     journal_path = Some(path.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--chaos-seed" => match args.get(i + 1).and_then(|n| n.parse::<u64>().ok()) {
+                Some(seed) => {
+                    chaos_seed = Some(seed);
                     i += 2;
                 }
                 None => return usage(),
@@ -83,13 +102,30 @@ fn main() -> ExitCode {
 
     let registry = Arc::new(ModelRegistry::new());
 
+    // In release builds the fault hooks are compiled away: say so instead of
+    // silently serving without chaos.
+    let faults = match chaos_seed {
+        Some(seed) if FaultInjector::compiled_in() => {
+            println!("chaos: fault injection armed at seed {seed}");
+            FaultPlan::chaos(seed).injector()
+        }
+        Some(seed) => {
+            println!(
+                "chaos: --chaos-seed {seed} ignored — fault hooks are compiled away \
+                 in release builds"
+            );
+            FaultInjector::disabled()
+        }
+        None => FaultInjector::disabled(),
+    };
+
     // Replay the journal first: a restart restores every model at its pre-crash
     // version before the command line applies on top.  `open_compacted` folds the
     // history and rewrites the file atomically, so a long-lived server's journal
     // stays proportional to the number of live models, not the number of swaps.
-    let mut journal = match journal_path {
+    let journal = match journal_path {
         Some(path) => {
-            let (journal, survivors) = match RegistryJournal::open_compacted(&path) {
+            let (mut journal, survivors) = match RegistryJournal::open_compacted(&path) {
                 Ok(pair) => pair,
                 Err(e) => {
                     eprintln!("error: could not open journal {path}: {e}");
@@ -110,7 +146,7 @@ fn main() -> ExitCode {
                 }
                 println!("restored {key} from {artifact_path} (journal)");
             }
-            Some(journal)
+            Some(SharedJournal::new(journal))
         }
         None => None,
     };
@@ -139,7 +175,7 @@ fn main() -> ExitCode {
                 .latest(fingerprint, &name)
                 .map_or(1, |k| k.version + 1),
         );
-        if let Some(journal) = journal.as_mut() {
+        if let Some(journal) = journal.as_ref() {
             if let Err(e) = journal.append(&JournalEvent::publish(&next_key, path.as_str())) {
                 eprintln!("error: could not journal {next_key}: {e}");
                 return ExitCode::FAILURE;
@@ -159,7 +195,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let server = match TcpServer::bind(registry, listen.as_str()) {
+    // Arm journal chaos only now, after the startup publishes: `--chaos-seed`
+    // exists to torture *serving*, and an injected fault during the initial
+    // write-ahead appends would just abort startup on ~a third of seeds (the
+    // journal torture tests cover that path directly).  Wire deregisters and any
+    // later appends run fully under injection.
+    if let Some(journal) = journal.as_ref() {
+        journal.set_faults(faults.clone());
+    }
+
+    let config = ReactorConfig {
+        faults,
+        admin_journal: journal,
+        ..ReactorConfig::default()
+    };
+    let server = match TcpServer::bind_with(registry, listen.as_str(), config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind {listen}: {e}");

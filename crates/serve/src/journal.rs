@@ -18,11 +18,14 @@
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultInjector;
+use crate::lockcheck;
 use crate::registry::ModelKey;
 
 /// Why a journal operation failed.
@@ -116,37 +119,89 @@ impl JournalEvent {
     }
 }
 
-/// Parses a journal file into its event list.
+/// Parses journal bytes into events, also returning the byte length of the **valid
+/// prefix**: the end (newline included) of the last durable line.  Everything past
+/// it is a torn tail.
 ///
-/// A missing file is an empty journal.  A final line that fails to parse is treated as
-/// torn by the crash that made the journal matter, and skipped; a bad line anywhere
-/// *else* is real corruption and fails with [`JournalError::Corrupt`].
-pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, JournalError> {
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e.into()),
-    };
-    let lines: Vec<String> = BufReader::new(file)
-        .lines()
-        .collect::<Result<_, _>>()
-        .map_err(JournalError::from)?;
+/// Two kinds of tail are torn: a final line that fails to parse, and a final line
+/// with no terminating newline — even one that happens to parse.  `append` writes
+/// line and newline in one `write_all` and only acknowledges after `fdatasync`, so
+/// an unterminated line was necessarily cut mid-write and never acknowledged
+/// durable; counting it would let a lost write resurrect, and appending after it
+/// would merge two events into one corrupt line.  A bad line anywhere *else* is
+/// real corruption and fails with [`JournalError::Corrupt`].
+fn parse_events(bytes: &[u8]) -> Result<(Vec<JournalEvent>, usize), JournalError> {
     let mut events = Vec::new();
-    let last = lines.len();
-    for (i, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<JournalEvent>(line) {
-            Ok(ev) => events.push(ev),
-            Err(_) if i + 1 == last => break, // torn final append
-            Err(e) => {
+    let mut valid = 0usize;
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    while offset < bytes.len() {
+        line_no += 1;
+        let (line_end, next, terminated) = match bytes[offset..].iter().position(|&b| b == b'\n') {
+            Some(i) => (offset + i, offset + i + 1, true),
+            None => (bytes.len(), bytes.len(), false),
+        };
+        let line_bytes = &bytes[offset..line_end];
+        let is_final = next >= bytes.len();
+        let parsed = std::str::from_utf8(line_bytes)
+            .map_err(|e| e.to_string())
+            .and_then(|s| {
+                if s.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    serde_json::from_str::<JournalEvent>(s)
+                        .map(Some)
+                        .map_err(|e| e.to_string())
+                }
+            });
+        match parsed {
+            Ok(ev) if terminated => {
+                events.extend(ev);
+                valid = next;
+            }
+            Ok(_) => break, // parseable but unterminated: a torn (unacknowledged) tail
+            Err(_) if is_final => break, // torn final append
+            Err(message) => {
                 return Err(JournalError::Corrupt {
-                    line: i + 1,
-                    message: e.to_string(),
+                    line: line_no,
+                    message,
                 })
             }
         }
+        offset = next;
+    }
+    Ok((events, valid))
+}
+
+/// Parses a journal file into its event list.
+///
+/// A missing file is an empty journal.  Torn-tail tolerance is [`parse_events`]'s:
+/// an unparseable or unterminated final line is skipped; a bad line anywhere else
+/// fails with [`JournalError::Corrupt`].
+pub fn read_events(path: &Path) -> Result<Vec<JournalEvent>, JournalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    parse_events(&bytes).map(|(events, _)| events)
+}
+
+/// Reads the journal back and **truncates any torn tail**, so the append handle
+/// starts on a clean line boundary.  Without the truncation, the first append
+/// after a mid-write crash would glue its line onto the torn fragment, turning a
+/// tolerated torn tail into fatal interior corruption on the *next* restart.
+fn recover(path: &Path) -> Result<Vec<JournalEvent>, JournalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let (events, valid) = parse_events(&bytes)?;
+    if valid < bytes.len() {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid as u64)?;
+        file.sync_data()?;
     }
     Ok(events)
 }
@@ -179,16 +234,31 @@ pub fn fold_events(events: &[JournalEvent]) -> Result<Vec<(ModelKey, String)>, J
 pub struct RegistryJournal {
     path: PathBuf,
     file: File,
+    faults: FaultInjector,
 }
 
 impl RegistryJournal {
     /// Opens (creating if absent) the journal at `path` for appending, first reading
     /// back the events already recorded — the caller replays those into its registry.
+    /// A torn tail left by a crash is truncated away before the handle opens.
     pub fn open(path: impl Into<PathBuf>) -> Result<(Self, Vec<JournalEvent>), JournalError> {
         let path = path.into();
-        let events = read_events(&path)?;
+        let events = recover(&path)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((RegistryJournal { path, file }, events))
+        Ok((
+            RegistryJournal {
+                path,
+                file,
+                faults: FaultInjector::disabled(),
+            },
+            events,
+        ))
+    }
+
+    /// Installs the fault injector consulted by [`append`](Self::append) (fault
+    /// points `journal.write-error`, `journal.torn-write`, `journal.fsync-error`).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Opens the journal at `path` **compacted**: the recorded history is folded to
@@ -211,7 +281,7 @@ impl RegistryJournal {
         path: impl Into<PathBuf>,
     ) -> Result<(Self, Vec<(ModelKey, String)>), JournalError> {
         let path = path.into();
-        let events = read_events(&path)?;
+        let events = recover(&path)?;
         let folded = fold_events(&events)?;
         if folded.len() < events.len() {
             let mut text = String::new();
@@ -239,15 +309,45 @@ impl RegistryJournal {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((RegistryJournal { path, file }, folded))
+        Ok((
+            RegistryJournal {
+                path,
+                file,
+                faults: FaultInjector::disabled(),
+            },
+            folded,
+        ))
     }
 
     /// Appends one event durably: the line is written and `fdatasync`ed before this
     /// returns, so callers may apply the mutation the moment it does.
+    ///
+    /// On `Err` the caller must treat the append as a crash: the event is **not**
+    /// durable (its bytes may or may not have reached the file) and the handle may
+    /// sit on a torn tail — discard it and reopen (which truncates the tail), then
+    /// re-append; replay folds re-published events idempotently.  [`SharedJournal`]
+    /// automates the reopen.
     pub fn append(&mut self, event: &JournalEvent) -> Result<(), JournalError> {
         let mut line = serde_json::to_string(event).map_err(|e| JournalError::Io(e.to_string()))?;
         line.push('\n');
+        if let Some(msg) = self.faults.fail("journal.write-error") {
+            // ENOSPC-style failure: nothing reached the file.
+            return Err(JournalError::Io(msg));
+        }
+        if let Some(n) = self.faults.torn_len("journal.torn-write", line.len()) {
+            // Crash mid-write: a strict prefix lands, the acknowledgement never comes.
+            self.file.write_all(&line.as_bytes()[..n])?;
+            return Err(JournalError::Io(format!(
+                "injected fault: journal.torn-write ({n}/{} bytes)",
+                line.len()
+            )));
+        }
         self.file.write_all(line.as_bytes())?;
+        if let Some(msg) = self.faults.fail("journal.fsync-error") {
+            // The bytes reached the file but durability was never established; the
+            // event may legitimately reappear on replay (fold is idempotent).
+            return Err(JournalError::Io(msg));
+        }
         self.file.sync_data()?;
         Ok(())
     }
@@ -255,6 +355,62 @@ impl RegistryJournal {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// A cloneable, thread-safe journal handle for transports that journal from worker
+/// threads (the TCP reactor's admin path).
+///
+/// Serialises appends under the `"journal.file"` lock and **self-heals** after a
+/// failed append: the journal is reopened in place (truncating any torn tail the
+/// failure left behind) so subsequent appends start on a clean line boundary.  The
+/// failed append itself is still reported — the caller must not apply the mutation.
+#[derive(Clone)]
+pub struct SharedJournal {
+    inner: Arc<lockcheck::Mutex<RegistryJournal>>,
+}
+
+impl std::fmt::Debug for SharedJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedJournal").finish_non_exhaustive()
+    }
+}
+
+impl SharedJournal {
+    /// Wraps an opened journal for shared use.
+    pub fn new(journal: RegistryJournal) -> Self {
+        SharedJournal {
+            inner: Arc::new(lockcheck::Mutex::new("journal.file", journal)),
+        }
+    }
+
+    /// Appends one event durably (see [`RegistryJournal::append`]), recovering the
+    /// handle on failure.
+    pub fn append(&self, event: &JournalEvent) -> Result<(), JournalError> {
+        let mut journal = self.inner.lock();
+        match journal.append(event) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Crash-equivalent recovery: reopen (truncates the torn tail) so the
+                // handle stays usable.  Keep the original error either way.
+                let faults = journal.faults.clone();
+                if let Ok((mut fresh, _)) = RegistryJournal::open(journal.path.clone()) {
+                    fresh.set_faults(faults);
+                    *journal = fresh;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Arms (or replaces) the fault injector consulted by later appends.
+    pub fn set_faults(&self, faults: FaultInjector) {
+        self.inner.lock().set_faults(faults);
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> PathBuf {
+        self.inner.lock().path.clone()
     }
 }
 
@@ -410,6 +566,226 @@ mod tests {
         let clean = read_events(&path).unwrap();
         assert_eq!(clean.len(), 1);
         assert_eq!(clean[0].key().unwrap(), k2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_non_final_line_is_corruption() {
+        // A tear that is *followed* by valid lines cannot be a crash tail — it is
+        // interior corruption and must fail loudly, at the right line number.
+        let path = temp_path("torn-interior");
+        let good = serde_json::to_string(&JournalEvent::publish(
+            &ModelKey::new(1, "m", 1),
+            "/tmp/a.ncm",
+        ))
+        .unwrap();
+        std::fs::write(&path, format!("{good}\n{{\"op\":\"pub\n{good}\n")).unwrap();
+        assert!(matches!(
+            read_events(&path),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_event_after_compaction_folds_idempotently() {
+        // Crash-retry can legitimately append an event whose bytes already landed
+        // (failed fsync); replay and compaction must treat the duplicate as a no-op.
+        let path = temp_path("dup-after-compact");
+        let key = ModelKey::new(0xfeed, "m", 2);
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal
+            .append(&JournalEvent::publish(
+                &ModelKey::new(0xfeed, "m", 1),
+                "/tmp/a.ncm",
+            ))
+            .unwrap();
+        journal
+            .append(&JournalEvent::publish(&key, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+        let (mut journal, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(folded, vec![(key.clone(), "/tmp/b.ncm".to_string())]);
+        // The duplicate publish, re-appended after compaction.
+        journal
+            .append(&JournalEvent::publish(&key, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+        let events = read_events(&path).unwrap();
+        assert_eq!(events.len(), 2, "compacted line + duplicate");
+        assert_eq!(
+            fold_events(&events).unwrap(),
+            vec![(key, "/tmp/b.ncm".to_string())]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deregister_then_register_same_key_survives_fold() {
+        let path = temp_path("dereg-rereg");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal
+            .append(&JournalEvent::publish(
+                &ModelKey::new(5, "m", 3),
+                "/tmp/a.ncm",
+            ))
+            .unwrap();
+        journal.append(&JournalEvent::deregister(5, "m")).unwrap();
+        let back = ModelKey::new(5, "m", 1);
+        journal
+            .append(&JournalEvent::publish(&back, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+        // The re-registration wins — at *its* version (registration restarts the
+        // version counter; replay must not resurrect version 3).
+        let folded = fold_events(&read_events(&path).unwrap()).unwrap();
+        assert_eq!(folded, vec![(back.clone(), "/tmp/b.ncm".to_string())]);
+        // And compaction preserves exactly that.
+        let (_, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(folded, vec![(back, "/tmp/b.ncm".to_string())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_so_later_appends_stay_clean() {
+        // The crash-consistency gap recover() closes: append-after-torn-tail must
+        // not merge two events into one corrupt interior line.
+        let path = temp_path("trim");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal
+            .append(&JournalEvent::publish(
+                &ModelKey::new(1, "m", 1),
+                "/tmp/a.ncm",
+            ))
+            .unwrap();
+        drop(journal);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+
+        // Torn tail variant 1: unparseable fragment.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"op\":\"publish\",\"schema_fing");
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut journal, events) = RegistryJournal::open(&path).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        let k2 = ModelKey::new(1, "m", 2);
+        journal
+            .append(&JournalEvent::publish(&k2, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+        assert_eq!(read_events(&path).unwrap().len(), 2);
+
+        // Torn tail variant 2: a line that parses but lost its newline — written,
+        // never fsync-acknowledged.  It must be trimmed, not replayed.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let unterminated = serde_json::to_string(&JournalEvent::publish(
+            &ModelKey::new(1, "m", 9),
+            "/tmp/x.ncm",
+        ))
+        .unwrap();
+        bytes.extend_from_slice(unterminated.as_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, events) = RegistryJournal::open(&path).unwrap();
+        assert_eq!(events.len(), 2, "unterminated tail is not replayed");
+        assert_eq!(
+            events.last().unwrap().key().unwrap(),
+            k2,
+            "trim stops at the last durable line"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_append_faults_crash_consistently() {
+        use crate::fault::FaultPlan;
+
+        let path = temp_path("faults");
+        let key = ModelKey::new(0xabc, "m", 1);
+
+        // write-error: nothing reaches the file.
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal.set_faults(
+            FaultPlan::new(3)
+                .point("journal.write-error", 1000)
+                .injector(),
+        );
+        assert!(journal
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .is_err());
+        drop(journal);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+
+        // torn-write: a strict prefix lands; reopen trims it and the retry succeeds.
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal.set_faults(
+            FaultPlan::new(3)
+                .point("journal.torn-write", 1000)
+                .injector(),
+        );
+        assert!(journal
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .is_err());
+        drop(journal);
+        let (mut journal, events) = RegistryJournal::open(&path).unwrap();
+        assert!(events.is_empty(), "torn prefix must not replay");
+        journal
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .unwrap();
+        drop(journal);
+        assert_eq!(read_events(&path).unwrap().len(), 1);
+
+        // fsync-error: the full line may land; replay may include it (idempotent),
+        // and the crash-retry re-append folds to the same state.
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal.set_faults(
+            FaultPlan::new(3)
+                .point("journal.fsync-error", 1000)
+                .injector(),
+        );
+        let k2 = ModelKey::new(0xabc, "m", 2);
+        assert!(journal
+            .append(&JournalEvent::publish(&k2, "/tmp/b.ncm"))
+            .is_err());
+        drop(journal);
+        let (mut journal, events) = RegistryJournal::open(&path).unwrap();
+        assert_eq!(events.len(), 2, "fsync-failed line landed in full");
+        journal
+            .append(&JournalEvent::publish(&k2, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+        let folded = fold_events(&read_events(&path).unwrap()).unwrap();
+        assert_eq!(folded, vec![(k2, "/tmp/b.ncm".to_string())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn shared_journal_self_heals_after_failed_append() {
+        use crate::fault::FaultPlan;
+
+        let path = temp_path("shared-heal");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal.set_faults(
+            FaultPlan::new(1)
+                .point("journal.torn-write", 1000)
+                .injector(),
+        );
+        let shared = SharedJournal::new(journal);
+        let key = ModelKey::new(9, "m", 1);
+        assert!(shared
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .is_err());
+        // The handle healed: the torn tail was trimmed, but the injector still
+        // fires — swap in a quiet one to prove the *file* recovered.
+        {
+            let mut inner = shared.inner.lock();
+            inner.set_faults(FaultInjector::disabled());
+        }
+        shared
+            .append(&JournalEvent::publish(&key, "/tmp/a.ncm"))
+            .unwrap();
+        assert_eq!(read_events(&path).unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);
     }
 

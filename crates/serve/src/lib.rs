@@ -33,6 +33,8 @@
 //!   tests, the `registry_swap` / `wire_protocol` integration tests, and asserted on
 //!   every `registry_bench` run.
 
+pub mod fallback;
+pub mod fault;
 pub mod journal;
 pub mod lockcheck;
 pub mod model;
@@ -44,7 +46,9 @@ pub mod service;
 pub mod stats;
 pub mod tcp;
 
-pub use journal::{JournalError, JournalEvent, RegistryJournal};
+pub use fallback::StatsFallback;
+pub use fault::{FaultCount, FaultInjector, FaultPlan, FaultPoint};
+pub use journal::{JournalError, JournalEvent, RegistryJournal, SharedJournal};
 pub use model::{BaselineModel, ServingEstimator};
 pub use pool::ScratchPool;
 pub use protocol::{
@@ -59,7 +63,7 @@ pub use service::{
     EstimatorService, RegistryHandle, RegistryService, ServiceConfig, ServiceHandle, ServiceStats,
 };
 pub use stats::{nearest_rank, Quantiles, LATENCY_WINDOW};
-pub use tcp::{ServeClient, TcpServer};
+pub use tcp::{ClientConfig, ServeClient, TcpServer};
 
 use neurocard::EstimateError;
 
@@ -94,6 +98,9 @@ pub enum ServeError {
     Transport(String),
     /// A wire payload failed to decode (corrupt, truncated, or hostile).
     Protocol(String),
+    /// The request did not complete within its deadline (socket timeout or the
+    /// client-side per-request deadline expiring).
+    Timeout,
 }
 
 impl std::fmt::Display for ServeError {
@@ -117,6 +124,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
             ServeError::Transport(msg) => write!(f, "transport error: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Timeout => write!(f, "request timed out"),
         }
     }
 }
@@ -143,6 +151,7 @@ mod tests {
             ServeError::Internal("panic".into()),
             ServeError::Transport("t".into()),
             ServeError::Protocol("p".into()),
+            ServeError::Timeout,
         ] {
             assert!(!e.to_string().is_empty());
         }

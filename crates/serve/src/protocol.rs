@@ -12,8 +12,11 @@
 //! ```text
 //! frame      u32 payload length (≤ MAX_FRAME_LEN), payload bytes
 //! request    0x01, selector, query, samples
-//! reply      0x02, key, estimate f64 bits as u64   (bit-exact across the wire)
+//! reply      0x02, key, estimate f64 bits as u64 (bit-exact across the wire),
+//!            degraded u8 (1 = served by the stats fallback, not a registered model)
 //! error      0x03, error code u8, error fields
+//! deregister 0x04, fingerprint u64, name string       (admin request)
+//! deregistered 0x05, key                              (admin reply: the removed version)
 //! selector   0x00 key | 0x01 fingerprint u64, has_name u8, [name]
 //! key        fingerprint u64, name string, version u64
 //! query      table count u32, tables; filter count u32, filters
@@ -67,9 +70,15 @@ impl ServeRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReply {
     /// The version that served the request (selectors may be indirect; this never is).
+    /// Degraded replies carry a synthetic key: the fallback estimator's name at
+    /// version `0` — a version no registered model can ever hold.
     pub key: ModelKey,
     /// The estimated row count.
     pub estimate: f64,
+    /// `true` when the estimate came from the statistics fallback (no live model
+    /// matched the selector); the number is a coarse independence-assumption
+    /// estimate, not a learned one.  Flagged on the wire so planners can weigh it.
+    pub degraded: bool,
 }
 
 /// Frames larger than this are rejected before allocation (corrupt length prefix or a
@@ -79,6 +88,8 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 const MSG_REQUEST: u8 = 0x01;
 const MSG_REPLY: u8 = 0x02;
 const MSG_ERROR: u8 = 0x03;
+pub(crate) const MSG_DEREGISTER: u8 = 0x04;
+const MSG_DEREGISTERED: u8 = 0x05;
 
 const SEL_EXACT: u8 = 0x00;
 const SEL_LATEST: u8 = 0x01;
@@ -276,6 +287,7 @@ fn error_code(e: &ServeError) -> (u8, Vec<u8>) {
             put_string(&mut fields, msg);
             10
         }
+        ServeError::Timeout => 11,
     };
     (code, fields)
 }
@@ -299,6 +311,7 @@ fn decode_error(r: &mut BinReader<'_>) -> Result<ServeError, ServeError> {
         8 => ServeError::Protocol(r.string().map_err(bin)?),
         9 => ServeError::Overloaded,
         10 => ServeError::Internal(r.string().map_err(bin)?),
+        11 => ServeError::Timeout,
         other => return Err(protocol_err(format!("unknown error code {other}"))),
     })
 }
@@ -356,6 +369,7 @@ pub fn encode_result(result: &Result<ServeReply, ServeError>) -> Vec<u8> {
             out.push(MSG_REPLY);
             encode_key(&mut out, &reply.key);
             put_u64(&mut out, reply.estimate.to_bits());
+            out.push(u8::from(reply.degraded));
         }
         Err(e) => {
             out.push(MSG_ERROR);
@@ -378,7 +392,16 @@ pub fn decode_result(payload: &[u8]) -> Result<Result<ServeReply, ServeError>, S
         MSG_REPLY => {
             let key = decode_key(&mut r)?;
             let estimate = f64::from_bits(r.u64().map_err(bin)?);
-            Ok(ServeReply { key, estimate })
+            let degraded = match r.u8().map_err(bin)? {
+                0 => false,
+                1 => true,
+                other => return Err(protocol_err(format!("bad degraded flag {other}"))),
+            };
+            Ok(ServeReply {
+                key,
+                estimate,
+                degraded,
+            })
         }
         MSG_ERROR => Err(decode_error(&mut r)?),
         other => return Err(protocol_err(format!("unknown message tag {other}"))),
@@ -392,6 +415,82 @@ pub fn decode_result(payload: &[u8]) -> Result<Result<ServeReply, ServeError>, S
     Ok(result)
 }
 
+/// Encodes an admin deregister request (unframed): remove `(schema_fingerprint,
+/// name)` from the routing table.
+pub fn encode_deregister(schema_fingerprint: u64, name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.push(MSG_DEREGISTER);
+    put_u64(&mut out, schema_fingerprint);
+    put_string(&mut out, name);
+    out
+}
+
+/// Decodes a payload produced by [`encode_deregister`].
+pub fn decode_deregister(payload: &[u8]) -> Result<(u64, String), ServeError> {
+    let mut r = BinReader::new(payload);
+    if r.u8().map_err(bin)? != MSG_DEREGISTER {
+        return Err(protocol_err("payload is not a deregister request"));
+    }
+    let schema_fingerprint = r.u64().map_err(bin)?;
+    let name = r.string().map_err(bin)?;
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after deregister request",
+            r.remaining()
+        )));
+    }
+    Ok((schema_fingerprint, name))
+}
+
+/// Encodes the admin reply to a deregister: the removed version on success, the
+/// shared error encoding otherwise.
+pub fn encode_admin_result(result: &Result<ModelKey, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    match result {
+        Ok(key) => {
+            out.push(MSG_DEREGISTERED);
+            encode_key(&mut out, key);
+        }
+        Err(e) => {
+            out.push(MSG_ERROR);
+            let (code, fields) = error_code(e);
+            out.push(code);
+            out.extend_from_slice(&fields);
+        }
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_admin_result`].  As with
+/// [`decode_result`], the outer `Err` is a local decode failure; a decoded remote
+/// error is `Ok(Err(...))`.
+#[allow(clippy::type_complexity)]
+pub fn decode_admin_result(payload: &[u8]) -> Result<Result<ModelKey, ServeError>, ServeError> {
+    let mut r = BinReader::new(payload);
+    let result = match r.u8().map_err(bin)? {
+        MSG_DEREGISTERED => Ok(decode_key(&mut r)?),
+        MSG_ERROR => Err(decode_error(&mut r)?),
+        other => return Err(protocol_err(format!("unknown admin message tag {other}"))),
+    };
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after admin response",
+            r.remaining()
+        )));
+    }
+    Ok(result)
+}
+
+/// Maps an I/O failure to the typed serve error: socket-timeout kinds become
+/// [`ServeError::Timeout`] (the client sets SO_RCVTIMEO/SO_SNDTIMEO), the rest
+/// [`ServeError::Transport`].
+fn io_err(e: std::io::Error) -> ServeError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ServeError::Timeout,
+        _ => ServeError::Transport(e.to_string()),
+    }
+}
+
 /// Writes one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
     if payload.len() > MAX_FRAME_LEN {
@@ -400,19 +499,17 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError>
             payload.len()
         )));
     }
-    let transport = |e: std::io::Error| ServeError::Transport(e.to_string());
     w.write_all(&(payload.len() as u32).to_le_bytes())
-        .map_err(transport)?;
-    w.write_all(payload).map_err(transport)?;
-    w.flush().map_err(transport)
+        .map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)?;
+    w.flush().map_err(io_err)
 }
 
 /// Reads one length-prefixed frame, rejecting oversized length prefixes before
 /// allocating.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
-    let transport = |e: std::io::Error| ServeError::Transport(e.to_string());
     let mut len = [0u8; 4];
-    r.read_exact(&mut len).map_err(transport)?;
+    r.read_exact(&mut len).map_err(io_err)?;
     let len = u32::from_le_bytes(len) as usize;
     if len > MAX_FRAME_LEN {
         return Err(protocol_err(format!(
@@ -420,7 +517,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
         )));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(transport)?;
+    r.read_exact(&mut payload).map_err(io_err)?;
     Ok(payload)
 }
 
@@ -462,15 +559,19 @@ mod tests {
 
     #[test]
     fn results_round_trip_bit_exactly() {
-        let reply = ServeReply {
-            key: ModelKey::new(42, "m", 9),
-            estimate: 1234.567_891_011e-3,
-        };
-        let back = decode_result(&encode_result(&Ok(reply.clone())))
-            .unwrap()
-            .unwrap();
-        assert_eq!(back.key, reply.key);
-        assert_eq!(back.estimate.to_bits(), reply.estimate.to_bits());
+        for degraded in [false, true] {
+            let reply = ServeReply {
+                key: ModelKey::new(42, "m", 9),
+                estimate: 1234.567_891_011e-3,
+                degraded,
+            };
+            let back = decode_result(&encode_result(&Ok(reply.clone())))
+                .unwrap()
+                .unwrap();
+            assert_eq!(back.key, reply.key);
+            assert_eq!(back.estimate.to_bits(), reply.estimate.to_bits());
+            assert_eq!(back.degraded, degraded);
+        }
 
         let errors = [
             ServeError::Estimate(EstimateError::InvalidQuery("boom".into())),
@@ -490,11 +591,66 @@ mod tests {
             ServeError::Internal("estimator panicked: boom".into()),
             ServeError::Transport("connection reset".into()),
             ServeError::Protocol("bad tag".into()),
+            ServeError::Timeout,
         ];
         for e in errors {
             let back = decode_result(&encode_result(&Err(e.clone()))).unwrap();
             assert_eq!(back, Err(e));
         }
+    }
+
+    #[test]
+    fn admin_deregister_round_trips() {
+        let bytes = encode_deregister(0xfeed_beef_dead_cafe, "neurocard");
+        assert_eq!(
+            decode_deregister(&bytes).unwrap(),
+            (0xfeed_beef_dead_cafe, "neurocard".to_string())
+        );
+        // Results: removed key, and the shared error encoding.
+        let key = ModelKey::new(7, "m", 4);
+        let ok = encode_admin_result(&Ok(key.clone()));
+        assert_eq!(decode_admin_result(&ok).unwrap(), Ok(key));
+        let err = encode_admin_result(&Err(ServeError::UnknownModel("x".into())));
+        assert_eq!(
+            decode_admin_result(&err).unwrap(),
+            Err(ServeError::UnknownModel("x".into()))
+        );
+        // Corruption: truncation at every length errors cleanly, trailing bytes and
+        // cross-type decodes are rejected.
+        for cut in 0..bytes.len() {
+            assert!(decode_deregister(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_deregister(&padded).is_err());
+        assert!(decode_request(&bytes).is_err());
+        assert!(decode_admin_result(&bytes).is_err());
+        let mut padded_ok = encode_admin_result(&Ok(ModelKey::new(1, "m", 1)));
+        padded_ok.push(9);
+        assert!(decode_admin_result(&padded_ok).is_err());
+    }
+
+    #[test]
+    fn socket_timeouts_surface_as_typed_timeout() {
+        struct TimesOut;
+        impl std::io::Read for TimesOut {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "rcvtimeo",
+                ))
+            }
+        }
+        impl std::io::Write for TimesOut {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert_eq!(read_frame(&mut TimesOut), Err(ServeError::Timeout));
+        assert_eq!(write_frame(&mut TimesOut, b"x"), Err(ServeError::Timeout));
     }
 
     #[test]

@@ -40,9 +40,14 @@ use std::time::{Duration, Instant};
 use crate::lockcheck::Mutex;
 use mio::{Events, Interest, Poll, Token, Waker};
 
+use crate::fault::FaultInjector;
+use crate::journal::{JournalEvent, SharedJournal};
 use crate::pool::ScratchPool;
-use crate::protocol::{decode_request, encode_result, MAX_FRAME_LEN};
-use crate::registry::ModelRegistry;
+use crate::protocol::{
+    decode_deregister, decode_request, encode_admin_result, encode_result, MAX_FRAME_LEN,
+    MSG_DEREGISTER,
+};
+use crate::registry::{ModelKey, ModelRegistry, ModelSelector};
 use crate::service::panic_message;
 use crate::ServeError;
 
@@ -74,6 +79,12 @@ pub struct ReactorConfig {
     /// Sample budget applied when a request carries none; `None` defers to the
     /// selected model's own default.
     pub default_samples: Option<usize>,
+    /// Fault injection hooks (see [`crate::fault`]); inert by default, and compiled
+    /// away entirely in release builds.
+    pub faults: FaultInjector,
+    /// Write-ahead journal for admin mutations (deregister); when `None`, admin
+    /// requests still apply but are not persisted across restarts.
+    pub admin_journal: Option<SharedJournal>,
 }
 
 impl Default for ReactorConfig {
@@ -90,6 +101,8 @@ impl Default for ReactorConfig {
             max_inflight_per_conn: 32,
             stall_timeout: Duration::from_secs(10),
             default_samples: None,
+            faults: FaultInjector::disabled(),
+            admin_journal: None,
         }
     }
 }
@@ -345,6 +358,20 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, pool: &ScratchPool) {
             Err(_) => return, // all I/O threads gone
         };
         shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if job.frame.first() == Some(&MSG_DEREGISTER) {
+            let result = handle_deregister(shared, &job.frame);
+            let close_after = matches!(result, Err(ServeError::Protocol(_)));
+            shared.deliver(
+                job.io_idx,
+                Completion {
+                    conn_id: job.conn_id,
+                    seq: job.seq,
+                    frame: encode_admin_result(&result),
+                    close_after,
+                },
+            );
+            continue;
+        }
         let result = match decode_request(&job.frame) {
             Ok(mut request) => {
                 if request.samples.is_none() {
@@ -352,8 +379,11 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, pool: &ScratchPool) {
                 }
                 // Catch estimator panics: reply Internal, keep the worker, discard the
                 // scratch that was live during the unwind (its state is suspect; the
-                // pool replaces it on demand).
+                // pool replaces it on demand).  Injected worker faults land inside the
+                // same boundary, so chaos exercises exactly the production panic path.
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.config.faults.maybe_panic("worker.panic");
+                    shared.config.faults.stall("worker.delay");
                     let mut scratch = pool.checkout();
                     let result = shared.registry.handle(&request, &mut scratch);
                     pool.checkin(scratch);
@@ -374,6 +404,27 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, pool: &ScratchPool) {
             },
         );
     }
+}
+
+/// Applies one wire `deregister`: write-ahead to the admin journal, then drop the
+/// routing entry.  The journal append happens *before* the registry mutation — a
+/// crash between the two replays the deregister on restart, whereas the opposite
+/// order would resurrect the model.
+fn handle_deregister(shared: &Shared, frame: &[u8]) -> Result<ModelKey, ServeError> {
+    let (schema_fingerprint, name) = decode_deregister(frame)?;
+    // Check existence first so an unknown model is a typed error, not a journal
+    // entry: journaling a no-op deregister would be harmless but noisy.
+    if shared.registry.latest(schema_fingerprint, &name).is_none() {
+        return Err(ServeError::UnknownModel(
+            ModelSelector::latest(schema_fingerprint, &name).to_string(),
+        ));
+    }
+    if let Some(journal) = &shared.config.admin_journal {
+        journal
+            .append(&JournalEvent::deregister(schema_fingerprint, &name))
+            .map_err(|e| ServeError::Internal(format!("admin journal append failed: {e}")))?;
+    }
+    shared.registry.deregister(schema_fingerprint, &name)
 }
 
 /// Why a connection was torn down (feeds the right stats counter).
@@ -641,8 +692,15 @@ impl IoThread {
             }
         }
         let mut tmp = [0u8; 16 * 1024];
+        // Injected partial read: shrink this readiness cycle to a few bytes and stop
+        // early, exactly as if the kernel had delivered that little.  Level-triggered
+        // polling re-reports readiness, so no byte is lost — only re-sliced.
+        let cap = match self.shared.config.faults.draw("reactor.partial-read") {
+            Some(draw) => 1 + (draw % 7) as usize,
+            None => tmp.len(),
+        };
         loop {
-            match (&conn.stream).read(&mut tmp) {
+            match (&conn.stream).read(&mut tmp[..cap]) {
                 Ok(0) => {
                     conn.read_closed = true;
                     return true;
@@ -655,6 +713,9 @@ impl IoThread {
                     if conn.read_buf.len() > self.shared.config.read_buffer_limit + tmp.len() {
                         self.close(slot, CloseCause::Overflow);
                         return false;
+                    }
+                    if cap < tmp.len() {
+                        return true; // injected partial read: simulated WouldBlock
                     }
                     if n < tmp.len() {
                         return true;
@@ -815,14 +876,26 @@ impl IoThread {
             Some(c) => c,
             None => return false,
         };
+        // Injected partial write: cap how much this cycle pushes, then report
+        // WouldBlock.  The unsent tail stays in `write_buf`; the poller retries.
+        let cap = match self.shared.config.faults.draw("reactor.partial-write") {
+            Some(draw) => 1 + (draw % 7) as usize,
+            None => usize::MAX,
+        };
         let mut written = 0usize;
         let closed = loop {
             if written == conn.write_buf.len() {
                 break false;
             }
-            match (&conn.stream).write(&conn.write_buf[written..]) {
+            let end = conn.write_buf.len().min(written.saturating_add(cap));
+            match (&conn.stream).write(&conn.write_buf[written..end]) {
                 Ok(0) => break true,
-                Ok(n) => written += n,
+                Ok(n) => {
+                    written += n;
+                    if end < conn.write_buf.len() {
+                        break false; // injected partial write: simulated WouldBlock
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => break true,
@@ -1123,6 +1196,80 @@ mod tests {
         ));
         assert!(read_frame(&mut stream).is_err(), "connection must close");
         assert_eq!(reactor.served(), 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn injected_partial_io_never_corrupts_frames() {
+        // Aggressive partial reads and writes re-slice the byte stream without ever
+        // dropping or duplicating a byte: every pipelined frame still round-trips.
+        let config = ReactorConfig {
+            faults: crate::fault::FaultPlan::new(7)
+                .point("reactor.partial-read", 500)
+                .point("reactor.partial-write", 500)
+                .injector(),
+            ..small_config()
+        };
+        let reactor = Reactor::bind(fixed_registry(9.0), "127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(reactor.local_addr()).unwrap();
+        for _ in 0..8 {
+            write_frame(&mut stream, &encode_request(&request())).unwrap();
+        }
+        for _ in 0..8 {
+            let frame = read_frame(&mut stream).unwrap();
+            assert_eq!(decode_result(&frame).unwrap().unwrap().estimate, 9.0);
+        }
+        assert_eq!(reactor.served(), 8);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn wire_deregister_is_journaled_write_ahead() {
+        use crate::journal::{RegistryJournal, SharedJournal};
+        use crate::protocol::{decode_admin_result, encode_deregister};
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "nc-reactor-deregister-{}-{:p}.jsonl",
+            std::process::id(),
+            &path
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = RegistryJournal::open(path.clone()).unwrap();
+        let config = ReactorConfig {
+            admin_journal: Some(SharedJournal::new(journal)),
+            ..small_config()
+        };
+        let reactor = Reactor::bind(fixed_registry(2.0), "127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(reactor.local_addr()).unwrap();
+
+        write_frame(&mut stream, &encode_deregister(1, "m")).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        let key = decode_admin_result(&frame).unwrap().unwrap();
+        assert_eq!(key.schema_fingerprint, 1);
+        assert_eq!(key.name, "m");
+
+        // Routing is gone: estimates and repeat deregisters answer UnknownModel,
+        // on the same still-healthy connection.
+        write_frame(&mut stream, &encode_request(&request())).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            decode_result(&frame).unwrap(),
+            Err(ServeError::UnknownModel(_))
+        ));
+        write_frame(&mut stream, &encode_deregister(1, "m")).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            decode_admin_result(&frame).unwrap(),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        // Exactly one deregister event hit the journal, before the reply went out.
+        let (_, events) = RegistryJournal::open(path.clone()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, "deregister");
+        assert_eq!(events[0].name, "m");
+        let _ = std::fs::remove_file(&path);
         reactor.shutdown();
     }
 

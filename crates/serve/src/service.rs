@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nc_schema::Query;
+use neurocard::infer::SamplerScratch;
 use neurocard::{ArtifactLoadError, EstimatorCore, ModelArtifact};
 
 use crate::lockcheck::Mutex;
@@ -108,6 +109,7 @@ struct WorkItem {
 pub struct RegistryHandle {
     tx: SyncSender<WorkItem>,
     depth: Arc<AtomicUsize>,
+    registry: Arc<ModelRegistry>,
 }
 
 impl RegistryHandle {
@@ -130,6 +132,11 @@ impl RegistryHandle {
     /// immediate [`ServeError::Overloaded`] (the request was not queued) — the
     /// admission-control path transports use so a burst sheds load instead of pinning
     /// client connections.  Still blocks for the reply once admitted.
+    ///
+    /// When the registry carries a fallback estimator
+    /// ([`ModelRegistry::set_fallback`]), a shed request is answered from it inline
+    /// instead — a cheap statistics lookup on the caller's thread, flagged
+    /// `degraded` — so overload degrades accuracy before it degrades availability.
     pub fn try_request(&self, request: ServeRequest) -> Result<ServeReply, ServeError> {
         let (reply, rx) = sync_channel(1);
         match self.tx.try_send(WorkItem {
@@ -138,7 +145,13 @@ impl RegistryHandle {
             reply,
         }) {
             Ok(()) => {}
-            Err(TrySendError::Full(_)) => return Err(ServeError::Overloaded),
+            Err(TrySendError::Full(item)) => {
+                let mut scratch = SamplerScratch::new();
+                return match self.registry.serve_fallback(&item.request, &mut scratch) {
+                    Some(result) => result,
+                    None => Err(ServeError::Overloaded),
+                };
+            }
             Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
         }
         self.depth.fetch_add(1, Ordering::Relaxed);
@@ -236,6 +249,7 @@ impl RegistryService {
             // can still reach this method afterwards.
             tx: self.tx.clone().expect("service is running"),
             depth: self.depth.clone(),
+            registry: self.registry.clone(),
         }
     }
 
@@ -813,6 +827,103 @@ mod tests {
             handle.try_request(ServeRequest::new(sel, q)),
             Err(ServeError::ShuttingDown) | Err(ServeError::Overloaded)
         ));
+    }
+
+    #[test]
+    fn queue_shed_degrades_through_the_fallback() {
+        use crate::fallback::StatsFallback;
+        use crate::model::BaselineModel;
+        use nc_baselines::CardinalityEstimator;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+
+        struct Gate {
+            state: Arc<(StdMutex<bool>, StdCondvar)>,
+            waiters: Arc<AtomicUsize>,
+        }
+        impl CardinalityEstimator for Gate {
+            fn name(&self) -> &str {
+                "gate"
+            }
+            fn estimate(&self, _q: &Query) -> f64 {
+                let (lock, cv) = &*self.state;
+                let mut open = lock.lock().unwrap_or_else(|p| p.into_inner());
+                self.waiters.fetch_add(1, Ordering::SeqCst);
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                7.0
+            }
+        }
+
+        let state = Arc::new((StdMutex::new(false), StdCondvar::new()));
+        let waiters = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register(
+                1,
+                "gate",
+                Arc::new(BaselineModel::new(Gate {
+                    state: state.clone(),
+                    waiters: waiters.clone(),
+                })),
+            )
+            .unwrap();
+        // Install a stats fallback over a tiny one-table database.
+        let mut db = Database::new();
+        let mut t = TableBuilder::new("t", &["v"]);
+        for i in 0..40i64 {
+            t.push_row(vec![Value::Int(i % 8)]);
+        }
+        db.add_table(t.finish());
+        let schema = JoinSchema::new(vec!["t".into()], vec![], "t").unwrap();
+        registry.set_fallback(Arc::new(StatsFallback::from_database(
+            &db,
+            Arc::new(schema),
+        )));
+
+        let service = RegistryService::new(
+            registry.clone(),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                default_samples: None,
+            },
+        );
+        let handle = service.handle();
+        let q = Query::join(&["t"]);
+        let sel = ModelSelector::latest(1, "gate");
+
+        // Fill the worker (gated) and the queue's one slot.
+        let blocked: Vec<_> = (0..2)
+            .map(|_| {
+                let h = handle.clone();
+                let sel = sel.clone();
+                let q = q.clone();
+                std::thread::spawn(move || h.estimate(&sel, &q))
+            })
+            .collect();
+        while waiters.load(Ordering::SeqCst) != 1 || handle.queue_depth() != 1 {
+            std::thread::yield_now();
+        }
+
+        // The shed request is answered inline by the fallback, flagged degraded.
+        let reply = handle
+            .try_request(ServeRequest::new(sel.clone(), q.clone()))
+            .unwrap();
+        assert!(reply.degraded);
+        assert_eq!(reply.estimate, 40.0);
+        assert_eq!(reply.key.name, "stats-fallback");
+        assert_eq!(reply.key.version, 0);
+        assert_eq!(registry.stats().degraded, 1);
+
+        *state.0.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        state.1.notify_all();
+        for t in blocked {
+            assert_eq!(t.join().unwrap().unwrap().estimate, 7.0);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 2);
     }
 
     #[test]
