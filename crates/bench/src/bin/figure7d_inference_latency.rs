@@ -17,7 +17,15 @@ use nc_baselines::{CardinalityEstimator, DeepDbLite, MscnConfig, MscnEstimator};
 use nc_bench::harness::{evaluate, print_preamble, true_cardinalities};
 use nc_bench::{BenchEnv, HarnessConfig};
 use nc_workloads::job_light_ranges_queries;
-use neurocard::NeuroCard;
+use neurocard::{NeuroCard, Precision};
+
+/// The two-tier determinism contract's accuracy gate: over the whole workload, the fast
+/// tier's estimate may not differ from the exact tier's by more than this factor in
+/// either direction (`max(fast/exact, exact/fast)`).  bf16 keeps every weight within
+/// 2⁻⁸ relative, and the tiers share the per-query RNG stream, so the observed delta is
+/// small (≈1.1 on the smoke workload); the bound leaves room for an occasional flipped
+/// progressive sample without ever letting the tiers drift apart silently.
+const QERROR_DELTA_BOUND: f64 = 4.0;
 
 fn latency_quantiles(mut ms: Vec<f64>) -> (f64, f64, f64) {
     ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -164,13 +172,87 @@ fn main() {
     );
     println!("single-query speedup: {speedup:.2}x (determinism verified: estimates bit-identical)");
 
+    // --- Two-tier determinism contract: exact tier vs SIMD/bf16 fast tier -------------
+    let core = neurocard.core();
+    let isa = nc_nn::kernel::isa_name();
+    let mut exact_us = Vec::with_capacity(rounds * queries.len());
+    let mut fast_tier_us = Vec::with_capacity(rounds * queries.len());
+    let mut max_qerror_delta = 1.0f64;
+    for round in 0..rounds {
+        for (i, query) in queries.iter().enumerate() {
+            let start = Instant::now();
+            let est_exact = core.estimate_with_samples_scratch_precision(
+                query,
+                config.psamples,
+                &mut scratch,
+                Precision::Exact,
+            );
+            exact_us.push(start.elapsed().as_secs_f64() * 1e6);
+            let start = Instant::now();
+            let est_fast = core.estimate_with_samples_scratch_precision(
+                query,
+                config.psamples,
+                &mut scratch,
+                Precision::Fast,
+            );
+            fast_tier_us.push(start.elapsed().as_secs_f64() * 1e6);
+            // Tier one: the exact tier stays pinned — bit-identical to the sequential
+            // estimates computed above, regardless of the `simd` feature.
+            if round == 0 {
+                assert!(
+                    est_exact == sequential[i],
+                    "exact tier diverged from the pinned path on {query}: \
+                     {est_exact} vs {}",
+                    sequential[i]
+                );
+            }
+            // Tier two: bit-identity is relaxed, but the q-error delta is bounded.
+            let delta = (est_fast / est_exact).max(est_exact / est_fast);
+            assert!(
+                delta.is_finite() && delta <= QERROR_DELTA_BOUND,
+                "fast tier drifted past the q-error-delta bound on {query}: \
+                 exact {est_exact}, fast {est_fast} (delta {delta:.3} > {QERROR_DELTA_BOUND})"
+            );
+            max_qerror_delta = max_qerror_delta.max(delta);
+        }
+    }
+    let exact_tier = path_stats(exact_us, config.psamples);
+    let fast_tier = path_stats(fast_tier_us, config.psamples);
+    let fast_vs_exact = exact_tier.total_secs / fast_tier.total_secs.max(1e-12);
+    // The ISSUE's acceptance ratio: SIMD fast mode over the PR-3 scalar serving path.
+    let fast_vs_scalar = fast_tier.samples_per_sec / fast.samples_per_sec.max(1e-12);
+
+    println!();
+    println!("Two-tier precision (kernel ISA: {isa}), {rounds} rounds:");
+    println!(
+        "{:<22} {:>12} {:>12} {:>16}",
+        "Tier", "p50 (us)", "p99 (us)", "samples/sec"
+    );
+    println!(
+        "{:<22} {:>12.0} {:>12.0} {:>16.0}",
+        "exact (pinned)", exact_tier.p50_us, exact_tier.p99_us, exact_tier.samples_per_sec
+    );
+    println!(
+        "{:<22} {:>12.0} {:>12.0} {:>16.0}",
+        "fast (simd+bf16)", fast_tier.p50_us, fast_tier.p99_us, fast_tier.samples_per_sec
+    );
+    println!(
+        "fast-tier speedup: {fast_vs_exact:.2}x vs exact tier, {fast_vs_scalar:.2}x vs PR-3 \
+         scalar path; max q-error delta {max_qerror_delta:.3} (bound {QERROR_DELTA_BOUND})"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"inference\",\n  \"smoke\": {},\n  \"queries\": {},\n  \
          \"psamples\": {},\n  \"rounds\": {},\n  \"reference\": {{ \"p50_us\": {:.1}, \
          \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }},\n  \"fastpath\": {{ \
          \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }},\n  \
          \"batch\": {{ \"total_secs\": {:.4}, \"samples_per_sec\": {:.0} }},\n  \
-         \"single_query_speedup\": {:.2}\n}}\n",
+         \"single_query_speedup\": {:.2},\n  \
+         \"precision\": {{ \"isa\": \"{}\", \"exact\": {{ \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }}, \"fast\": {{ \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"samples_per_sec\": {:.0} }}, \
+         \"fast_vs_exact_speedup\": {:.2}, \"fast_vs_scalar_speedup\": {:.2}, \
+         \"max_qerror_delta\": {:.4}, \"qerror_delta_bound\": {:.1} }}\n}}\n",
         config.smoke,
         queries.len(),
         config.psamples,
@@ -184,6 +266,17 @@ fn main() {
         batch_secs,
         batch_samples_per_sec,
         speedup,
+        isa,
+        exact_tier.p50_us,
+        exact_tier.p99_us,
+        exact_tier.samples_per_sec,
+        fast_tier.p50_us,
+        fast_tier.p99_us,
+        fast_tier.samples_per_sec,
+        fast_vs_exact,
+        fast_vs_scalar,
+        max_qerror_delta,
+        QERROR_DELTA_BOUND,
     );
     let json_path =
         std::env::var("NC_BENCH_JSON").unwrap_or_else(|_| "BENCH_inference.json".to_string());

@@ -63,7 +63,10 @@ struct ModelStatsRow {
     queries_per_sec: f64,
 }
 
-/// Reactor counters after the TCP phase.
+/// Reactor counters after the TCP phase, including the accept-backlog gauge:
+/// `live_connections` vs the configured `max_connections` cap, plus
+/// `accept_sheds` — connections refused *at the listener* because the cap was
+/// reached (a subset of `overflow_disconnects`).
 #[derive(serde::Serialize)]
 struct ReactorCounters {
     accepted: u64,
@@ -71,6 +74,9 @@ struct ReactorCounters {
     overloaded: u64,
     stalled_disconnects: u64,
     overflow_disconnects: u64,
+    accept_sheds: u64,
+    live_connections: usize,
+    max_connections: usize,
 }
 
 /// The machine-readable benchmark record CI archives.
@@ -401,6 +407,9 @@ fn main() {
             overloaded: reactor_stats.overloaded,
             stalled_disconnects: reactor_stats.stalled_disconnects,
             overflow_disconnects: reactor_stats.overflow_disconnects,
+            accept_sheds: reactor_stats.accept_sheds,
+            live_connections: reactor_stats.live_connections,
+            max_connections: reactor_stats.max_connections,
         },
         tcp_requests: queries.len(),
         tcp_queries_per_sec: tcp_qps,

@@ -78,11 +78,16 @@ fn arb_request() -> impl Strategy<Value = ServeRequest> {
             1 => Just(None),
             2 => (1u64..100_000).prop_map(|n| Some(n as usize)),
         ],
+        prop_oneof![
+            2 => Just(neurocard::Precision::Exact),
+            1 => Just(neurocard::Precision::Fast),
+        ],
     )
-        .prop_map(|(selector, query, samples)| ServeRequest {
+        .prop_map(|(selector, query, samples, precision)| ServeRequest {
             selector,
             query,
             samples,
+            precision,
         })
 }
 
@@ -264,5 +269,53 @@ fn tcp_estimates_are_bit_identical_to_the_direct_core() {
         .unwrap();
     assert_eq!(reply.estimate.to_bits(), sequential[0].to_bits());
 
+    server.shutdown();
+}
+
+/// The two-tier contract over the wire: a `Precision::Fast` request reproduces a direct
+/// fast-tier core call bit-for-bit (the fast tier relaxes bit-identity *to the exact
+/// tier*, not its own determinism), and exact requests on the same connection stay
+/// pinned to the sequential baseline.
+#[test]
+fn fast_precision_requests_are_deterministic_over_the_wire() {
+    use neurocard::{Precision, SamplerScratch};
+
+    let (core, fingerprint) = trained_core();
+    let queries = workload();
+    let mut scratch = SamplerScratch::new();
+    let samples = core.config().progressive_samples;
+    let direct_fast: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            core.estimate_with_samples_scratch_precision(q, samples, &mut scratch, Precision::Fast)
+        })
+        .collect();
+    let direct_exact: Vec<f64> = queries.iter().map(|q| core.estimate(q)).collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let key = registry.register_core("neurocard", core.clone()).unwrap();
+    let server = TcpServer::bind(registry, "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    for (i, q) in queries.iter().enumerate() {
+        let fast = client
+            .request(
+                &ServeRequest::new(ModelSelector::Exact(key.clone()), q.clone())
+                    .with_precision(Precision::Fast),
+            )
+            .unwrap();
+        assert_eq!(
+            fast.estimate.to_bits(),
+            direct_fast[i].to_bits(),
+            "fast-tier wire estimate diverged on query {i}"
+        );
+        // Interleaved exact requests are untouched by the fast tier.
+        let exact = client
+            .estimate(&ModelSelector::Exact(key.clone()), q)
+            .unwrap();
+        assert_eq!(exact.estimate.to_bits(), direct_exact[i].to_bits());
+        // Both tiers produce sane cardinalities.
+        assert!(fast.estimate.is_finite() && fast.estimate >= 1.0);
+    }
+    assert_eq!(fingerprint, key.schema_fingerprint);
     server.shutdown();
 }

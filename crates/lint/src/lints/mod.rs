@@ -73,6 +73,7 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(patterns::panic_in_serving()),
         Box::new(patterns::sleep_in_serving()),
         Box::new(patterns::print_in_lib()),
+        Box::new(patterns::intrinsics_outside_kernel()),
         Box::new(lock_order::LockOrder::new()),
     ]
 }

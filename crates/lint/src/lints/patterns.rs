@@ -342,3 +342,52 @@ pub fn print_in_lib() -> PatternLint {
         finder: print_sites,
     }
 }
+
+fn intrinsics_sites(file: &SourceFile) -> Vec<(usize, String)> {
+    // The dispatch module is the one legal home for intrinsics: it owns the runtime
+    // CPU probe, the `#[target_feature]` safety obligations, and the kernel-vs-reference
+    // bit-identity tests.  Everything else calls through its safe dispatched wrappers.
+    if file.rel_path.ends_with("crates/nn/src/kernel.rs") {
+        return Vec::new();
+    }
+    let mut sites: Vec<(usize, &str)> = Vec::new();
+    for path in ["core::arch", "std::arch"] {
+        sites.extend(find_word(&file.masked, path).into_iter().map(|p| (p, path)));
+    }
+    sites.sort_unstable();
+    sites
+        .into_iter()
+        .map(|(pos, path)| {
+            (
+                file.line_of(pos),
+                format!(
+                    "`{path}` outside `crates/nn/src/kernel.rs`: SIMD intrinsics live \
+                     behind the kernel dispatch module so the exact tier stays scalar \
+                     and bit-reproducible, unsafe target-feature contracts are audited \
+                     in one place, and every arch path has a portable fallback. Call the \
+                     `nc_nn::kernel` wrappers, or justify a new home with \
+                     `nc-lint: allow(intrinsics-outside-kernel)`."
+                ),
+            )
+        })
+        .collect()
+}
+
+static INTRINSICS_OUTSIDE_KERNEL: LintSpec = LintSpec {
+    id: "intrinsics-outside-kernel",
+    severity: Severity::Error,
+    summary: "`core::arch`/`std::arch` intrinsics outside the kernel dispatch module",
+    include_tests: true,
+    crates: Crates::All,
+    include_compat: false,
+    kinds: ALL_KINDS,
+};
+
+/// `intrinsics-outside-kernel`: the PR-9 SIMD containment invariant — arch-specific
+/// intrinsics are only legal inside `crates/nn/src/kernel.rs`.
+pub fn intrinsics_outside_kernel() -> PatternLint {
+    PatternLint {
+        spec: &INTRINSICS_OUTSIDE_KERNEL,
+        finder: intrinsics_sites,
+    }
+}

@@ -275,6 +275,51 @@ fn print_in_lib_fires_in_libs_but_not_bench_or_binaries() {
     assert_eq!(count(&in_bin, "print-in-lib"), 0);
 }
 
+// ---- intrinsics-outside-kernel ----------------------------------------------
+
+#[test]
+fn intrinsics_fire_everywhere_except_the_kernel_module() {
+    let src = r#"use core::arch::x86_64::_mm256_fmadd_ps;
+fn f() {
+    let probe = std::arch::is_x86_feature_detected!("avx2");
+    let _ = probe;
+}
+"#;
+    let in_nn = analyze_one("crates/nn/src/tensor.rs", "nn", FileKind::Lib, src);
+    assert_eq!(
+        count(&in_nn, "intrinsics-outside-kernel"),
+        2,
+        "diags: {:?}",
+        in_nn.diagnostics
+    );
+
+    // Any other crate and any file kind is in scope too...
+    let in_bench = analyze_one(
+        "crates/bench/src/bin/figure7d.rs",
+        "bench",
+        FileKind::Bin,
+        src,
+    );
+    assert_eq!(count(&in_bench, "intrinsics-outside-kernel"), 2);
+    // ...including test regions (an intrinsic in a test still needs the dispatch audit).
+    let in_tests = analyze_one(
+        "crates/nn/src/tensor.rs",
+        "nn",
+        FileKind::Lib,
+        &format!("#[cfg(test)]\nmod tests {{\n{src}}}\n"),
+    );
+    assert_eq!(count(&in_tests, "intrinsics-outside-kernel"), 2);
+
+    // The one legal home: the kernel dispatch module.
+    let in_kernel = analyze_one("crates/nn/src/kernel.rs", "nn", FileKind::Lib, src);
+    assert_eq!(
+        count(&in_kernel, "intrinsics-outside-kernel"),
+        0,
+        "diags: {:?}",
+        in_kernel.diagnostics
+    );
+}
+
 // ---- lock-order -------------------------------------------------------------
 
 /// The seeded ABBA inversion: `first` takes alpha then beta, `second` takes beta
@@ -419,7 +464,12 @@ fn second() {
 
 #[test]
 fn every_pattern_lint_is_suppressible_with_a_justified_allow() {
-    let cases: [(&str, &str, &str); 6] = [
+    let cases: [(&str, &str, &str); 7] = [
+        (
+            "nn",
+            "intrinsics-outside-kernel",
+            "use core::arch::x86_64::__m256;",
+        ),
         ("neurocard", "lock-poison", "let g = m.lock().unwrap();"),
         (
             "serve",

@@ -13,6 +13,7 @@
 //! | `dicts`    | binary   | one order-preserving [`ColumnDictionary`] per wide column |
 //! | `facts`    | JSON     | one [`Factorization`] per wide column |
 //! | `weights`  | binary   | model parameters in the [`nc_nn::serialize`] flat format |
+//! | `weights_bf16` | binary | bf16-quantised parameters for the [`crate::Precision::Fast`] tier (optional) |
 //!
 //! The JSON sections round-trip through the serde shim's new `Deserialize`/`from_json`
 //! path; the binary sections use the checked readers of [`nc_storage::binio`].  Loading
@@ -34,12 +35,12 @@ use nc_nn::serialize::{load_params_from_bytes, model_to_bytes, LoadError};
 use nc_nn::{MadeConfig, ResMade};
 use nc_sampler::{ColumnKind, WideColumn, WideLayout};
 use nc_schema::{JoinEdge, JoinSchema};
-use nc_storage::binio::{put_string, BinReader};
+use nc_storage::binio::{put_bf16_slice, put_string, BinReader};
 use nc_storage::ColumnDictionary;
 use serde::{Deserialize, Serialize};
 
 use crate::config::NeuroCardConfig;
-use crate::core::EstimatorCore;
+use crate::core::{quantize_model_bf16, EstimatorCore};
 use crate::encoding::EncodedLayout;
 use crate::factorization::Factorization;
 
@@ -160,6 +161,10 @@ pub struct ModelArtifact {
     encoded: Arc<EncodedLayout>,
     full_join_rows: u128,
     weights: Bytes,
+    /// bf16-quantised parameters for the `Precision::Fast` tier; `None` for artifacts
+    /// written before the section existed (the loader quantises on the fly — bf16
+    /// round-trip idempotence makes the result byte-identical either way).
+    weights_bf16: Option<Bytes>,
 }
 
 /// JSON shape of the `schema` section.
@@ -206,6 +211,7 @@ impl ModelArtifact {
             encoded,
             full_join_rows,
             weights: model_to_bytes(model),
+            weights_bf16: Some(Bytes::from(bf16_weights_bytes(model))),
         }
     }
 
@@ -259,6 +265,9 @@ impl ModelArtifact {
         w.section("dicts", dict_bytes);
         w.section("facts", facts.into_bytes());
         w.section("weights", self.weights.to_vec());
+        if let Some(bf16) = &self.weights_bf16 {
+            w.section("weights_bf16", bf16.to_vec());
+        }
         w.finish()
     }
 
@@ -403,6 +412,13 @@ impl ModelArtifact {
             }
         }
 
+        // Optional: absent in artifacts written before the fast tier existed.
+        let weights_bf16 = if reader.get("weights_bf16").is_some() {
+            Some(Bytes::from(reader.take("weights_bf16")?))
+        } else {
+            None
+        };
+
         // Moved out of the reader, not copied: the weight blob dominates the artifact.
         let weights = Bytes::from(reader.take("weights")?);
 
@@ -413,6 +429,7 @@ impl ModelArtifact {
             encoded: Arc::new(encoded),
             full_join_rows,
             weights,
+            weights_bf16,
         })
     }
 
@@ -427,8 +444,17 @@ impl ModelArtifact {
             seed: self.config.seed,
         });
         load_params_from_bytes(&mut model, &self.weights).map_err(ArtifactLoadError::Weights)?;
-        EstimatorCore::new(
+        let fast_model = match &self.weights_bf16 {
+            Some(bytes) => {
+                load_bf16_weights(&model, bytes).map_err(|m| section_err("weights_bf16", m))?
+            }
+            // Pre-section artifact: quantise on the fly.  bf16 round-trip idempotence
+            // makes this byte-identical to decoding a stored section.
+            None => quantize_model_bf16(&model),
+        };
+        EstimatorCore::with_fast_model(
             model,
+            fast_model,
             self.encoded.clone(),
             self.schema.clone(),
             self.config.clone(),
@@ -467,6 +493,55 @@ impl ModelArtifact {
     pub fn weights(&self) -> &Bytes {
         &self.weights
     }
+}
+
+/// Encodes the model's parameters as the `weights_bf16` section: u32 tensor count, then
+/// per tensor `rows: u32, cols: u32` followed by row-major bf16 (u16 LE) data — the
+/// [`nc_nn::serialize`] flat format with the payload halved.
+fn bf16_weights_bytes(model: &ResMade) -> Vec<u8> {
+    let params = model.params();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&(p.value.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(p.value.cols() as u32).to_le_bytes());
+        put_bf16_slice(&mut out, p.value.data());
+    }
+    out
+}
+
+/// Decodes a `weights_bf16` section into the fast-tier model: `exact` supplies the
+/// architecture (and shape expectations); every tensor is validated against it.
+fn load_bf16_weights(exact: &ResMade, bytes: &[u8]) -> Result<ResMade, String> {
+    let mut fast = exact.clone();
+    let mut r = BinReader::new(bytes);
+    let count = r.u32().map_err(|e| e.to_string())? as usize;
+    let mut params = fast.params_mut();
+    if count != params.len() {
+        return Err(format!(
+            "section holds {count} tensors but the model has {}",
+            params.len()
+        ));
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        let rows = r.u32().map_err(|e| e.to_string())? as usize;
+        let cols = r.u32().map_err(|e| e.to_string())? as usize;
+        if rows != p.value.rows() || cols != p.value.cols() {
+            return Err(format!(
+                "tensor {i} is {rows}x{cols} but the model expects {}x{}",
+                p.value.rows(),
+                p.value.cols()
+            ));
+        }
+        let decoded = r
+            .bf16_slice(rows * cols)
+            .map_err(|e| format!("tensor {i}: {e}"))?;
+        p.value.data_mut().copy_from_slice(&decoded);
+    }
+    if !r.is_empty() {
+        return Err(format!("{} unread bytes", r.remaining()));
+    }
+    Ok(fast)
 }
 
 fn read_json_section<T: for<'de> Deserialize<'de>>(
@@ -646,13 +721,44 @@ mod tests {
     fn rewrite_manifest(bytes: &[u8], edit: impl Fn(&str) -> String) -> Bytes {
         let reader = ArtifactReader::parse(bytes).unwrap();
         let mut w = ArtifactWriter::new();
-        for name in [
-            "manifest", "config", "schema", "layout", "dicts", "facts", "weights",
-        ] {
+        for name in ALL_SECTIONS {
             let payload = reader.require(name).unwrap().to_vec();
             if name == "manifest" {
                 let text = std::str::from_utf8(&payload).unwrap();
                 w.section(name, edit(text).into_bytes());
+            } else {
+                w.section(name, payload);
+            }
+        }
+        w.finish()
+    }
+
+    const ALL_SECTIONS: [&str; 8] = [
+        "manifest",
+        "config",
+        "schema",
+        "layout",
+        "dicts",
+        "facts",
+        "weights",
+        "weights_bf16",
+    ];
+
+    /// Rewrites one section through `edit` (`None` drops it), preserving the rest —
+    /// simulates truncated/corrupt/absent sections inside a valid container.
+    fn rewrite_section(
+        bytes: &[u8],
+        target: &str,
+        edit: impl Fn(Vec<u8>) -> Option<Vec<u8>>,
+    ) -> Bytes {
+        let reader = ArtifactReader::parse(bytes).unwrap();
+        let mut w = ArtifactWriter::new();
+        for name in ALL_SECTIONS {
+            let payload = reader.require(name).unwrap().to_vec();
+            if name == target {
+                if let Some(p) = edit(payload) {
+                    w.section(name, p);
+                }
             } else {
                 w.section(name, payload);
             }
@@ -709,6 +815,150 @@ mod tests {
             )
         });
         assert!(ModelArtifact::from_bytes(&garbled).is_err());
+    }
+
+    #[test]
+    fn artifacts_without_bf16_section_quantise_on_the_fly() {
+        use crate::core::Precision;
+        use crate::infer::SamplerScratch;
+
+        let (model, _, _) = trained();
+        let bytes = model.to_artifact().to_bytes();
+        let with_section = ModelArtifact::from_bytes(&bytes)
+            .unwrap()
+            .to_core()
+            .unwrap();
+
+        // Strip the section — exactly what a pre-fast-tier artifact looks like.
+        let old = rewrite_section(&bytes, "weights_bf16", |_| None);
+        let loaded = ModelArtifact::from_bytes(&old).expect("old artifacts must load");
+        assert!(loaded.weights_bf16.is_none());
+        let without_section = loaded.to_core().unwrap();
+
+        // bf16 round-trip idempotence: on-the-fly quantisation produces the same fast
+        // model as decoding the stored section, so fast estimates are bit-identical.
+        let mut scratch = SamplerScratch::new();
+        for q in [
+            Query::join(&["A", "B"]),
+            Query::join(&["A"]).filter("A", "c", Predicate::eq(1i64)),
+        ] {
+            for p in [Precision::Exact, Precision::Fast] {
+                assert_eq!(
+                    with_section
+                        .estimate_with_samples_scratch_precision(&q, 64, &mut scratch, p)
+                        .to_bits(),
+                    without_section
+                        .estimate_with_samples_scratch_precision(&q, 64, &mut scratch, p)
+                        .to_bits(),
+                    "{p} tier diverged between stored and on-the-fly bf16"
+                );
+            }
+        }
+
+        // Stripping the section survives a re-serialise round trip, too.
+        let back = ModelArtifact::from_bytes(&loaded.to_bytes()).unwrap();
+        assert!(back.weights_bf16.is_none());
+    }
+
+    #[test]
+    fn corrupt_bf16_sections_report_typed_errors() {
+        let (model, _, _) = trained();
+        let bytes = model.to_artifact().to_bytes();
+
+        let expect_section_err = |bytes: &[u8]| {
+            let loaded = ModelArtifact::from_bytes(bytes).expect("container is still valid");
+            match loaded.to_core() {
+                Err(ArtifactLoadError::Section { name, message }) => {
+                    assert_eq!(name, "weights_bf16");
+                    assert!(!message.is_empty());
+                }
+                Err(other) => panic!("expected a weights_bf16 section error, got {other:?}"),
+                Ok(_) => panic!("expected a weights_bf16 section error, got a working core"),
+            }
+        };
+
+        // Truncation at several depths: inside the header, a tensor header, the payload.
+        for keep in [0, 2, 9, 40] {
+            expect_section_err(&rewrite_section(&bytes, "weights_bf16", |p| {
+                Some(p[..keep.min(p.len() - 1)].to_vec())
+            }));
+        }
+        // Wrong tensor count.
+        expect_section_err(&rewrite_section(&bytes, "weights_bf16", |mut p| {
+            p[0] = p[0].wrapping_add(1);
+            Some(p)
+        }));
+        // Trailing garbage.
+        expect_section_err(&rewrite_section(&bytes, "weights_bf16", |mut p| {
+            p.extend_from_slice(&[0u8; 3]);
+            Some(p)
+        }));
+    }
+
+    /// One trained artifact shared by the property tests below (training per case would
+    /// dominate the run).
+    fn artifact_bytes() -> &'static Bytes {
+        use std::sync::OnceLock;
+        static BYTES: OnceLock<Bytes> = OnceLock::new();
+        BYTES.get_or_init(|| {
+            let (model, _, _) = trained();
+            model.to_artifact().to_bytes()
+        })
+    }
+
+    proptest::proptest! {
+        /// The bf16 section codec round-trips every weight to within 2⁻⁸ relative error,
+        /// and quantisation is idempotent (a decoded weight re-encodes to the same bits).
+        #[test]
+        fn bf16_section_round_trip_stays_within_bound(seed in 0u64..1_000_000) {
+            use nc_storage::binio::f32_to_bf16;
+            use proptest::prop_assert;
+
+            // SplitMix64-style stream of weights across several magnitudes, plus edges.
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+            let mut vals = Vec::new();
+            for i in 0..96u32 {
+                s ^= s >> 27;
+                s = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let unit = ((s >> 40) as f64 / (1u64 << 24) as f64) * 2.0 - 1.0;
+                let scale = 10f64.powi((i % 9) as i32 - 4); // 1e-4 ..= 1e4
+                vals.push((unit * scale) as f32);
+            }
+            vals.extend_from_slice(&[0.0, -0.0, 1.0, -1.0, f32::MIN_POSITIVE, 1e30, -1e-30]);
+
+            let mut buf = Vec::new();
+            put_bf16_slice(&mut buf, &vals);
+            let decoded = BinReader::new(&buf).bf16_slice(vals.len()).unwrap();
+            for (v, d) in vals.iter().zip(&decoded) {
+                prop_assert!(
+                    (v - d).abs() <= v.abs() / 256.0,
+                    "bf16({v}) = {d} exceeds the 2^-8 relative bound"
+                );
+                prop_assert!(f32_to_bf16(*d) == f32_to_bf16(*v), "quantisation not idempotent at {v}");
+            }
+        }
+
+        /// Arbitrarily truncated/bit-flipped `weights_bf16` sections never panic: the
+        /// loader returns `Ok` (bf16 bits are all valid floats) or a typed error.
+        #[test]
+        fn mangled_bf16_sections_never_panic(cut in 0usize..1 << 20, flip in 0usize..1 << 20) {
+            let mutated = rewrite_section(artifact_bytes(), "weights_bf16", |mut p| {
+                p.truncate(cut % (p.len() + 1));
+                if !p.is_empty() {
+                    let i = flip % p.len();
+                    p[i] ^= 0x55;
+                }
+                Some(p)
+            });
+            if let Ok(artifact) = ModelArtifact::from_bytes(&mutated) {
+                if let Err(e) = artifact.to_core() {
+                    assert!(matches!(
+                        e,
+                        ArtifactLoadError::Section { name: "weights_bf16", .. }
+                    ));
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,10 +23,56 @@ use rand::SeedableRng;
 use nc_nn::ResMade;
 use nc_sampler::derive_stream_seed;
 use nc_schema::{JoinSchema, Query};
+use nc_storage::binio::{bf16_to_f32, f32_to_bf16};
 
 use crate::config::NeuroCardConfig;
 use crate::encoding::EncodedLayout;
 use crate::infer::{EstimateError, ProgressiveSampler, SamplerScratch};
+
+/// Which inference tier answers an estimate — the two-tier determinism contract's knob.
+///
+/// * [`Precision::Exact`] (the default) runs the scalar kernels over full-f32 weights.
+///   Estimates are **bit-identical** to `estimate_reference` for a fixed `(model, query,
+///   seed)` — the pin every artifact/serving round-trip test relies on.
+/// * [`Precision::Fast`] runs the architecture-dispatched SIMD kernels
+///   ([`nc_nn::kernel`]) over bf16-quantised weights.  Bit-identity is deliberately
+///   relaxed; accuracy is instead gated by the q-error-delta bound `figure7d` asserts in
+///   CI.  The per-query RNG stream is shared with the exact tier, so the two tiers are
+///   comparable sample-for-sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Bit-reproducible scalar path over exact f32 weights.
+    #[default]
+    Exact,
+    /// SIMD kernels over bf16 weights, gated by the q-error-delta bound.
+    Fast,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Exact => write!(f, "exact"),
+            Precision::Fast => write!(f, "fast"),
+        }
+    }
+}
+
+/// Rounds every parameter of `model` through bf16 (round-to-nearest-even), producing the
+/// fast-tier model.
+///
+/// The round trip is **idempotent** — `quantize(quantize(m)) == quantize(m)` byte-for-byte
+/// — so a fast model built on the fly from exact weights is identical to one decoded from
+/// an artifact's `weights_bf16` section, and artifacts written before that section existed
+/// lose nothing.
+pub(crate) fn quantize_model_bf16(model: &ResMade) -> ResMade {
+    let mut fast = model.clone();
+    for p in fast.params_mut() {
+        for v in p.value.data_mut() {
+            *v = bf16_to_f32(f32_to_bf16(*v));
+        }
+    }
+    fast
+}
 
 /// Seed of the per-query RNG stream: a pure function of `(config.seed, query)`, mixed
 /// through the same SplitMix64 finalizer discipline as the sampler pool's worker streams
@@ -43,6 +89,10 @@ pub(crate) fn derive_query_seed(seed: u64, query: &Query) -> u64 {
 /// pool; `Send + Sync`).
 pub struct EstimatorCore {
     model: ResMade,
+    /// bf16-quantised twin of `model`, served by the [`Precision::Fast`] tier.  Built
+    /// eagerly (quantisation is one pass over the parameters) so fast-tier requests never
+    /// pay a lazy-init synchronisation cost on the hot path.
+    fast_model: ResMade,
     encoded: Arc<EncodedLayout>,
     schema: Arc<JoinSchema>,
     config: NeuroCardConfig,
@@ -51,7 +101,8 @@ pub struct EstimatorCore {
 
 impl EstimatorCore {
     /// Assembles a core from its parts, validating that the model's column space matches
-    /// the encoded layout (the invariant every inference loop assumes).
+    /// the encoded layout (the invariant every inference loop assumes).  The fast-tier
+    /// model is derived by quantising `model` through bf16.
     pub fn new(
         model: ResMade,
         encoded: Arc<EncodedLayout>,
@@ -59,24 +110,42 @@ impl EstimatorCore {
         config: NeuroCardConfig,
         full_join_rows: u128,
     ) -> Result<Self, String> {
+        let fast_model = quantize_model_bf16(&model);
+        Self::with_fast_model(model, fast_model, encoded, schema, config, full_join_rows)
+    }
+
+    /// [`EstimatorCore::new`] with an explicitly supplied fast-tier model (the artifact
+    /// loader passes the decoded `weights_bf16` section here; thanks to bf16 round-trip
+    /// idempotence the result is byte-identical to on-the-fly quantisation).
+    pub(crate) fn with_fast_model(
+        model: ResMade,
+        fast_model: ResMade,
+        encoded: Arc<EncodedLayout>,
+        schema: Arc<JoinSchema>,
+        config: NeuroCardConfig,
+        full_join_rows: u128,
+    ) -> Result<Self, String> {
         let domains = encoded.model_domains();
-        if model.num_columns() != domains.len() {
-            return Err(format!(
-                "model has {} columns but the encoded layout has {}",
-                model.num_columns(),
-                domains.len()
-            ));
-        }
-        for (i, &d) in domains.iter().enumerate() {
-            if model.domain(i) != d {
+        for (what, m) in [("model", &model), ("fast model", &fast_model)] {
+            if m.num_columns() != domains.len() {
                 return Err(format!(
-                    "model column {i} has domain {} but the encoded layout says {d}",
-                    model.domain(i)
+                    "{what} has {} columns but the encoded layout has {}",
+                    m.num_columns(),
+                    domains.len()
                 ));
+            }
+            for (i, &d) in domains.iter().enumerate() {
+                if m.domain(i) != d {
+                    return Err(format!(
+                        "{what} column {i} has domain {} but the encoded layout says {d}",
+                        m.domain(i)
+                    ));
+                }
             }
         }
         Ok(EstimatorCore {
             model,
+            fast_model,
             encoded,
             schema,
             config,
@@ -135,6 +204,47 @@ impl EstimatorCore {
             .try_estimate_with_scratch(query, num_samples, &mut rng, scratch)
     }
 
+    /// [`EstimatorCore::try_estimate_with_samples_scratch`] with the inference tier
+    /// chosen per request — the serving layer's entry point for the `Precision` knob.
+    ///
+    /// Both tiers derive the **same** per-query RNG stream, so an exact and a fast
+    /// estimate of one `(query, seed)` walk the same progressive samples and differ only
+    /// through kernel reassociation and bf16 weight rounding.
+    pub fn try_estimate_with_samples_scratch_precision(
+        &self,
+        query: &Query,
+        num_samples: usize,
+        scratch: &mut SamplerScratch,
+        precision: Precision,
+    ) -> Result<f64, EstimateError> {
+        match precision {
+            Precision::Exact => self.try_estimate_with_samples_scratch(query, num_samples, scratch),
+            Precision::Fast => {
+                let mut rng = self.query_rng(query);
+                self.sampler_fast()
+                    .try_estimate_with_scratch(query, num_samples, &mut rng, scratch)
+            }
+        }
+    }
+
+    /// Infallible [`EstimatorCore::try_estimate_with_samples_scratch_precision`]
+    /// (0 samples clamp to 1), for benches and tests.
+    pub fn estimate_with_samples_scratch_precision(
+        &self,
+        query: &Query,
+        num_samples: usize,
+        scratch: &mut SamplerScratch,
+        precision: Precision,
+    ) -> f64 {
+        self.try_estimate_with_samples_scratch_precision(
+            query,
+            num_samples.max(1),
+            scratch,
+            precision,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// The deterministic per-query RNG seed (see [`derive_query_seed`]).
     pub fn query_seed(&self, query: &Query) -> u64 {
         derive_query_seed(self.config.seed, query)
@@ -154,9 +264,26 @@ impl EstimatorCore {
         )
     }
 
+    /// The progressive-sampling engine over the bf16-quantised model with SIMD-dispatched
+    /// kernels — the [`Precision::Fast`] tier.
+    pub(crate) fn sampler_fast(&self) -> ProgressiveSampler<'_> {
+        ProgressiveSampler::new(
+            &self.fast_model,
+            &self.encoded,
+            &self.schema,
+            self.full_join_rows,
+        )
+        .with_fast_kernels(true)
+    }
+
     /// The trained model.
     pub fn model(&self) -> &ResMade {
         &self.model
+    }
+
+    /// The bf16-quantised fast-tier model.
+    pub fn fast_model(&self) -> &ResMade {
+        &self.fast_model
     }
 
     /// The encoded layout (dictionaries, factorizations, sub-column space).

@@ -154,6 +154,11 @@ pub struct ProgressiveSampler<'a> {
     encoded: &'a EncodedLayout,
     schema: &'a JoinSchema,
     full_join_rows: f64,
+    /// Route model forwards through the architecture-dispatched fast-tier kernels
+    /// ([`nc_nn::ResMade::conditional_probs_into_fast`]) instead of the exact scalar
+    /// ones.  Off by default; the `Precision::Fast` serving tier turns it on (paired
+    /// with bf16-quantised weights — see the two-tier determinism contract).
+    fast_kernels: bool,
 }
 
 impl<'a> ProgressiveSampler<'a> {
@@ -169,7 +174,18 @@ impl<'a> ProgressiveSampler<'a> {
             encoded,
             schema,
             full_join_rows: full_join_rows as f64,
+            fast_kernels: false,
         }
+    }
+
+    /// Returns the sampler with fast-tier kernel dispatch switched on or off.
+    ///
+    /// The RNG draw sequence is identical either way (draws are a function of the
+    /// probability rows, consumed in the same order), so exact and fast estimates of the
+    /// same `(query, seed)` remain comparable sample-for-sample.
+    pub fn with_fast_kernels(mut self, fast: bool) -> Self {
+        self.fast_kernels = fast;
+        self
     }
 
     /// Estimates the cardinality of `query` using `num_samples` progressive samples.
@@ -409,11 +425,21 @@ impl<'a> ProgressiveSampler<'a> {
                             .copy_from_slice(&tokens[s * n_model..(s + 1) * n_model]);
                     }
                 }
-                let probs = self.model.conditional_probs_into(
-                    &class_tokens[..n_classes * n_model],
-                    model_col,
-                    nn,
-                );
+                // The ONLY model-forward call site of the hot loop: the fast tier swaps
+                // in the architecture-dispatched kernels here and nowhere else.
+                let probs = if self.fast_kernels {
+                    self.model.conditional_probs_into_fast(
+                        &class_tokens[..n_classes * n_model],
+                        model_col,
+                        nn,
+                    )
+                } else {
+                    self.model.conditional_probs_into(
+                        &class_tokens[..n_classes * n_model],
+                        model_col,
+                        nn,
+                    )
+                };
                 let domain = self.model.domain(model_col);
                 for s in 0..alive {
                     if weights[s] == 0.0 {

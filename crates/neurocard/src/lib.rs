@@ -49,7 +49,7 @@ pub use artifact::{
     schema_fingerprint, ArtifactLoadError, ArtifactManifest, ModelArtifact, MODEL_ARTIFACT_VERSION,
 };
 pub use config::NeuroCardConfig;
-pub use core::EstimatorCore;
+pub use core::{EstimatorCore, Precision};
 pub use encoding::EncodedLayout;
 pub use estimator::{EstimatorStats, NeuroCard};
 pub use factorization::Factorization;

@@ -22,6 +22,7 @@
 //! Everything is deterministic given a seed and runs on a single CPU core.
 
 pub mod artifact;
+pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod made;

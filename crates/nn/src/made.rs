@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::kernel;
 use crate::layers::{relu, relu_backward, seeded_rng, Embedding, MaskedLinear, Param};
 use crate::loss::{softmax_cross_entropy, softmax_rows, softmax_rows_into};
 use crate::tensor::{
@@ -551,6 +552,32 @@ impl ResMade {
         }
     }
 
+    /// [`ResMade::trunk_hidden`] with every GEMM routed through the architecture-dispatched
+    /// fast-tier kernels ([`crate::kernel`]).  Bit-identical to the exact trunk when the
+    /// `simd` feature is off (the portable fallback preserves accumulation order);
+    /// last-ulps different when a SIMD implementation is selected.
+    fn trunk_hidden_fast(&self, x: &Matrix, h: &mut Matrix, a: &mut Matrix, b: &mut Matrix) {
+        let batch = x.rows();
+        let h_dim = self.config.d_hidden;
+        h.resize(batch, h_dim);
+        kernel::matmul_blocked(x, &self.input_layer.inner.weight.value, h);
+        add_bias(h, self.input_layer.inner.bias.value.row(0));
+        relu(h);
+        for (w1, w2) in &self.blocks {
+            a.resize(batch, h_dim);
+            kernel::matmul_blocked(h, &w1.inner.weight.value, a);
+            add_bias(a, w1.inner.bias.value.row(0));
+            relu(a);
+            b.resize(batch, h_dim);
+            kernel::matmul_blocked(a, &w2.inner.weight.value, b);
+            add_bias(b, w2.inner.bias.value.row(0));
+            relu(b);
+            for (o, v) in h.data_mut().iter_mut().zip(b.data()) {
+                *o += v;
+            }
+        }
+    }
+
     /// The seed (pre-fast-path) inference forward, kept verbatim as the baseline the
     /// determinism contract is pinned against and `figure7d` benchmarks against: fresh
     /// allocations per call, the full-width output layer (contexts for *every* column),
@@ -631,6 +658,55 @@ impl ResMade {
         );
         add_bias(&mut scratch.logits, self.output_bias[col].value.row(0));
         softmax_rows_into(&scratch.logits, &mut scratch.probs);
+        &scratch.probs
+    }
+
+    /// The **fast-tier** [`ResMade::conditional_probs_into`]: same structure, but every
+    /// GEMM and the softmax normalisation dispatch through [`crate::kernel`] to the widest
+    /// instruction set the CPU supports.
+    ///
+    /// With the `simd` feature off this is bit-identical to the exact tier (the portable
+    /// fallback preserves per-element accumulation order — pinned by
+    /// `conditional_probs_into_fast_bit_identical_without_simd`).  With SIMD selected, the
+    /// reassociated reductions drift by last ulps; callers own the accuracy story (the
+    /// serving layer pairs this with bf16 weights under the q-error-delta gate — see the
+    /// README's two-tier determinism contract).
+    pub fn conditional_probs_into_fast<'s>(
+        &self,
+        tokens: &[u32],
+        col: usize,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s Matrix {
+        assert!(col < self.num_columns());
+        let d = self.config.d_emb;
+        let domain = self.config.domains[col];
+        self.embed_flat_into(tokens, &mut scratch.x);
+        self.trunk_hidden_fast(&scratch.x, &mut scratch.h, &mut scratch.a, &mut scratch.b);
+        let batch = scratch.x.rows();
+        scratch.ctx.resize(batch, d);
+        kernel::matmul_col_range(
+            &scratch.h,
+            &self.output_layer.inner.weight.value,
+            col * d,
+            (col + 1) * d,
+            &mut scratch.ctx,
+        );
+        add_bias(
+            &mut scratch.ctx,
+            &self.output_layer.inner.bias.value.row(0)[col * d..(col + 1) * d],
+        );
+        scratch.logits.resize(batch, domain);
+        let emb = &self.embeddings[col].table.value;
+        kernel::gemm_nt(
+            batch,
+            domain,
+            d,
+            scratch.ctx.data(),
+            &emb.data()[..domain * d],
+            scratch.logits.data_mut(),
+        );
+        add_bias(&mut scratch.logits, self.output_bias[col].value.row(0));
+        kernel::softmax_rows_into(&scratch.logits, &mut scratch.probs);
         &scratch.probs
     }
 
@@ -935,6 +1011,90 @@ mod tests {
                         b.to_bits(),
                         "round {round} col {col} element {i}: {a} vs {b}"
                     );
+                }
+            }
+        }
+    }
+
+    /// With the `simd` feature off, the fast-tier forward resolves to the portable
+    /// kernels and must reproduce the exact tier bit-for-bit — the model-level half of
+    /// the two-tier determinism contract's "fast mode is still deterministic per build"
+    /// guarantee.
+    #[cfg(not(feature = "simd"))]
+    #[test]
+    fn conditional_probs_into_fast_bit_identical_without_simd() {
+        let m = ResMade::new(MadeConfig {
+            domains: vec![4, 9, 3, 17, 5],
+            d_emb: 6,
+            d_hidden: 24,
+            num_blocks: 2,
+            seed: 13,
+        });
+        let mut exact = InferenceScratch::new();
+        let mut fast = InferenceScratch::new();
+        for batch in [1usize, 7, 13] {
+            let flat: Vec<u32> = (0..batch)
+                .flat_map(|b| {
+                    (0..m.num_columns())
+                        .map(|c| ((b * 17 + c * 5) % m.domain(c)) as u32)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for col in 0..m.num_columns() {
+                let reference = m.conditional_probs_into(&flat, col, &mut exact).clone();
+                let dispatched = m.conditional_probs_into_fast(&flat, col, &mut fast);
+                for (i, (a, b)) in reference.data().iter().zip(dispatched.data()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "col {col} element {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whatever ISA the fast tier dispatches to, its conditional distributions must stay
+    /// numerically indistinguishable from the exact tier at f32 working precision (the
+    /// quantisation error budget belongs to bf16 weights, not the kernels).
+    #[test]
+    fn conditional_probs_into_fast_matches_exact_numerically() {
+        let m = ResMade::new(MadeConfig {
+            domains: vec![6, 11, 4, 23],
+            d_emb: 8,
+            d_hidden: 40,
+            num_blocks: 2,
+            seed: 29,
+        });
+        let mut exact = InferenceScratch::new();
+        let mut fast = InferenceScratch::new();
+        for batch in [1usize, 9, 33] {
+            let flat: Vec<u32> = (0..batch)
+                .flat_map(|b| {
+                    (0..m.num_columns())
+                        .map(|c| {
+                            if (b + c) % 4 == 0 {
+                                m.mask_token(c)
+                            } else {
+                                ((b * 13 + c * 3) % m.domain(c)) as u32
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for col in 0..m.num_columns() {
+                let reference = m.conditional_probs_into(&flat, col, &mut exact).clone();
+                let dispatched = m.conditional_probs_into_fast(&flat, col, &mut fast);
+                assert_eq!(
+                    (dispatched.rows(), dispatched.cols()),
+                    (batch, m.domain(col))
+                );
+                for r in 0..batch {
+                    let s: f32 = dispatched.row(r).iter().sum();
+                    assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+                }
+                for (i, (a, b)) in reference.data().iter().zip(dispatched.data()).enumerate() {
+                    assert!((a - b).abs() <= 1e-5, "col {col} element {i}: {a} vs {b}");
                 }
             }
         }

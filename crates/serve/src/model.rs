@@ -12,7 +12,7 @@ use std::sync::Arc;
 use nc_baselines::CardinalityEstimator;
 use nc_schema::{JoinSchema, Query};
 use neurocard::infer::SamplerScratch;
-use neurocard::{EstimateError, EstimatorCore};
+use neurocard::{EstimateError, EstimatorCore, Precision};
 
 /// An estimator the registry can serve: object-safe, shareable across threads.
 pub trait ServingEstimator: Send + Sync {
@@ -32,6 +32,19 @@ pub trait ServingEstimator: Send + Sync {
         samples: usize,
         scratch: &mut SamplerScratch,
     ) -> Result<f64, EstimateError>;
+
+    /// [`ServingEstimator::serve`] with an inference tier.  Estimators without a fast
+    /// tier (the baselines) ignore `precision` and serve exactly — the default — so the
+    /// knob degrades gracefully across the whole model zoo.
+    fn serve_with_precision(
+        &self,
+        query: &Query,
+        samples: usize,
+        scratch: &mut SamplerScratch,
+        _precision: Precision,
+    ) -> Result<f64, EstimateError> {
+        self.serve(query, samples, scratch)
+    }
 
     /// Approximate size of the model state in bytes (`0` if not materialised).
     fn size_bytes(&self) -> usize {
@@ -61,6 +74,16 @@ impl ServingEstimator for EstimatorCore {
         scratch: &mut SamplerScratch,
     ) -> Result<f64, EstimateError> {
         self.try_estimate_with_samples_scratch(query, samples, scratch)
+    }
+
+    fn serve_with_precision(
+        &self,
+        query: &Query,
+        samples: usize,
+        scratch: &mut SamplerScratch,
+        precision: Precision,
+    ) -> Result<f64, EstimateError> {
+        self.try_estimate_with_samples_scratch_precision(query, samples, scratch, precision)
     }
 
     fn size_bytes(&self) -> usize {

@@ -121,8 +121,16 @@ pub struct ReactorStats {
     pub stalled_disconnects: u64,
     /// Connections dropped for exceeding a buffer limit or the connection cap.
     pub overflow_disconnects: u64,
+    /// Accepts refused *at the listener* because `live_connections` had reached
+    /// `max_connections` (a subset of `overflow_disconnects`).  Together with
+    /// `live_connections` / `max_connections` this is the accept-backlog gauge: a
+    /// nonzero value means the cap — not the workers — is shedding load.
+    pub accept_sheds: u64,
     /// Connections currently open.
     pub live_connections: usize,
+    /// The configured connection cap, exported so `live_connections` reads as a
+    /// utilisation gauge without consulting the config.
+    pub max_connections: usize,
     /// Requests admitted to the worker queue and not yet picked up.
     pub queue_depth: usize,
 }
@@ -170,6 +178,7 @@ struct Shared {
     overloaded: AtomicU64,
     stalled_disconnects: AtomicU64,
     overflow_disconnects: AtomicU64,
+    accept_sheds: AtomicU64,
     live: AtomicUsize,
     queue_depth: AtomicUsize,
     next_conn_id: AtomicU64,
@@ -236,6 +245,7 @@ impl Reactor {
             overloaded: AtomicU64::new(0),
             stalled_disconnects: AtomicU64::new(0),
             overflow_disconnects: AtomicU64::new(0),
+            accept_sheds: AtomicU64::new(0),
             live: AtomicUsize::new(0),
             queue_depth: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
@@ -320,7 +330,9 @@ impl Reactor {
             overloaded: self.shared.overloaded.load(Ordering::Relaxed),
             stalled_disconnects: self.shared.stalled_disconnects.load(Ordering::Relaxed),
             overflow_disconnects: self.shared.overflow_disconnects.load(Ordering::Relaxed),
+            accept_sheds: self.shared.accept_sheds.load(Ordering::Relaxed),
             live_connections: self.shared.live.load(Ordering::SeqCst),
+            max_connections: self.shared.config.max_connections,
             queue_depth: self.shared.queue_depth.load(Ordering::Relaxed),
         }
     }
@@ -562,6 +574,7 @@ impl IoThread {
                         self.shared
                             .overflow_disconnects
                             .fetch_add(1, Ordering::Relaxed);
+                        self.shared.accept_sheds.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     self.shared.live.fetch_add(1, Ordering::SeqCst);
@@ -1303,7 +1316,14 @@ mod tests {
             Err(other) => panic!("unexpected error {other}"),
         }
         assert!(read_frame(&mut extra).is_err());
-        assert!(reactor.stats().overflow_disconnects >= 1);
+        let stats = reactor.stats();
+        assert!(stats.overflow_disconnects >= 1);
+        // The accept-backlog gauge: the shed happened at the listener, the cap is
+        // exported next to the live count, and sheds never exceed overflow drops.
+        assert!(stats.accept_sheds >= 1);
+        assert!(stats.accept_sheds <= stats.overflow_disconnects);
+        assert_eq!(stats.max_connections, 2);
+        assert!(stats.live_connections <= stats.max_connections);
         drop(keep);
         reactor.shutdown();
     }

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use nc_schema::Query;
 use neurocard::infer::SamplerScratch;
-use neurocard::{schema_fingerprint, EstimateError, EstimatorCore};
+use neurocard::{schema_fingerprint, EstimateError, EstimatorCore, Precision};
 
 use crate::lockcheck;
 use crate::model::ServingEstimator;
@@ -270,8 +270,22 @@ impl ModelLease {
         samples: Option<usize>,
         scratch: &mut SamplerScratch,
     ) -> Result<f64, EstimateError> {
+        self.estimate_with_precision(query, samples, scratch, Precision::Exact)
+    }
+
+    /// [`ModelLease::estimate`] with an explicit inference tier; models without a fast
+    /// tier serve exactly regardless.
+    pub fn estimate_with_precision(
+        &self,
+        query: &Query,
+        samples: Option<usize>,
+        scratch: &mut SamplerScratch,
+        precision: Precision,
+    ) -> Result<f64, EstimateError> {
         let samples = samples.unwrap_or_else(|| self.slot.model.default_samples());
-        self.slot.model.serve(query, samples, scratch)
+        self.slot
+            .model
+            .serve_with_precision(query, samples, scratch, precision)
     }
 }
 
@@ -607,7 +621,7 @@ impl ModelRegistry {
         };
         let started = Instant::now();
         let estimate = lease
-            .estimate(&request.query, request.samples, scratch)
+            .estimate_with_precision(&request.query, request.samples, scratch, request.precision)
             .map_err(ServeError::Estimate)?;
         self.record_serve(lease.key(), started);
         Ok(ServeReply {
@@ -983,11 +997,7 @@ mod tests {
         let registry = ModelRegistry::new();
         let mut scratch = SamplerScratch::new();
         registry.register(6, "m", marker(1.0)).unwrap();
-        let request = ServeRequest {
-            selector: ModelSelector::latest(6, "m"),
-            query: q(),
-            samples: None,
-        };
+        let request = ServeRequest::new(ModelSelector::latest(6, "m"), q());
         for _ in 0..3 {
             registry.handle(&request, &mut scratch).unwrap();
         }
