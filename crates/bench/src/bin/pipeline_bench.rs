@@ -1,0 +1,197 @@
+//! Pipeline benchmark: the continuous-retraining control plane, end to end, as a
+//! machine-readable record.
+//!
+//! Runs the full drift → retrain → shadow → promote loop of `nc_pipeline` over the
+//! seeded drifting demo stream and records what the control plane did: drift
+//! detections, retrains, shadow comparisons, promotions/retirements, and the
+//! per-stage latencies (retrain wall time, shadow-serve p99s).  The run then
+//! replays at the same seed and certifies the decision digests are bit-identical.
+//! What the record asserts, per run:
+//!
+//! * `wrong_estimates` is **always 0** — no non-finite or negative estimate ever
+//!   reached a comparison,
+//! * `promotions >= 1` — the drifting stream forced at least one auto-promotion,
+//! * `replay_digest_matches` is `true` — the whole decision sequence is a pure
+//!   function of the seed.
+//!
+//! Knobs: `NC_PIPELINE_SEED` (default 53411), `NC_PIPELINE_STEPS` (default 16;
+//! `--smoke` drops it to 8).  Writes `BENCH_pipeline.json` (path overridable via
+//! `NC_BENCH_PIPELINE_JSON`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nc_bench::HarnessConfig;
+use nc_pipeline::{demo_env, DriftingSource, Pipeline, PipelineConfig, PipelineReport};
+use nc_sampler::seed::derive_stream_seed;
+use nc_serve::ModelRegistry;
+use neurocard::{NeuroCard, NeuroCardConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The machine-readable control-plane record CI archives.
+#[derive(serde::Serialize)]
+struct PipelineBenchRecord {
+    bench: String,
+    smoke: bool,
+    seed: u64,
+    steps: u64,
+    ingested_rows: u64,
+    drift_detections: u64,
+    retrains: u64,
+    retrain_aborts: u64,
+    shadow_comparisons: u64,
+    shadow_drops: u64,
+    promotions: u64,
+    retirements: u64,
+    wrong_estimates: u64,
+    oracle_errors: u64,
+    retrain_wall_us_total: u64,
+    retrain_wall_us_max: u64,
+    incumbent_p99_us_max: u64,
+    candidate_p99_us_max: u64,
+    replay_digest_matches: bool,
+    wall_secs: f64,
+}
+
+fn run_once(seed: u64, steps: u64, dir: &std::path::Path) -> PipelineReport {
+    let env = demo_env(seed);
+    let train = NeuroCardConfig::tiny()
+        .with_training_tuples(600)
+        .with_seed(derive_stream_seed(seed, 0, 2));
+    let artifact = NeuroCard::train(env.db.clone(), env.schema.clone(), &train);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_core(
+            "demo",
+            Arc::new(artifact.to_core().expect("fresh artifact loads")),
+        )
+        .expect("fresh registry");
+    let config = PipelineConfig::new(seed, dir).with_model_name("demo");
+    let mut pipeline = Pipeline::new(
+        config,
+        registry,
+        None,
+        env.schema.clone(),
+        env.db.clone(),
+        DriftingSource::new(seed, 3),
+    )
+    .expect("pipeline startup");
+    pipeline.run(steps).expect("pipeline run")
+}
+
+fn main() {
+    let config = HarnessConfig::from_cli();
+    let seed = env_u64("NC_PIPELINE_SEED", 53_411);
+    let steps = if config.smoke {
+        8
+    } else {
+        env_u64("NC_PIPELINE_STEPS", 16)
+    };
+    println!("Pipeline bench: continuous retraining control plane");
+    println!("seed {seed}: {steps} steps over the drifting demo stream\n");
+
+    let dir = std::env::temp_dir().join(format!("nc-pipeline-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let start = Instant::now();
+    let report = run_once(seed, steps, &dir);
+    let wall = start.elapsed().as_secs_f64();
+
+    // Replay: the decision digest — every drift verdict, shadow median, promotion —
+    // must be a pure function of the seed.
+    let replay_dir = dir.join("replay");
+    let replay = run_once(seed, steps, &replay_dir);
+    let replay_digest_matches = report.digest() == replay.digest();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let c = &report.counters;
+    println!(
+        "{} steps  |  {} drift detections  |  {} retrains ({} aborted)  |  \
+         {} shadow samples ({} dropped)  |  {} promotions  |  {} retirements",
+        c.steps,
+        c.drift_detections,
+        c.retrains,
+        c.retrain_aborts,
+        c.shadow_comparisons,
+        c.shadow_drops,
+        c.promotions,
+        c.retirements
+    );
+    for s in &report.steps {
+        let verdict = match (&s.promoted, &s.retired) {
+            (Some(key), _) => format!("promoted {key}"),
+            (_, Some(reason)) => format!("retired: {reason}"),
+            _ if s.drift_fired => "retrain aborted".to_string(),
+            _ => "quiet".to_string(),
+        };
+        println!(
+            "  step {:>2}  qerr {:>7.3}  shift {:>6.3}  {}",
+            s.step, s.median_qerr, s.shift, verdict
+        );
+    }
+
+    assert_eq!(
+        c.wrong_estimates, 0,
+        "a pipeline run must never surface a wrong estimate"
+    );
+    assert!(
+        c.promotions >= 1,
+        "the drifting stream must force at least one promotion"
+    );
+    assert!(
+        replay_digest_matches,
+        "the same seed must replay every decision bit-identically"
+    );
+
+    let record = PipelineBenchRecord {
+        bench: "pipeline".to_string(),
+        smoke: config.smoke,
+        seed,
+        steps: c.steps,
+        ingested_rows: c.ingested_rows,
+        drift_detections: c.drift_detections,
+        retrains: c.retrains,
+        retrain_aborts: c.retrain_aborts,
+        shadow_comparisons: c.shadow_comparisons,
+        shadow_drops: c.shadow_drops,
+        promotions: c.promotions,
+        retirements: c.retirements,
+        wrong_estimates: c.wrong_estimates,
+        oracle_errors: c.oracle_errors,
+        retrain_wall_us_total: report.steps.iter().map(|s| s.retrain_wall_us).sum(),
+        retrain_wall_us_max: report
+            .steps
+            .iter()
+            .map(|s| s.retrain_wall_us)
+            .max()
+            .unwrap_or(0),
+        incumbent_p99_us_max: report
+            .steps
+            .iter()
+            .filter_map(|s| s.shadow.as_ref())
+            .map(|s| s.incumbent_p99_us)
+            .max()
+            .unwrap_or(0),
+        candidate_p99_us_max: report
+            .steps
+            .iter()
+            .filter_map(|s| s.shadow.as_ref())
+            .map(|s| s.candidate_p99_us)
+            .max()
+            .unwrap_or(0),
+        replay_digest_matches,
+        wall_secs: wall,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serialisation");
+    let json_path = std::env::var("NC_BENCH_PIPELINE_JSON")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

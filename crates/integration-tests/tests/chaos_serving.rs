@@ -274,3 +274,79 @@ fn rerunning_the_same_seed_reproduces_identical_fault_counts() {
         "different seeds produced identical fault schedules"
     );
 }
+
+/// One full pipeline run under the chaos plan: the `pipeline.*` fault points fire on
+/// a replayable schedule, aborted retrains and dropped mirror samples are accounted
+/// one-for-one, and no wrong estimate ever slips through.
+fn chaos_pipeline_run(chaos_seed: u64) -> (Vec<FaultCount>, String, nc_pipeline::PipelineCounters) {
+    use nc_pipeline::{demo_env, DriftingSource, Pipeline, PipelineConfig};
+
+    let pipeline_seed = 0x10E0u64;
+    let env = demo_env(pipeline_seed);
+    let train = NeuroCardConfig::tiny()
+        .with_training_tuples(600)
+        .with_seed(derive_stream_seed(pipeline_seed, 0, 2));
+    let artifact = NeuroCard::train(env.db.clone(), env.schema.clone(), &train);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_core("demo", Arc::new(artifact.to_core().unwrap()))
+        .unwrap();
+
+    let dir = std::env::temp_dir().join(format!(
+        "nc-chaos-pipeline-{}-{chaos_seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let faults = FaultPlan::chaos(chaos_seed).injector();
+    let mut config = PipelineConfig::new(pipeline_seed, &dir).with_faults(faults.clone());
+    config.model_name = "demo".to_string();
+    let mut pipeline = Pipeline::new(
+        config,
+        registry,
+        None,
+        env.schema.clone(),
+        env.db.clone(),
+        DriftingSource::new(pipeline_seed, 3),
+    )
+    .unwrap();
+    let report = pipeline.run(10).unwrap();
+    let out = (faults.counts(), report.digest(), report.counters);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+#[test]
+fn pipeline_under_chaos_is_accounted_and_replayable() {
+    let (counts, digest, counters) = chaos_pipeline_run(CHAOS_SEED);
+
+    // The pipeline points are armed and the schedule reached them.
+    let fired = |name: &str| {
+        counts
+            .iter()
+            .find(|c| c.point == name)
+            .map(|c| c.fired)
+            .unwrap_or_else(|| panic!("chaos plan lost the {name} point"))
+    };
+    let retrain_fails = fired("pipeline.retrain-fail");
+    let shadow_drops = fired("pipeline.shadow-drop");
+    assert!(
+        retrain_fails + shadow_drops > 0,
+        "no pipeline fault fired over 10 chaos steps: {counts:?}"
+    );
+
+    // Every fault is accounted one-for-one in the counters, and chaos never
+    // produces a wrong estimate — faults lose samples, not correctness.
+    assert_eq!(counters.retrain_aborts, retrain_fails);
+    assert_eq!(counters.shadow_drops, shadow_drops);
+    assert_eq!(counters.wrong_estimates, 0);
+
+    // The whole run — fault schedule included — replays bit-identically.
+    let (counts_b, digest_b, counters_b) = chaos_pipeline_run(CHAOS_SEED);
+    assert_eq!(counts, counts_b, "fault-point hit counts diverged");
+    assert_eq!(digest, digest_b, "decision digests diverged");
+    assert_eq!(counters, counters_b);
+
+    // A different chaos seed yields a different schedule.
+    let (counts_c, _, _) = chaos_pipeline_run(CHAOS_SEED ^ 0x5A5A);
+    assert_ne!(counts, counts_c, "the chaos seed is not load-bearing");
+}

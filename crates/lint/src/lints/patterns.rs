@@ -286,9 +286,9 @@ fn sleep_sites(file: &SourceFile) -> Vec<(usize, String)> {
 static SLEEP_IN_SERVING: LintSpec = LintSpec {
     id: "sleep-in-serving",
     severity: Severity::Error,
-    summary: "raw `thread::sleep` in `crates/serve` library code",
+    summary: "raw `thread::sleep` in `crates/serve` or `crates/pipeline` library code",
     include_tests: false,
-    crates: Crates::Only(&["serve"]),
+    crates: Crates::Only(&["serve", "pipeline"]),
     include_compat: false,
     kinds: LIB_ONLY,
 };

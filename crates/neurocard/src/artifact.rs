@@ -119,6 +119,35 @@ fn section_err(name: &'static str, message: impl std::fmt::Display) -> ArtifactL
     }
 }
 
+/// The durable record of a shadow-deploy promotion decision, stamped into the
+/// promoted artifact's manifest by the retraining pipeline.
+///
+/// Everything in here is a pure function of the pipeline's seeded run — metrics are
+/// deterministic q-error medians, never wall-clock latencies — so a promoted
+/// artifact's bytes replay bit-identically under the same seed.  64-bit identifiers
+/// travel as 16-digit hex strings, like [`ArtifactManifest::schema_fingerprint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromotionRecord {
+    /// Root seed of the pipeline run that made the decision (hex).
+    pub pipeline_seed: String,
+    /// Pipeline step index at which the promotion happened.
+    pub step: u64,
+    /// Registry version of the incumbent the candidate displaced.
+    pub incumbent_version: u64,
+    /// Mirrored queries both sides answered during the shadow comparison.
+    pub shadow_samples: u64,
+    /// Incumbent's median q-error over the mirrored traffic.
+    pub incumbent_median_qerr: f64,
+    /// Candidate's median q-error over the mirrored traffic.
+    pub candidate_median_qerr: f64,
+    /// Win margin the candidate had to clear (incumbent ≥ margin × candidate).
+    pub promote_margin: f64,
+    /// Drift-detector q-error regression threshold that triggered the retrain.
+    pub qerr_regression_threshold: f64,
+    /// Always `"promoted"` — an artifact only carries the record after winning.
+    pub verdict: String,
+}
+
 /// The JSON manifest section: quick-look metadata about the artifact, readable without
 /// decoding any binary section.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,6 +174,13 @@ pub struct ArtifactManifest {
     /// field is present, cross-checks it.
     #[serde(default)]
     pub schema_fingerprint: String,
+    /// The shadow-deploy decision that installed this artifact, when it was
+    /// published by the retraining pipeline's promotion controller.  `None` for
+    /// directly-trained or manually-published artifacts (and for every artifact
+    /// written before the pipeline existed — `#[serde(default)]` keeps them
+    /// loadable).
+    #[serde(default)]
+    pub promotion: Option<PromotionRecord>,
 }
 
 /// A self-contained trained estimator: config + schema + encodings + weights.
@@ -203,6 +239,7 @@ impl ModelArtifact {
             },
             full_join_rows: full_join_rows.to_string(),
             schema_fingerprint: format!("{:016x}", schema_fingerprint(&schema)),
+            promotion: None,
         };
         ModelArtifact {
             manifest,
@@ -466,6 +503,15 @@ impl ModelArtifact {
     /// The quick-look manifest.
     pub fn manifest(&self) -> &ArtifactManifest {
         &self.manifest
+    }
+
+    /// Stamps a shadow-deploy [`PromotionRecord`] into the manifest (builder style).
+    /// Called by the pipeline's promotion controller on the winning candidate just
+    /// before the promoted artifact is written out; the record then travels inside
+    /// the artifact bytes wherever they are copied.
+    pub fn with_promotion(mut self, record: PromotionRecord) -> Self {
+        self.manifest.promotion = Some(record);
+        self
     }
 
     /// The estimator configuration stored in the artifact.

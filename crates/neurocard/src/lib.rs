@@ -46,7 +46,8 @@ pub mod infer;
 pub mod train;
 
 pub use artifact::{
-    schema_fingerprint, ArtifactLoadError, ArtifactManifest, ModelArtifact, MODEL_ARTIFACT_VERSION,
+    schema_fingerprint, ArtifactLoadError, ArtifactManifest, ModelArtifact, PromotionRecord,
+    MODEL_ARTIFACT_VERSION,
 };
 pub use config::NeuroCardConfig;
 pub use core::{EstimatorCore, Precision};

@@ -5,7 +5,9 @@
 //! until killed.  Usage:
 //!
 //! ```text
-//! neurocard-serve [--listen ADDR] [--journal PATH] [--chaos-seed N] [name=]artifact.ncar [...]
+//! neurocard-serve [--listen ADDR] [--journal PATH] [--chaos-seed N] \
+//!                 [--pipeline DIR [--pipeline-seed N] [--pipeline-steps N] \
+//!                  [--pipeline-pause-ms N]] [name=]artifact.ncar [...]
 //! ```
 //!
 //! * `--listen ADDR` — bind address (default `127.0.0.1:8466`; use port 0 for an
@@ -20,6 +22,14 @@
 //!   ([`nc_serve::FaultPlan::chaos`]) at seed `N`: journal, socket and worker fault
 //!   points fire on a replayable schedule (see `docs/faults.md`).  Debug builds only;
 //!   release builds compile the hooks away and print a notice instead.
+//! * `--pipeline DIR` — run the continuous-retraining demo: the seeded drifting
+//!   dataset of [`nc_pipeline::demo_env`] is served under the name `demo` (trained on
+//!   startup unless the journal already restored it) while a [`nc_pipeline::Pipeline`]
+//!   ingests the update stream, detects drift, retrains in the background,
+//!   shadow-compares, and auto-promotes — writing artifacts under `DIR` and printing
+//!   one marker per control-plane decision.  Composes with `--journal` (promotions are
+//!   write-ahead journaled) and `--chaos-seed` (the `pipeline.*` fault points arm).
+//!   `--pipeline-seed`, `--pipeline-steps` and `--pipeline-pause-ms` tune the run.
 //! * each positional argument is an artifact path, optionally prefixed `name=`; without
 //!   a prefix the file stem is the model name.  Registering the same name twice (for
 //!   the same schema) hot-swaps it to the next version.
@@ -30,17 +40,21 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
+use nc_pipeline::{demo_env, DriftingSource, Pipeline, PipelineConfig, PipelineEvent};
+use nc_sampler::seed::derive_stream_seed;
 use nc_serve::{
     FaultInjector, FaultPlan, JournalEvent, ModelKey, ModelRegistry, ReactorConfig,
     RegistryJournal, SharedJournal, TcpServer,
 };
-use neurocard::{EstimatorCore, ModelArtifact};
+use neurocard::{schema_fingerprint, EstimatorCore, ModelArtifact, NeuroCard, NeuroCardConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: neurocard-serve [--listen ADDR] [--journal PATH] [--chaos-seed N] \
-         [name=]artifact.ncar [...]"
+         [--pipeline DIR [--pipeline-seed N] [--pipeline-steps N] \
+         [--pipeline-pause-ms N]] [name=]artifact.ncar [...]"
     );
     ExitCode::FAILURE
 }
@@ -60,10 +74,42 @@ fn main() -> ExitCode {
     let mut listen = "127.0.0.1:8466".to_string();
     let mut journal_path: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut pipeline_dir: Option<String> = None;
+    let mut pipeline_seed: u64 = 0xD81F7;
+    let mut pipeline_steps: u64 = 12;
+    let mut pipeline_pause_ms: u64 = 25;
     let mut artifacts: Vec<(Option<String>, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--pipeline" => match args.get(i + 1) {
+                Some(dir) => {
+                    pipeline_dir = Some(dir.clone());
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--pipeline-seed" => match args.get(i + 1).and_then(|n| n.parse::<u64>().ok()) {
+                Some(seed) => {
+                    pipeline_seed = seed;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--pipeline-steps" => match args.get(i + 1).and_then(|n| n.parse::<u64>().ok()) {
+                Some(steps) => {
+                    pipeline_steps = steps;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--pipeline-pause-ms" => match args.get(i + 1).and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => {
+                    pipeline_pause_ms = ms;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             "--listen" => match args.get(i + 1) {
                 Some(addr) => {
                     listen = addr.clone();
@@ -96,7 +142,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if artifacts.is_empty() && journal_path.is_none() {
+    if artifacts.is_empty() && journal_path.is_none() && pipeline_dir.is_none() {
         return usage();
     }
 
@@ -125,7 +171,7 @@ fn main() -> ExitCode {
     // stays proportional to the number of live models, not the number of swaps.
     let journal = match journal_path {
         Some(path) => {
-            let (mut journal, survivors) = match RegistryJournal::open_compacted(&path) {
+            let (journal, survivors) = match RegistryJournal::open_compacted(&path) {
                 Ok(pair) => pair,
                 Err(e) => {
                     eprintln!("error: could not open journal {path}: {e}");
@@ -190,6 +236,49 @@ fn main() -> ExitCode {
         );
     }
 
+    // Pipeline mode: train and publish the demo incumbent, unless the journal
+    // already restored a served version of it (the pure-restart path).
+    let pipeline_env = match pipeline_dir.as_ref() {
+        Some(dir) => {
+            let env = demo_env(pipeline_seed);
+            let fingerprint = schema_fingerprint(&env.schema);
+            if registry.latest(fingerprint, "demo").is_none() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: could not create pipeline dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let train = NeuroCardConfig::tiny()
+                    .with_training_tuples(600)
+                    .with_seed(derive_stream_seed(pipeline_seed, 0, 2));
+                let artifact = NeuroCard::train(env.db.clone(), env.schema.clone(), &train);
+                let path = std::path::Path::new(dir).join("demo-v1.ncar");
+                if let Err(e) = std::fs::write(&path, artifact.to_bytes()) {
+                    eprintln!("error: could not write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                let key = ModelKey::new(fingerprint, "demo", 1);
+                if let Some(journal) = journal.as_ref() {
+                    let event = JournalEvent::publish(&key, path.to_string_lossy().as_ref());
+                    if let Err(e) = journal.append(&event) {
+                        eprintln!("error: could not journal {key}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let core = artifact.to_core().expect("freshly trained artifact loads");
+                let published = registry.publish(fingerprint, "demo", Arc::new(core));
+                debug_assert_eq!(published, key);
+                println!(
+                    "pipeline: trained demo incumbent {key} into {}",
+                    path.display()
+                );
+            } else {
+                println!("pipeline: demo incumbent restored from journal");
+            }
+            Some(env)
+        }
+        None => None,
+    };
+
     if registry.keys().is_empty() {
         eprintln!("error: nothing to serve (empty journal and no artifacts)");
         return ExitCode::FAILURE;
@@ -205,11 +294,11 @@ fn main() -> ExitCode {
     }
 
     let config = ReactorConfig {
-        faults,
-        admin_journal: journal,
+        faults: faults.clone(),
+        admin_journal: journal.clone(),
         ..ReactorConfig::default()
     };
-    let server = match TcpServer::bind_with(registry, listen.as_str(), config) {
+    let server = match TcpServer::bind_with(registry.clone(), listen.as_str(), config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind {listen}: {e}");
@@ -217,6 +306,71 @@ fn main() -> ExitCode {
         }
     };
     println!("serving on {} (ctrl-c to stop)", server.local_addr());
+
+    // The control plane runs on the main thread while the reactor serves; each
+    // decision prints one marker line (the library itself never prints).
+    if let Some(env) = pipeline_env {
+        let dir = pipeline_dir.expect("--pipeline set when the env is");
+        let mut config = PipelineConfig::new(pipeline_seed, &dir).with_model_name("demo");
+        config.step_pause = Duration::from_millis(pipeline_pause_ms);
+        config.faults = faults.clone();
+        let source = DriftingSource::new(pipeline_seed, 3);
+        let mut pipeline = match Pipeline::new(
+            config,
+            registry.clone(),
+            journal.clone(),
+            env.schema.clone(),
+            env.db.clone(),
+            source,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: pipeline startup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for _ in 0..pipeline_steps {
+            let result = pipeline.step_with(&mut |event| match event {
+                PipelineEvent::StepStarted(_) => {}
+                PipelineEvent::DriftChecked {
+                    step,
+                    median_qerr,
+                    shift,
+                    fired,
+                } => println!(
+                    "pipeline: step {step} median-qerr {median_qerr:.3} shift {shift:.3} \
+                     drift={fired}"
+                ),
+                PipelineEvent::RetrainAborted(reason) => {
+                    println!("pipeline: retrain aborted ({reason})")
+                }
+                PipelineEvent::ShadowCompared(shadow) => println!(
+                    "pipeline: shadow compared {} samples (incumbent {:.3} vs candidate {:.3}, \
+                     {} dropped)",
+                    shadow.compared,
+                    shadow.incumbent_median_qerr,
+                    shadow.candidate_median_qerr,
+                    shadow.dropped
+                ),
+                PipelineEvent::PromotionJournaled(key) => {
+                    println!("pipeline: journaled promotion of {key}")
+                }
+                PipelineEvent::Promoted(key) => println!("pipeline: promoted {key}"),
+                PipelineEvent::CandidateRetired(reason) => {
+                    println!("pipeline: candidate retired ({reason})")
+                }
+            });
+            if let Err(e) = result {
+                eprintln!("error: pipeline step failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let counters = pipeline.counters();
+        println!(
+            "pipeline: done ({} steps, {} promotions, {} retirements)",
+            counters.steps, counters.promotions, counters.retirements
+        );
+    }
     loop {
         std::thread::park();
     }

@@ -1,0 +1,117 @@
+//! Typed configuration for the retraining pipeline.
+//!
+//! Every threshold that feeds a pipeline *decision* lives here, so a config + seed
+//! fully determine the control flow: which steps fire drift, which candidates train,
+//! which mirrored queries land on the shadow, and which candidates promote.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nc_serve::FaultInjector;
+use neurocard::NeuroCardConfig;
+
+/// Configuration of one [`crate::Pipeline`].
+///
+/// The defaults are sized for the synthetic [`crate::demo_env`] tables; real
+/// deployments tune the thresholds and point `model` at their production training
+/// config.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Master seed: drift oracles, retrain seeds, and mirror draws all derive from it
+    /// (per-step, via the workspace SplitMix64 streams).
+    pub seed: u64,
+    /// The served model name this pipeline owns (shadow candidates register under
+    /// `"{name}.shadow"`, which `Latest` selectors never resolve to).
+    pub model_name: String,
+    /// Queries per rolling oracle sample (drift scoring and shadow traffic).
+    pub oracle_sample: usize,
+    /// Drift fires when the incumbent's median q-error reaches `baseline *
+    /// qerr_regression_threshold` (baseline = median recorded at the last retrain).
+    pub qerr_regression_threshold: f64,
+    /// Drift also fires when the column [`crate::shift_metric`] against the profile at
+    /// the last retrain reaches this value (standardised mean movement).
+    pub shift_threshold: f64,
+    /// Fraction of traffic mirrored to the shadow candidate, in per-mille.
+    pub mirror_per_mille: u32,
+    /// A candidate with fewer compared shadow samples than this is retired, never
+    /// promoted (guards against deciding on noise — or on a chaos-dropped mirror).
+    pub min_shadow_samples: u64,
+    /// Promotion margin: the candidate wins only if `incumbent_median >= margin *
+    /// candidate_median` over the mirrored sample.  `1.0` promotes on any win; higher
+    /// values demand a clear one.
+    pub promote_margin: f64,
+    /// Training configuration for retrain attempts (the per-attempt seed is derived
+    /// from `seed` and the step, overriding whatever seed this carries).
+    pub model: NeuroCardConfig,
+    /// Where candidate and promoted artifacts are written.
+    pub artifact_dir: PathBuf,
+    /// Journal size threshold handed to [`nc_serve::SharedJournal::set_compact_threshold`]
+    /// when the pipeline owns a journal (`None` = never compact).
+    pub journal_compact_bytes: Option<u64>,
+    /// Pause between steps, slept through [`FaultInjector::sleep`] (the injectable
+    /// clock) so pacing never escapes the chaos schedule.
+    pub step_pause: Duration,
+    /// Fault injection hooks (`pipeline.retrain-fail`, `pipeline.shadow-drop`);
+    /// disabled by default.
+    pub faults: FaultInjector,
+}
+
+impl PipelineConfig {
+    /// A config with demo-sized defaults, writing artifacts under `artifact_dir`.
+    pub fn new(seed: u64, artifact_dir: impl Into<PathBuf>) -> Self {
+        PipelineConfig {
+            seed,
+            model_name: "demo".to_string(),
+            oracle_sample: 24,
+            qerr_regression_threshold: 2.0,
+            shift_threshold: 4.0,
+            mirror_per_mille: 500,
+            min_shadow_samples: 8,
+            promote_margin: 1.0,
+            model: NeuroCardConfig::tiny().with_training_tuples(600),
+            artifact_dir: artifact_dir.into(),
+            journal_compact_bytes: None,
+            step_pause: Duration::ZERO,
+            faults: FaultInjector::disabled(),
+        }
+    }
+
+    /// Sets the served model name.
+    pub fn with_model_name(mut self, name: impl Into<String>) -> Self {
+        self.model_name = name.into();
+        self
+    }
+
+    /// Sets the promotion margin.
+    pub fn with_promote_margin(mut self, margin: f64) -> Self {
+        self.promote_margin = margin;
+        self
+    }
+
+    /// Arms fault injection.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The shadow registration name (`Latest` selectors never resolve to it because
+    /// it differs from every served name).
+    pub fn shadow_name(&self) -> String {
+        format!("{}.shadow", self.model_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_demo_sized() {
+        let config = PipelineConfig::new(7, "/tmp/x");
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.shadow_name(), "demo.shadow");
+        assert!(config.promote_margin >= 1.0);
+        assert!(config.min_shadow_samples > 0);
+        assert!(config.mirror_per_mille <= 1000);
+    }
+}

@@ -1,0 +1,157 @@
+//! A seeded two-table environment with a drifting update stream.
+//!
+//! The demo models the paper's §6.6 update experiment as a stream: a fact table
+//! (`orders`) joining a dimension (`users`), whose post-drift batches introduce both
+//! *new join keys* (users 8–9 appear and orders skew onto them) and *new literal
+//! values* (`cat` jumps into the 40s) — exactly the movement a model trained on the
+//! base snapshot cannot have learned.  Every row derives from the seed via SplitMix64,
+//! so the whole scenario — and therefore every pipeline decision downstream of it —
+//! replays bit-identically.
+
+use std::sync::Arc;
+
+use nc_sampler::seed::{derive_stream_seed, splitmix64_mix, GOLDEN_GAMMA};
+use nc_schema::{JoinEdge, JoinSchema};
+use nc_storage::{Database, TableBuilder, Value};
+
+use crate::ingest::{UpdateBatch, UpdateSource};
+
+/// The demo database and its join schema.
+pub struct DemoEnv {
+    /// Base snapshot (160 orders over 8 users).
+    pub db: Arc<Database>,
+    /// `orders ⋈ users` on `user`, rooted at `orders`.
+    pub schema: Arc<JoinSchema>,
+}
+
+/// Builds the base snapshot: `orders(user, cat)` with `user ∈ 0..8`, `cat ∈ 0..5`,
+/// and `users(user, tier)` with one row per user.
+pub fn demo_env(seed: u64) -> DemoEnv {
+    let mut db = Database::new();
+    let mut orders = TableBuilder::new("orders", &["user", "cat"]);
+    for i in 0..160u64 {
+        let draw = splitmix64_mix(seed ^ i.wrapping_add(GOLDEN_GAMMA));
+        orders.push_row(vec![
+            Value::Int((draw % 8) as i64),
+            Value::Int(((draw >> 16) % 5) as i64),
+        ]);
+    }
+    db.add_table(orders.finish());
+    let mut users = TableBuilder::new("users", &["user", "tier"]);
+    for user in 0..8i64 {
+        users.push_row(vec![Value::Int(user), Value::Int(user % 3)]);
+    }
+    db.add_table(users.finish());
+    let schema = JoinSchema::new(
+        vec!["orders".into(), "users".into()],
+        vec![JoinEdge::parse("orders.user", "users.user")],
+        "orders",
+    )
+    .expect("demo schema is valid");
+    DemoEnv {
+        db: Arc::new(db),
+        schema: Arc::new(schema),
+    }
+}
+
+/// The drifting stream: same-distribution batches until `drift_at`, then skewed ones.
+///
+/// Pre-drift batches are statistically indistinguishable from the base snapshot.
+/// From step `drift_at` on, orders concentrate on the two *new* users 8–9 (inserted
+/// into `users` by the first drifted batch) with `cat ∈ 40..50` — a shift the drift
+/// detector sees both as raw distribution movement and as q-error regression once
+/// oracle literals start landing on values the incumbent never trained on.
+pub struct DriftingSource {
+    seed: u64,
+    rows_per_batch: usize,
+    drift_at: u64,
+    produced: u64,
+}
+
+impl DriftingSource {
+    /// A stream drifting at step `drift_at` (the stream itself is unbounded; the
+    /// pipeline decides how many steps to run).
+    pub fn new(seed: u64, drift_at: u64) -> Self {
+        DriftingSource {
+            seed,
+            rows_per_batch: 40,
+            drift_at,
+            produced: 0,
+        }
+    }
+}
+
+impl UpdateSource for DriftingSource {
+    fn next_batch(&mut self) -> Option<UpdateBatch> {
+        self.produced += 1;
+        let step = self.produced;
+        let stream = derive_stream_seed(self.seed, step, 1);
+        let mut rows: Vec<(String, Vec<Value>)> = Vec::with_capacity(self.rows_per_batch + 2);
+        if step == self.drift_at {
+            // The dimension grows first so the skewed fact rows still inner-join.
+            for user in 8..10i64 {
+                rows.push(("users".into(), vec![Value::Int(user), Value::Int(user % 3)]));
+            }
+        }
+        for i in 0..self.rows_per_batch as u64 {
+            let draw = splitmix64_mix(stream ^ i.wrapping_add(GOLDEN_GAMMA));
+            let row = if step >= self.drift_at {
+                vec![
+                    Value::Int(8 + (draw % 2) as i64),
+                    Value::Int(40 + ((draw >> 16) % 10) as i64),
+                ]
+            } else {
+                vec![
+                    Value::Int((draw % 8) as i64),
+                    Value::Int(((draw >> 16) % 5) as i64),
+                ]
+            };
+            rows.push(("orders".into(), row));
+        }
+        Some(UpdateBatch { step, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::apply_batch;
+    use crate::stats::{profile_database, shift_metric};
+
+    #[test]
+    fn env_is_seed_deterministic() {
+        let a = demo_env(21);
+        let b = demo_env(21);
+        for table in ["orders", "users"] {
+            let (ta, tb) = (a.db.table(table).unwrap(), b.db.table(table).unwrap());
+            assert_eq!(ta.num_rows(), tb.num_rows());
+            for row in 0..ta.num_rows() {
+                for col in ta.column_names() {
+                    assert_eq!(
+                        ta.column(col).unwrap().value(row),
+                        tb.column(col).unwrap().value(row)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_drift_batches_barely_move_the_profile_and_drifted_ones_slam_it() {
+        let env = demo_env(21);
+        let reference = profile_database(&env.db);
+        let mut source = DriftingSource::new(21, 3);
+        let calm = apply_batch(&env.db, &source.next_batch().unwrap());
+        assert!(
+            shift_metric(&reference, &profile_database(&calm)) < 1.0,
+            "pre-drift batches stay close to the base distribution"
+        );
+        let _ = source.next_batch();
+        let drifted = apply_batch(&calm, &source.next_batch().unwrap());
+        assert!(
+            shift_metric(&reference, &profile_database(&drifted)) > 4.0,
+            "the first drifted batch moves cat by several reference sigmas"
+        );
+        assert_eq!(drifted.table("users").unwrap().num_rows(), 10);
+    }
+}

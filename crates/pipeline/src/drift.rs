@@ -1,0 +1,259 @@
+//! Drift detection: scoring the incumbent against a rolling oracle sample.
+//!
+//! Each step the detector regenerates a small workload against the *current*
+//! snapshot (so filter literals track live data — the whole point when the stream
+//! introduces values the incumbent has never seen), answers it exactly with
+//! [`nc_exec::true_cardinality`], and scores the incumbent's median q-error.  Drift
+//! fires on either signal:
+//!
+//! * **q-error regression** — median reaches `baseline × qerr_regression_threshold`,
+//!   where the baseline was recorded at the last (re)train;
+//! * **distribution shift** — the model-free [`crate::shift_metric`] against the
+//!   profile at the last retrain reaches `shift_threshold` (catches drift before the
+//!   estimator degrades, e.g. a fresh key range that no current query filters on).
+//!
+//! The oracle workload derives from `(seed, step)` alone, so a replay regenerates the
+//! same queries, the same truths, and the same verdicts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nc_sampler::seed::derive_stream_seed;
+use nc_schema::{JoinSchema, Query};
+use nc_storage::{Database, Value};
+use nc_workloads::generator::{
+    add_filter_from_literal, draw_inner_join_tuple, random_connected_subtree,
+};
+use nc_workloads::qerror::{q_error, ErrorSummary};
+use neurocard::infer::SamplerScratch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::PipelineConfig;
+use crate::stats::{profile_database, shift_metric, ColumnProfile};
+
+/// One oracle query with its exact answer on the snapshot it was drawn from.
+#[derive(Debug, Clone)]
+pub struct OracleCase {
+    /// The query.
+    pub query: Query,
+    /// Exact cardinality on the generating snapshot.
+    pub truth: f64,
+}
+
+/// Generates `n` oracle cases against `db`, deterministically from `seed`.
+///
+/// Each case joins a random connected subtree (1–2 tables), filters on up to two
+/// columns using literals drawn from a real inner-join tuple (so predicates are never
+/// vacuously empty), and carries its exact cardinality.  Join-key columns are never
+/// filtered: the estimator factors them out of its learned columns (they only exist
+/// to the model through fanout scaling), so a predicate on one is unanswerable by
+/// construction and would pollute the error signal.  Draws that land on an empty
+/// join fall back to the unfiltered root-table query, keeping the case count fixed.
+pub fn oracle_workload(
+    db: &Arc<Database>,
+    schema: &JoinSchema,
+    seed: u64,
+    n: usize,
+) -> Vec<OracleCase> {
+    let join_keys: std::collections::BTreeSet<(&str, &str)> = schema
+        .edges()
+        .iter()
+        .flat_map(|e| [&e.left, &e.right])
+        .map(|r| (r.table.as_str(), r.column.as_str()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let size = 1 + rng.random_range(0..2usize.min(schema.tables().len()));
+        let tables = random_connected_subtree(schema, size, &mut rng);
+        let refs: Vec<&str> = tables.iter().map(|s| s.as_str()).collect();
+        let mut query = Query::join(&refs);
+        if let Some(tuple) = draw_inner_join_tuple(db, schema, &tables, &mut rng, 32) {
+            let mut keys: Vec<&(String, String)> = tuple
+                .keys()
+                .filter(|(t, c)| !join_keys.contains(&(t.as_str(), c.as_str())))
+                .collect();
+            keys.sort();
+            let filters = 1 + rng.random_range(0..2usize);
+            for _ in 0..filters.min(keys.len()) {
+                let (table, column) = keys.remove(rng.random_range(0..keys.len()));
+                let literal = &tuple[&(table.clone(), column.clone())];
+                let supports_range = matches!(literal, Value::Int(_));
+                query = add_filter_from_literal(
+                    query,
+                    table,
+                    column,
+                    supports_range,
+                    literal,
+                    &mut rng,
+                );
+            }
+        }
+        let truth = nc_exec::true_cardinality(db, schema, &query) as f64;
+        out.push(OracleCase { query, truth });
+    }
+    out
+}
+
+/// What one drift check saw and decided.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Incumbent median q-error on this step's oracle sample.
+    pub median_qerr: f64,
+    /// The baseline median recorded at the last (re)train.
+    pub baseline_qerr: f64,
+    /// Distribution-shift metric against the last-retrain profile.
+    pub shift: f64,
+    /// Oracle queries the incumbent failed to answer (errors count toward drift: a
+    /// model that cannot serve the live workload needs retraining).
+    pub oracle_errors: u64,
+    /// Whether the q-error signal fired.
+    pub qerr_fired: bool,
+    /// Whether the shift signal fired.
+    pub shift_fired: bool,
+}
+
+impl DriftReport {
+    /// Whether the detector fired at all (any signal).
+    pub fn fired(&self) -> bool {
+        self.qerr_fired || self.shift_fired || self.oracle_errors > 0
+    }
+}
+
+/// The stateful detector: remembers the q-error baseline and column profile recorded
+/// at the last retrain, and scores the incumbent each step.
+pub struct DriftDetector {
+    baseline_qerr: f64,
+    reference: BTreeMap<String, ColumnProfile>,
+}
+
+impl DriftDetector {
+    /// A detector baselined on `db` with `baseline_qerr` (the incumbent's median on
+    /// the training-time oracle).
+    pub fn new(db: &Database, baseline_qerr: f64) -> Self {
+        DriftDetector {
+            baseline_qerr: baseline_qerr.max(1.0),
+            reference: profile_database(db),
+        }
+    }
+
+    /// The current q-error baseline.
+    pub fn baseline_qerr(&self) -> f64 {
+        self.baseline_qerr
+    }
+
+    /// Re-baselines after a (re)train: the new incumbent's median becomes the
+    /// regression reference and `db`'s profile the shift reference.
+    pub fn rebaseline(&mut self, db: &Database, baseline_qerr: f64) {
+        self.baseline_qerr = baseline_qerr.max(1.0);
+        self.reference = profile_database(db);
+    }
+
+    /// Scores `estimate` (the incumbent) on this step's oracle sample and decides.
+    ///
+    /// `estimate` returns `None` for a query the model rejects; those count as
+    /// `oracle_errors` and themselves fire the detector.
+    pub fn check(
+        &self,
+        db: &Arc<Database>,
+        schema: &JoinSchema,
+        config: &PipelineConfig,
+        step: u64,
+        mut estimate: impl FnMut(&Query) -> Option<f64>,
+    ) -> (DriftReport, Vec<OracleCase>) {
+        let oracle_seed = derive_stream_seed(config.seed, step, 0);
+        let oracle = oracle_workload(db, schema, oracle_seed, config.oracle_sample);
+        let mut errors = Vec::with_capacity(oracle.len());
+        let mut oracle_errors = 0u64;
+        for case in &oracle {
+            match estimate(&case.query) {
+                Some(est) => errors.push(q_error(est, case.truth)),
+                None => oracle_errors += 1,
+            }
+        }
+        let median_qerr = if errors.is_empty() {
+            f64::INFINITY
+        } else {
+            ErrorSummary::from_errors(&errors).median
+        };
+        let shift = shift_metric(&self.reference, &profile_database(db));
+        let report = DriftReport {
+            median_qerr,
+            baseline_qerr: self.baseline_qerr,
+            shift,
+            oracle_errors,
+            qerr_fired: median_qerr >= self.baseline_qerr * config.qerr_regression_threshold,
+            shift_fired: shift >= config.shift_threshold,
+        };
+        (report, oracle)
+    }
+}
+
+/// Convenience: the incumbent's median q-error over `oracle` through `scratch`
+/// (used to compute baselines right after a train).
+pub fn median_qerr(
+    oracle: &[OracleCase],
+    mut estimate: impl FnMut(&Query) -> Option<f64>,
+    _scratch: &mut SamplerScratch,
+) -> f64 {
+    let errors: Vec<f64> = oracle
+        .iter()
+        .filter_map(|case| estimate(&case.query).map(|est| q_error(est, case.truth)))
+        .collect();
+    if errors.is_empty() {
+        f64::INFINITY
+    } else {
+        ErrorSummary::from_errors(&errors).median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::demo_env;
+
+    #[test]
+    fn oracle_workload_is_deterministic_and_answered() {
+        let env = demo_env(11);
+        let a = oracle_workload(&env.db, &env.schema, 42, 12);
+        let b = oracle_workload(&env.db, &env.schema, 42, 12);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{}", x.query), format!("{}", y.query));
+            assert_eq!(x.truth.to_bits(), y.truth.to_bits());
+        }
+        let c = oracle_workload(&env.db, &env.schema, 43, 12);
+        let differs = a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| format!("{}", x.query) != format!("{}", y.query));
+        assert!(differs, "different seeds draw different workloads");
+    }
+
+    #[test]
+    fn perfect_estimator_never_fires_qerr() {
+        let env = demo_env(11);
+        let config = PipelineConfig::new(7, "/tmp/unused");
+        let detector = DriftDetector::new(&env.db, 1.0);
+        let (report, oracle) = detector.check(&env.db, &env.schema, &config, 1, |q| {
+            Some(nc_exec::true_cardinality(&env.db, &env.schema, q) as f64)
+        });
+        assert_eq!(oracle.len(), config.oracle_sample);
+        assert_eq!(report.oracle_errors, 0);
+        assert!((report.median_qerr - 1.0).abs() < 1e-12);
+        assert!(!report.qerr_fired);
+        assert!(!report.shift_fired, "same snapshot cannot shift");
+        assert!(!report.fired());
+    }
+
+    #[test]
+    fn rejecting_estimator_fires_via_errors() {
+        let env = demo_env(11);
+        let config = PipelineConfig::new(7, "/tmp/unused");
+        let detector = DriftDetector::new(&env.db, 1.0);
+        let (report, _) = detector.check(&env.db, &env.schema, &config, 1, |_| None);
+        assert!(report.oracle_errors > 0);
+        assert!(report.fired());
+    }
+}

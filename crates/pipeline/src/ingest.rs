@@ -1,0 +1,134 @@
+//! Update ingestion: applying a seeded stream of row batches to the live snapshot.
+//!
+//! The storage layer's [`Database`] is an immutable snapshot (tables are `Arc`-shared
+//! into samplers and executors), so ingestion is copy-on-append: each batch rebuilds
+//! only the touched tables and produces a fresh `Database` the next pipeline step
+//! serves, profiles, and — when drift fires — retrains on.  This mirrors the paper's
+//! §6.6 update protocol (append, then refresh the model), generalised to a stream.
+
+use nc_storage::{Database, TableBuilder, Value};
+
+/// One batch of appended rows, tagged with the stream step that produced it.
+#[derive(Debug, Clone)]
+pub struct UpdateBatch {
+    /// The producing step (for reports; the pipeline supplies its own step counter).
+    pub step: u64,
+    /// Appended rows as `(table, row)` pairs, in deterministic stream order.
+    pub rows: Vec<(String, Vec<Value>)>,
+}
+
+impl UpdateBatch {
+    /// Total appended rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch appends nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A deterministic source of update batches (the demo drifting stream, a replayed
+/// trace, ...).  `None` ends the stream — the pipeline idles from then on.
+pub trait UpdateSource {
+    /// The next batch, or `None` when the stream is exhausted.
+    fn next_batch(&mut self) -> Option<UpdateBatch>;
+}
+
+/// Applies `batch` to `db` copy-on-append, returning the successor snapshot.
+///
+/// Untouched tables are rebuilt from their columns as-is; touched tables get the new
+/// rows appended in batch order.  Rows must match the table's column count (enforced
+/// by [`TableBuilder::push_row`]); rows naming unknown tables panic — the stream and
+/// the schema are produced by the same config, so a mismatch is a bug, not data.
+pub fn apply_batch(db: &Database, batch: &UpdateBatch) -> Database {
+    let mut out = Database::new();
+    let mut names: Vec<&str> = db.table_names();
+    names.sort_unstable();
+    for table_name in names {
+        let table = db.table(table_name).expect("name came from the catalog");
+        let column_names = table.column_names();
+        let mut builder = TableBuilder::new(table_name, &column_names);
+        for row in 0..table.num_rows() {
+            builder.push_row(table.columns().iter().map(|c| c.value(row)).collect());
+        }
+        for (target, row) in &batch.rows {
+            if target == table_name {
+                builder.push_row(row.clone());
+            }
+        }
+        out.add_table(builder.finish());
+    }
+    for (target, _) in &batch.rows {
+        assert!(
+            db.table(target).is_some(),
+            "update batch names unknown table {target:?}"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        let mut t = TableBuilder::new("T", &["a", "b"]);
+        t.push_row(vec![Value::Int(1), Value::Int(10)]);
+        t.push_row(vec![Value::Int(2), Value::Int(20)]);
+        db.add_table(t.finish());
+        let mut u = TableBuilder::new("U", &["a"]);
+        u.push_row(vec![Value::Int(1)]);
+        db.add_table(u.finish());
+        db
+    }
+
+    #[test]
+    fn append_grows_only_the_touched_table() {
+        let db = base();
+        let batch = UpdateBatch {
+            step: 1,
+            rows: vec![("T".into(), vec![Value::Int(3), Value::Int(30)])],
+        };
+        let next = apply_batch(&db, &batch);
+        assert_eq!(next.table("T").unwrap().num_rows(), 3);
+        assert_eq!(next.table("U").unwrap().num_rows(), 1);
+        assert_eq!(
+            next.table("T").unwrap().column("b").unwrap().value(2),
+            Value::Int(30)
+        );
+        // The original snapshot is untouched (copy-on-append).
+        assert_eq!(db.table("T").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_is_a_bug() {
+        let batch = UpdateBatch {
+            step: 1,
+            rows: vec![("nope".into(), vec![Value::Int(1)])],
+        };
+        apply_batch(&base(), &batch);
+    }
+
+    #[test]
+    fn empty_batch_is_an_identity_copy() {
+        let db = base();
+        let next = apply_batch(
+            &db,
+            &UpdateBatch {
+                step: 1,
+                rows: vec![],
+            },
+        );
+        assert!(UpdateBatch {
+            step: 1,
+            rows: vec![]
+        }
+        .is_empty());
+        assert_eq!(next.table("T").unwrap().num_rows(), 2);
+        assert_eq!(next.table("U").unwrap().num_rows(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Background retraining: producing a candidate artifact off the serving threads.
+//!
+//! Training runs on a dedicated spawned thread and is *joined* by the pipeline step —
+//! the registry's serving threads never participate, and the pipeline's control flow
+//! stays sequential and replayable.  The candidate's weights are a pure function of
+//! `(training config, snapshot)`, so a replayed retrain emits bit-identical artifact
+//! bytes.
+//!
+//! The `pipeline.retrain-fail` fault point aborts an attempt before it starts
+//! (modelling a trainer OOM / preemption); the pipeline records the abort and tries
+//! again on the next fired drift check, exactly like a production retrain queue.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nc_schema::JoinSchema;
+use nc_serve::FaultInjector;
+use nc_storage::Database;
+use neurocard::{ModelArtifact, NeuroCard, NeuroCardConfig};
+
+/// What one retrain attempt produced.
+#[derive(Debug)]
+pub struct RetrainOutcome {
+    /// The candidate artifact (`None` when the attempt aborted).
+    pub artifact: Option<ModelArtifact>,
+    /// Why the attempt aborted (injected fault or trainer panic), if it did.
+    pub aborted: Option<String>,
+    /// Wall-clock microseconds spent (report-only; never feeds a decision).
+    pub wall_us: u64,
+}
+
+/// Trains a candidate on `db` on a background thread and waits for it.
+///
+/// `faults` is probed at `pipeline.retrain-fail` before spawning; a firing aborts the
+/// attempt.  A trainer panic is caught at the join and reported as an abort too — a
+/// failed retrain must never take the pipeline (or the serving process) down.
+pub fn retrain_in_background(
+    db: Arc<Database>,
+    schema: Arc<JoinSchema>,
+    config: NeuroCardConfig,
+    faults: &FaultInjector,
+) -> RetrainOutcome {
+    let started = Instant::now();
+    if let Some(msg) = faults.fail("pipeline.retrain-fail") {
+        return RetrainOutcome {
+            artifact: None,
+            aborted: Some(msg),
+            wall_us: started.elapsed().as_micros() as u64,
+        };
+    }
+    let handle = std::thread::Builder::new()
+        .name("nc-pipeline-retrain".to_string())
+        .spawn(move || NeuroCard::train(db, schema, &config))
+        .expect("spawn retrain thread");
+    match handle.join() {
+        Ok(artifact) => RetrainOutcome {
+            artifact: Some(artifact),
+            aborted: None,
+            wall_us: started.elapsed().as_micros() as u64,
+        },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "trainer panicked".to_string());
+            RetrainOutcome {
+                artifact: None,
+                aborted: Some(format!("trainer panic: {msg}")),
+                wall_us: started.elapsed().as_micros() as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::demo_env;
+
+    #[test]
+    fn retrains_deterministically_off_thread() {
+        let env = demo_env(3);
+        let config = NeuroCardConfig::tiny()
+            .with_training_tuples(300)
+            .with_seed(9);
+        let faults = FaultInjector::disabled();
+        let a = retrain_in_background(env.db.clone(), env.schema.clone(), config.clone(), &faults);
+        let b = retrain_in_background(env.db.clone(), env.schema.clone(), config, &faults);
+        let (a, b) = (a.artifact.expect("trains"), b.artifact.expect("trains"));
+        assert_eq!(
+            a.to_bytes(),
+            b.to_bytes(),
+            "same config + snapshot → bit-identical candidate artifacts"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_failure_aborts_without_training() {
+        use nc_serve::FaultPlan;
+        let env = demo_env(3);
+        // Per-mille 1000: every draw fires.
+        let faults = FaultPlan::new(1)
+            .point("pipeline.retrain-fail", 1000)
+            .injector();
+        let outcome = retrain_in_background(
+            env.db.clone(),
+            env.schema.clone(),
+            NeuroCardConfig::tiny().with_training_tuples(300),
+            &faults,
+        );
+        assert!(outcome.artifact.is_none());
+        assert!(outcome.aborted.unwrap().contains("pipeline.retrain-fail"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Rolling per-column statistics and the distribution-shift metric.
+//!
+//! The drift detector's *model-free* signal: a [`ColumnProfile`] summarises each
+//! column of a snapshot, and [`shift_metric`] measures how far the current snapshot's
+//! profiles have moved from the reference recorded at the last retrain.  The metric is
+//! a pure function of the data, so shift decisions replay bit-identically.
+
+use std::collections::{BTreeMap, HashSet};
+
+use nc_storage::{Database, Value};
+
+/// Summary statistics of one column (deterministic; no sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Total rows (including NULLs).
+    pub rows: u64,
+    /// NULL count.
+    pub nulls: u64,
+    /// Distinct non-NULL values.
+    pub distinct: u64,
+    /// Mean of non-NULL integer values (0 for string columns).
+    pub mean: f64,
+    /// Population standard deviation of non-NULL integer values (0 for strings).
+    pub std: f64,
+}
+
+/// Profiles every column of every table, keyed `"table.column"` (BTreeMap so
+/// iteration — and therefore every downstream fold — is deterministic).
+pub fn profile_database(db: &Database) -> BTreeMap<String, ColumnProfile> {
+    let mut out = BTreeMap::new();
+    let mut names: Vec<&str> = db.table_names();
+    names.sort_unstable();
+    for table_name in names {
+        let table = match db.table(table_name) {
+            Some(t) => t,
+            None => continue,
+        };
+        for column in table.columns() {
+            let mut nulls = 0u64;
+            let mut distinct: HashSet<Value> = HashSet::new();
+            let mut count = 0u64;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            for value in column.iter() {
+                match value {
+                    Value::Null => nulls += 1,
+                    Value::Int(i) => {
+                        distinct.insert(Value::Int(i));
+                        count += 1;
+                        let x = i as f64;
+                        sum += x;
+                        sum_sq += x * x;
+                    }
+                    other => {
+                        distinct.insert(other);
+                    }
+                }
+            }
+            let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+            let var = if count > 0 {
+                (sum_sq / count as f64 - mean * mean).max(0.0)
+            } else {
+                0.0
+            };
+            out.insert(
+                format!("{table_name}.{}", column.name()),
+                ColumnProfile {
+                    rows: column.len() as u64,
+                    nulls,
+                    distinct: distinct.len() as u64,
+                    mean,
+                    std: var.sqrt(),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Standardised distribution movement between two profiles: the maximum over shared
+/// columns of `|Δmean| / max(std_ref, 1e-6)` (integer columns) and the relative
+/// distinct-count growth `|Δdistinct| / max(distinct_ref, 1)` (all columns).
+///
+/// Columns present in only one profile are ignored — schema changes are a retrain
+/// trigger upstream of this metric, not a "shift".
+pub fn shift_metric(
+    reference: &BTreeMap<String, ColumnProfile>,
+    current: &BTreeMap<String, ColumnProfile>,
+) -> f64 {
+    let mut shift = 0.0f64;
+    for (name, reference) in reference {
+        let current = match current.get(name) {
+            Some(c) => c,
+            None => continue,
+        };
+        let mean_shift = (current.mean - reference.mean).abs() / reference.std.max(1e-6);
+        let distinct_shift = (current.distinct as f64 - reference.distinct as f64).abs()
+            / (reference.distinct.max(1) as f64);
+        shift = shift.max(mean_shift).max(distinct_shift);
+    }
+    shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_storage::TableBuilder;
+
+    fn db_with_c(values: &[i64]) -> Database {
+        let mut db = Database::new();
+        let mut t = TableBuilder::new("T", &["c"]);
+        for &v in values {
+            t.push_row(vec![Value::Int(v)]);
+        }
+        db.add_table(t.finish());
+        db
+    }
+
+    #[test]
+    fn profile_counts_and_moments() {
+        let db = db_with_c(&[1, 2, 3, 2]);
+        let profile = profile_database(&db);
+        let c = &profile["T.c"];
+        assert_eq!(c.rows, 4);
+        assert_eq!(c.nulls, 0);
+        assert_eq!(c.distinct, 3);
+        assert!((c.mean - 2.0).abs() < 1e-12);
+        assert!(c.std > 0.0);
+    }
+
+    #[test]
+    fn shift_is_zero_on_identical_and_large_on_moved() {
+        let a = profile_database(&db_with_c(&[0, 1, 2, 3, 4, 5]));
+        let b = profile_database(&db_with_c(&[100, 101, 102, 103, 104, 105]));
+        assert_eq!(shift_metric(&a, &a), 0.0);
+        assert!(
+            shift_metric(&a, &b) > 10.0,
+            "a 100-sigma-ish move registers"
+        );
+    }
+
+    #[test]
+    fn shift_ignores_columns_missing_on_either_side() {
+        let a = profile_database(&db_with_c(&[1, 2]));
+        let empty = BTreeMap::new();
+        assert_eq!(shift_metric(&a, &empty), 0.0);
+        assert_eq!(shift_metric(&empty, &a), 0.0);
+    }
+}

@@ -167,3 +167,117 @@ fn kill_dash_nine_then_restart_restores_every_model_from_the_journal() {
     child.wait().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `kill -9` the server the instant a promotion hits the journal — *before* the swap
+/// is known to have completed — then restart from the journal alone.  The write-ahead
+/// ordering (artifact fsynced → promotion journaled → registry swap) must restore the
+/// *promoted* version, serving estimates bit-identical to the promoted artifact's
+/// direct core, with the promotion decision stamped in its manifest.
+#[test]
+fn kill_dash_nine_mid_promotion_restores_the_promoted_version() {
+    let dir = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nc-promotion-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    };
+    let journal_path = dir.join("registry.jsonl");
+    let artifact_dir = dir.join("pipeline");
+    let seed = 4242u64;
+
+    // First life: the pipeline loop runs at full speed; we race it to the first
+    // "journaled promotion" marker (printed between the journal append and the swap)
+    // and SIGKILL right there.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_neurocard-serve"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            journal_path.to_str().unwrap(),
+            "--pipeline",
+            artifact_dir.to_str().unwrap(),
+            "--pipeline-seed",
+            &seed.to_string(),
+            "--pipeline-pause-ms",
+            "0",
+            "--pipeline-steps",
+            "12",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning neurocard-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut journaled_version = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("server stdout");
+        if let Some(key) = line.strip_prefix("pipeline: journaled promotion of ") {
+            let version = key
+                .rsplit_once("@v")
+                .and_then(|(_, v)| v.trim().parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("unparsable promotion marker: {line}"));
+            journaled_version = Some(version);
+            break;
+        }
+        assert!(
+            !line.starts_with("pipeline: done"),
+            "the pipeline finished without ever journaling a promotion"
+        );
+    }
+    let journaled_version = journaled_version.expect("a journaled promotion before EOF");
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Second life: NO --pipeline, NO artifacts — the journal alone.  The promotion
+    // was journaled (and its artifact fsynced) before the marker, so the restored
+    // `demo` must be at least that version no matter where exactly the kill landed.
+    let (mut child, addr) = spawn_server(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--journal",
+        journal_path.to_str().unwrap(),
+    ]);
+    let mut client = connect(&addr);
+    let env = nc_pipeline::demo_env(seed);
+    let fingerprint = schema_fingerprint(&env.schema);
+    let selector = ModelSelector::latest(fingerprint, "demo");
+    let queries = vec![
+        Query::join(&["orders", "users"]),
+        Query::join(&["orders"]),
+        Query::join(&["orders", "users"]).filter("orders", "cat", Predicate::eq(2)),
+        Query::join(&["orders", "users"]).filter("users", "tier", Predicate::eq(1)),
+    ];
+    let reply = client.estimate(&selector, &queries[0]).unwrap();
+    assert!(
+        reply.key.version >= journaled_version,
+        "restart restored v{} but v{journaled_version} was already journaled",
+        reply.key.version
+    );
+
+    // The served model IS the promoted artifact: bit-identical estimates, and the
+    // manifest carries the promotion decision.
+    let promoted_path = artifact_dir.join(format!("demo-v{}.ncar", reply.key.version));
+    let promoted = ModelArtifact::from_bytes(&std::fs::read(&promoted_path).unwrap()).unwrap();
+    let record = promoted
+        .manifest()
+        .promotion
+        .as_ref()
+        .expect("the promoted artifact carries its promotion record");
+    assert_eq!(record.verdict, "promoted");
+    assert_eq!(record.pipeline_seed, format!("{seed:016x}"));
+    assert_eq!(record.incumbent_version, reply.key.version - 1);
+    let core = promoted.to_core().unwrap();
+    for q in &queries {
+        let got = client.estimate(&selector, q).unwrap().estimate;
+        assert_eq!(
+            got.to_bits(),
+            core.estimate(q).to_bits(),
+            "post-crash estimate diverged from the promoted artifact on {q}"
+        );
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

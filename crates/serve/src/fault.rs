@@ -105,6 +105,8 @@ impl FaultPlan {
             .point_with_delay("worker.delay", 60, Duration::from_millis(2))
             .point("reactor.partial-read", 200)
             .point("reactor.partial-write", 200)
+            .point("pipeline.retrain-fail", 100)
+            .point("pipeline.shadow-drop", 100)
     }
 
     /// Builds the runtime injector for this plan.
@@ -483,6 +485,8 @@ mod tests {
             "worker.delay",
             "reactor.partial-read",
             "reactor.partial-write",
+            "pipeline.retrain-fail",
+            "pipeline.shadow-drop",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

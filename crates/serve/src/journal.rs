@@ -64,7 +64,9 @@ impl From<std::io::Error> for JournalError {
 /// One registry mutation, as journalled.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JournalEvent {
-    /// `"publish"` (register or swap — both install a current version) or
+    /// `"publish"` (register or swap — both install a current version),
+    /// `"promote"` (a pipeline-validated swap: folds like a publish, but marks
+    /// the installed version as having won a shadow comparison), or
     /// `"deregister"`.
     pub op: String,
     /// Schema fingerprint as a 16-digit hex string.
@@ -83,6 +85,21 @@ impl JournalEvent {
     pub fn publish(key: &ModelKey, artifact_path: impl Into<String>) -> Self {
         JournalEvent {
             op: "publish".into(),
+            schema_fingerprint: format!("{:016x}", key.schema_fingerprint),
+            name: key.name.clone(),
+            version: key.version,
+            artifact_path: artifact_path.into(),
+        }
+    }
+
+    /// A promotion event: `key` became the current version after winning a shadow
+    /// comparison.  Folds exactly like [`publish`](Self::publish) — the distinct op
+    /// string is the durable record that the swap was pipeline-validated, so an
+    /// auditor reading the raw journal can tell validated promotions from manual
+    /// publishes.
+    pub fn promote(key: &ModelKey, artifact_path: impl Into<String>) -> Self {
+        JournalEvent {
+            op: "promote".into(),
             schema_fingerprint: format!("{:016x}", key.schema_fingerprint),
             name: key.name.clone(),
             version: key.version,
@@ -213,7 +230,9 @@ pub fn fold_events(events: &[JournalEvent]) -> Result<Vec<(ModelKey, String)>, J
     for ev in events {
         let fp = ev.fingerprint()?;
         match ev.op.as_str() {
-            "publish" => {
+            // A promotion installs a current version exactly like a publish; the
+            // op difference is provenance, not routing state.
+            "publish" | "promote" => {
                 state.insert((fp, ev.name.clone()), (ev.key()?, ev.artifact_path.clone()));
             }
             "deregister" => {
@@ -230,11 +249,41 @@ pub fn fold_events(events: &[JournalEvent]) -> Result<Vec<(ModelKey, String)>, J
     Ok(state.into_values().collect())
 }
 
+/// Atomically rewrites the journal at `path` to hold exactly one publish line per
+/// entry of `folded`: temp file, `fdatasync`, `rename`, parent-directory fsync.  A
+/// crash anywhere in the sequence leaves either the old journal or the fully synced
+/// compacted one — never a mix.
+fn rewrite_compacted(path: &Path, folded: &[(ModelKey, String)]) -> Result<(), JournalError> {
+    let mut text = String::new();
+    for (key, artifact_path) in folded {
+        let ev = JournalEvent::publish(key, artifact_path.clone());
+        text.push_str(&serde_json::to_string(&ev).map_err(|e| JournalError::Io(e.to_string()))?);
+        text.push('\n');
+    }
+    let tmp = path.with_extension("compact");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename durable; a filesystem that cannot open
+        // directories (exotic, but possible) just loses the guarantee, not the data.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// The append handle: write-ahead journalling of registry mutations.
 pub struct RegistryJournal {
     path: PathBuf,
     file: File,
     faults: FaultInjector,
+    compact_threshold: Option<u64>,
+    compactions: u64,
 }
 
 impl RegistryJournal {
@@ -250,6 +299,8 @@ impl RegistryJournal {
                 path,
                 file,
                 faults: FaultInjector::disabled(),
+                compact_threshold: None,
+                compactions: 0,
             },
             events,
         ))
@@ -284,29 +335,7 @@ impl RegistryJournal {
         let events = recover(&path)?;
         let folded = fold_events(&events)?;
         if folded.len() < events.len() {
-            let mut text = String::new();
-            for (key, artifact_path) in &folded {
-                let ev = JournalEvent::publish(key, artifact_path.clone());
-                text.push_str(
-                    &serde_json::to_string(&ev).map_err(|e| JournalError::Io(e.to_string()))?,
-                );
-                text.push('\n');
-            }
-            let tmp = path.with_extension("compact");
-            {
-                let mut f = File::create(&tmp)?;
-                f.write_all(text.as_bytes())?;
-                f.sync_data()?;
-            }
-            std::fs::rename(&tmp, &path)?;
-            if let Some(dir) = path.parent() {
-                // Directory fsync makes the rename durable; a filesystem that
-                // cannot open directories (exotic, but possible) just loses the
-                // guarantee, not the data.
-                if let Ok(d) = File::open(dir) {
-                    let _ = d.sync_all();
-                }
-            }
+            rewrite_compacted(&path, &folded)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok((
@@ -314,9 +343,59 @@ impl RegistryJournal {
                 path,
                 file,
                 faults: FaultInjector::disabled(),
+                compact_threshold: None,
+                compactions: 0,
             },
             folded,
         ))
+    }
+
+    /// Arms running compaction: after any append that leaves the journal file larger
+    /// than `bytes`, [`maybe_compact`](Self::maybe_compact) folds the history and
+    /// atomically rewrites the file (same temp-file/rename/dir-fsync sequence as
+    /// [`open_compacted`](Self::open_compacted)).  `None` disables (the default —
+    /// compaction stays startup-only).
+    pub fn set_compact_threshold(&mut self, bytes: Option<u64>) {
+        self.compact_threshold = bytes;
+    }
+
+    /// How many running compactions this handle has performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Compacts the live journal in place if it exceeds the configured size
+    /// threshold.  Returns `true` if a rewrite happened.
+    ///
+    /// The fold reuses [`open_compacted`](Self::open_compacted)'s machinery:
+    /// read + fold (tolerating a torn tail left by an earlier failed append),
+    /// atomic rewrite, then the append handle is reopened so later appends go to
+    /// the new inode — the old handle would otherwise keep writing to the unlinked
+    /// pre-compaction file.  A rewrite that would not shrink the file is skipped.
+    /// Callers holding [`SharedJournal`]'s `"journal.file"` lock get this for free
+    /// after every successful append, preserving the existing lock-order
+    /// discipline (no other lock is taken while the file lock is held).
+    pub fn maybe_compact(&mut self) -> Result<bool, JournalError> {
+        let threshold = match self.compact_threshold {
+            Some(t) => t,
+            None => return Ok(false),
+        };
+        let size = std::fs::metadata(&self.path)?.len();
+        if size <= threshold {
+            return Ok(false);
+        }
+        let events = recover(&self.path)?;
+        let folded = fold_events(&events)?;
+        if folded.len() >= events.len() {
+            return Ok(false);
+        }
+        rewrite_compacted(&self.path, &folded)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.compactions += 1;
+        Ok(true)
     }
 
     /// Appends one event durably: the line is written and `fdatasync`ed before this
@@ -389,18 +468,39 @@ impl SharedJournal {
     pub fn append(&self, event: &JournalEvent) -> Result<(), JournalError> {
         let mut journal = self.inner.lock();
         match journal.append(event) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Running compaction rides the same lock hold.  A compaction
+                // failure is not an append failure — the event is durable and the
+                // mutation must proceed; the journal is merely still long.
+                let _ = journal.maybe_compact();
+                Ok(())
+            }
             Err(e) => {
                 // Crash-equivalent recovery: reopen (truncates the torn tail) so the
                 // handle stays usable.  Keep the original error either way.
                 let faults = journal.faults.clone();
+                let threshold = journal.compact_threshold;
+                let compactions = journal.compactions;
                 if let Ok((mut fresh, _)) = RegistryJournal::open(journal.path.clone()) {
                     fresh.set_faults(faults);
+                    fresh.set_compact_threshold(threshold);
+                    fresh.compactions = compactions;
                     *journal = fresh;
                 }
                 Err(e)
             }
         }
+    }
+
+    /// Arms (or disarms) running compaction on the shared handle (see
+    /// [`RegistryJournal::set_compact_threshold`]).
+    pub fn set_compact_threshold(&self, bytes: Option<u64>) {
+        self.inner.lock().set_compact_threshold(bytes);
+    }
+
+    /// How many running compactions the shared handle has performed.
+    pub fn compactions(&self) -> u64 {
+        self.inner.lock().compactions()
     }
 
     /// Arms (or replaces) the fault injector consulted by later appends.
@@ -810,5 +910,96 @@ mod tests {
             ..ev
         };
         assert!(fold_events(&[bad]).is_err());
+    }
+
+    #[test]
+    fn promote_folds_like_publish_and_survives_compaction() {
+        let path = temp_path("promote");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        let v1 = ModelKey::new(0xfeed, "m", 1);
+        let v2 = ModelKey::new(0xfeed, "m", 2);
+        journal
+            .append(&JournalEvent::publish(&v1, "/tmp/a.ncm"))
+            .unwrap();
+        journal
+            .append(&JournalEvent::promote(&v2, "/tmp/b.ncm"))
+            .unwrap();
+        drop(journal);
+
+        // Raw replay keeps the provenance; the fold routes to the promoted version.
+        let events = read_events(&path).unwrap();
+        assert_eq!(events[1].op, "promote");
+        assert_eq!(
+            fold_events(&events).unwrap(),
+            vec![(v2.clone(), "/tmp/b.ncm".to_string())]
+        );
+        // Compaction folds the promotion into the surviving publish line.
+        let (_, folded) = RegistryJournal::open_compacted(&path).unwrap();
+        assert_eq!(folded, vec![(v2, "/tmp/b.ncm".to_string())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn running_compaction_fires_past_the_size_threshold() {
+        let path = temp_path("running-compact");
+        let (mut journal, _) = RegistryJournal::open(&path).unwrap();
+        journal.set_compact_threshold(Some(256));
+        // Swap the same model repeatedly: history grows, survivors stay at one.
+        let mut fired = 0u64;
+        for v in 1..=40u64 {
+            let key = ModelKey::new(0xfeed, "m", v);
+            journal
+                .append(&JournalEvent::publish(&key, "/tmp/m.ncm"))
+                .unwrap();
+            if journal.maybe_compact().unwrap() {
+                fired += 1;
+                // Post-compaction the file holds exactly the one survivor...
+                let events = read_events(&path).unwrap();
+                assert_eq!(events.len(), 1);
+                assert_eq!(events[0].key().unwrap(), key);
+                assert!(std::fs::metadata(&path).unwrap().len() <= 256);
+            }
+        }
+        assert!(
+            fired >= 2,
+            "40 swaps over a 256-byte cap must compact repeatedly"
+        );
+        assert_eq!(journal.compactions(), fired);
+        // ...and the reopened append handle writes to the new inode: the next
+        // append lands in the compacted file, not the unlinked one.
+        let last = ModelKey::new(0xfeed, "m", 41);
+        journal
+            .append(&JournalEvent::publish(&last, "/tmp/m.ncm"))
+            .unwrap();
+        drop(journal);
+        let folded = fold_events(&read_events(&path).unwrap()).unwrap();
+        assert_eq!(folded, vec![(last, "/tmp/m.ncm".to_string())]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_journal_compacts_inline_and_reports_the_count() {
+        let path = temp_path("shared-compact");
+        let (journal, _) = RegistryJournal::open(&path).unwrap();
+        let shared = SharedJournal::new(journal);
+        shared.set_compact_threshold(Some(256));
+        for v in 1..=40u64 {
+            shared
+                .append(&JournalEvent::publish(
+                    &ModelKey::new(0xbeef, "m", v),
+                    "/tmp/m.ncm",
+                ))
+                .unwrap();
+        }
+        assert!(shared.compactions() >= 2);
+        // The live file never strays far past the cap: at most the threshold plus
+        // the appends since the last fold.
+        assert!(std::fs::metadata(&path).unwrap().len() < 512);
+        let folded = fold_events(&read_events(&path).unwrap()).unwrap();
+        assert_eq!(
+            folded,
+            vec![(ModelKey::new(0xbeef, "m", 40), "/tmp/m.ncm".to_string())]
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

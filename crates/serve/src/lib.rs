@@ -52,8 +52,8 @@ pub use journal::{JournalError, JournalEvent, RegistryJournal, SharedJournal};
 pub use model::{BaselineModel, ServingEstimator};
 pub use pool::ScratchPool;
 pub use protocol::{
-    decode_request, decode_result, encode_request, encode_result, read_frame, write_frame,
-    ServeReply, ServeRequest, MAX_FRAME_LEN,
+    decode_request, decode_result, decode_stats_result, encode_request, encode_result,
+    encode_stats_request, read_frame, write_frame, ServeReply, ServeRequest, MAX_FRAME_LEN,
 };
 pub use reactor::{ReactorConfig, ReactorStats};
 pub use registry::{

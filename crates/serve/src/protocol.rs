@@ -19,6 +19,9 @@
 //! error      0x03, error code u8, error fields
 //! deregister 0x04, fingerprint u64, name string       (admin request)
 //! deregistered 0x05, key                              (admin reply: the removed version)
+//! stats      0x06                                     (admin request, no operands)
+//! stats-reply 0x07, count u32, per model: key, served u64,
+//!            p50/p99/qps f64 bits as u64              (admin reply, sorted by key)
 //! selector   0x00 key | 0x01 fingerprint u64, has_name u8, [name]
 //! key        fingerprint u64, name string, version u64
 //! query      table count u32, tables; filter count u32, filters
@@ -37,7 +40,7 @@ use nc_storage::binio::{put_string, BinError, BinReader};
 use nc_storage::Value;
 use neurocard::{EstimateError, Precision};
 
-use crate::registry::{ModelKey, ModelSelector};
+use crate::registry::{ModelKey, ModelSelector, ModelStats};
 use crate::ServeError;
 
 /// A routing-aware estimation request: which model, which query, how many samples.
@@ -103,6 +106,8 @@ const MSG_REPLY: u8 = 0x02;
 const MSG_ERROR: u8 = 0x03;
 pub(crate) const MSG_DEREGISTER: u8 = 0x04;
 const MSG_DEREGISTERED: u8 = 0x05;
+pub(crate) const MSG_STATS: u8 = 0x06;
+const MSG_STATS_REPLY: u8 = 0x07;
 
 const SEL_EXACT: u8 = 0x00;
 const SEL_LATEST: u8 = 0x01;
@@ -508,6 +513,96 @@ pub fn decode_admin_result(payload: &[u8]) -> Result<Result<ModelKey, ServeError
     Ok(result)
 }
 
+/// Encodes an admin stats request (unframed): report the registry's per-model
+/// latency/throughput split.  The request carries no operands — the tag is the
+/// whole payload.
+pub fn encode_stats_request() -> Vec<u8> {
+    vec![MSG_STATS]
+}
+
+/// Decodes a payload produced by [`encode_stats_request`].
+pub fn decode_stats_request(payload: &[u8]) -> Result<(), ServeError> {
+    let mut r = BinReader::new(payload);
+    if r.u8().map_err(bin)? != MSG_STATS {
+        return Err(protocol_err("payload is not a stats request"));
+    }
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after stats request",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes the admin reply to a stats request: the per-model split on success
+/// (sorted by key, as [`crate::ModelRegistry::model_stats`] returns it), the shared
+/// error encoding otherwise.  Latency and rate figures cross the wire as raw `f64`
+/// bits, so monitors see exactly what the server measured.
+pub fn encode_stats_result(result: &Result<Vec<ModelStats>, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match result {
+        Ok(stats) => {
+            out.push(MSG_STATS_REPLY);
+            put_u32(&mut out, stats.len() as u32);
+            for s in stats {
+                encode_key(&mut out, &s.key);
+                put_u64(&mut out, s.served);
+                put_u64(&mut out, s.p50_us.to_bits());
+                put_u64(&mut out, s.p99_us.to_bits());
+                put_u64(&mut out, s.queries_per_sec.to_bits());
+            }
+        }
+        Err(e) => {
+            out.push(MSG_ERROR);
+            let (code, fields) = error_code(e);
+            out.push(code);
+            out.extend_from_slice(&fields);
+        }
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_stats_result`].  As with
+/// [`decode_result`], the outer `Err` is a local decode failure; a decoded remote
+/// error is `Ok(Err(...))`.
+#[allow(clippy::type_complexity)]
+pub fn decode_stats_result(
+    payload: &[u8],
+) -> Result<Result<Vec<ModelStats>, ServeError>, ServeError> {
+    let mut r = BinReader::new(payload);
+    let result = match r.u8().map_err(bin)? {
+        MSG_STATS_REPLY => {
+            let count = r.u32().map_err(bin)? as usize;
+            let mut stats = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let key = decode_key(&mut r)?;
+                let served = r.u64().map_err(bin)?;
+                let p50_us = f64::from_bits(r.u64().map_err(bin)?);
+                let p99_us = f64::from_bits(r.u64().map_err(bin)?);
+                let queries_per_sec = f64::from_bits(r.u64().map_err(bin)?);
+                stats.push(ModelStats {
+                    key,
+                    served,
+                    p50_us,
+                    p99_us,
+                    queries_per_sec,
+                });
+            }
+            Ok(stats)
+        }
+        MSG_ERROR => Err(decode_error(&mut r)?),
+        other => return Err(protocol_err(format!("unknown stats message tag {other}"))),
+    };
+    if !r.is_empty() {
+        return Err(protocol_err(format!(
+            "{} trailing bytes after stats response",
+            r.remaining()
+        )));
+    }
+    Ok(result)
+}
+
 /// Maps an I/O failure to the typed serve error: socket-timeout kinds become
 /// [`ServeError::Timeout`] (the client sets SO_RCVTIMEO/SO_SNDTIMEO), the rest
 /// [`ServeError::Transport`].
@@ -683,6 +778,61 @@ mod tests {
         let mut padded_ok = encode_admin_result(&Ok(ModelKey::new(1, "m", 1)));
         padded_ok.push(9);
         assert!(decode_admin_result(&padded_ok).is_err());
+    }
+
+    #[test]
+    fn admin_stats_round_trips() {
+        let bytes = encode_stats_request();
+        decode_stats_request(&bytes).unwrap();
+        // Operand-free request: trailing bytes and cross-type decodes are rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_stats_request(&padded).is_err());
+        assert!(decode_request(&bytes).is_err());
+        assert!(decode_deregister(&bytes).is_err());
+
+        // Reply: empty and multi-model, f64 figures bit-exact across the wire.
+        let empty = encode_stats_result(&Ok(Vec::new()));
+        assert_eq!(decode_stats_result(&empty).unwrap(), Ok(Vec::new()));
+        let stats = vec![
+            ModelStats {
+                key: ModelKey::new(7, "m", 1),
+                served: 42,
+                p50_us: 13.25,
+                p99_us: 99.031_25,
+                queries_per_sec: 1234.567_891_011e-3,
+            },
+            ModelStats {
+                key: ModelKey::new(7, "m", 2),
+                served: 0,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                queries_per_sec: 0.0,
+            },
+        ];
+        let ok = encode_stats_result(&Ok(stats.clone()));
+        let back = decode_stats_result(&ok).unwrap().unwrap();
+        assert_eq!(back.len(), 2);
+        for (b, s) in back.iter().zip(&stats) {
+            assert_eq!(b.key, s.key);
+            assert_eq!(b.served, s.served);
+            assert_eq!(b.p50_us.to_bits(), s.p50_us.to_bits());
+            assert_eq!(b.p99_us.to_bits(), s.p99_us.to_bits());
+            assert_eq!(b.queries_per_sec.to_bits(), s.queries_per_sec.to_bits());
+        }
+        // Shared error encoding, truncation at every length, trailing garbage.
+        let err = encode_stats_result(&Err(ServeError::Overloaded));
+        assert_eq!(
+            decode_stats_result(&err).unwrap(),
+            Err(ServeError::Overloaded)
+        );
+        for cut in 0..ok.len() {
+            assert!(decode_stats_result(&ok[..cut]).is_err());
+        }
+        let mut padded_ok = ok.clone();
+        padded_ok.push(0);
+        assert!(decode_stats_result(&padded_ok).is_err());
+        assert!(decode_admin_result(&ok).is_err());
     }
 
     #[test]

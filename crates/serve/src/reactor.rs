@@ -44,8 +44,8 @@ use crate::fault::FaultInjector;
 use crate::journal::{JournalEvent, SharedJournal};
 use crate::pool::ScratchPool;
 use crate::protocol::{
-    decode_deregister, decode_request, encode_admin_result, encode_result, MAX_FRAME_LEN,
-    MSG_DEREGISTER,
+    decode_deregister, decode_request, decode_stats_request, encode_admin_result, encode_result,
+    encode_stats_result, MAX_FRAME_LEN, MSG_DEREGISTER, MSG_STATS,
 };
 use crate::registry::{ModelKey, ModelRegistry, ModelSelector};
 use crate::service::panic_message;
@@ -85,6 +85,15 @@ pub struct ReactorConfig {
     /// Write-ahead journal for admin mutations (deregister); when `None`, admin
     /// requests still apply but are not persisted across restarts.
     pub admin_journal: Option<SharedJournal>,
+    /// Precision autoselection: when the worker-queue depth at dispatch time is at
+    /// or past this threshold, [`Precision::Exact`] requests are served at
+    /// [`Precision::Fast`] instead — precision degrades before availability does.
+    /// `None` (the default) disables; explicit `Fast` requests are unaffected, and
+    /// without the `simd` feature the fast tier is bit-identical to exact anyway.
+    ///
+    /// [`Precision::Exact`]: neurocard::Precision::Exact
+    /// [`Precision::Fast`]: neurocard::Precision::Fast
+    pub fast_precision_queue_depth: Option<usize>,
 }
 
 impl Default for ReactorConfig {
@@ -103,6 +112,7 @@ impl Default for ReactorConfig {
             default_samples: None,
             faults: FaultInjector::disabled(),
             admin_journal: None,
+            fast_precision_queue_depth: None,
         }
     }
 }
@@ -133,6 +143,9 @@ pub struct ReactorStats {
     pub max_connections: usize,
     /// Requests admitted to the worker queue and not yet picked up.
     pub queue_depth: usize,
+    /// Exact-precision requests downgraded to the fast tier because the queue
+    /// depth had crossed [`ReactorConfig::fast_precision_queue_depth`].
+    pub fast_autoselected: u64,
 }
 
 const TOKEN_WAKER: Token = Token(0);
@@ -181,6 +194,7 @@ struct Shared {
     accept_sheds: AtomicU64,
     live: AtomicUsize,
     queue_depth: AtomicUsize,
+    fast_autoselected: AtomicU64,
     next_conn_id: AtomicU64,
     round_robin: AtomicUsize,
     io: Vec<IoShared>,
@@ -248,6 +262,7 @@ impl Reactor {
             accept_sheds: AtomicU64::new(0),
             live: AtomicUsize::new(0),
             queue_depth: AtomicUsize::new(0),
+            fast_autoselected: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(0),
             round_robin: AtomicUsize::new(0),
             io: io_shared,
@@ -334,6 +349,7 @@ impl Reactor {
             live_connections: self.shared.live.load(Ordering::SeqCst),
             max_connections: self.shared.config.max_connections,
             queue_depth: self.shared.queue_depth.load(Ordering::Relaxed),
+            fast_autoselected: self.shared.fast_autoselected.load(Ordering::Relaxed),
         }
     }
 
@@ -369,7 +385,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, pool: &ScratchPool) {
             Ok(job) => job,
             Err(_) => return, // all I/O threads gone
         };
-        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // fetch_sub returns the pre-decrement depth: the backlog including this job,
+        // which is the congestion signal precision autoselection keys off.
+        let depth_at_dispatch = shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
         if job.frame.first() == Some(&MSG_DEREGISTER) {
             let result = handle_deregister(shared, &job.frame);
             let close_after = matches!(result, Err(ServeError::Protocol(_)));
@@ -384,10 +402,34 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, pool: &ScratchPool) {
             );
             continue;
         }
+        if job.frame.first() == Some(&MSG_STATS) {
+            let result = decode_stats_request(&job.frame).map(|()| shared.registry.model_stats());
+            let close_after = matches!(result, Err(ServeError::Protocol(_)));
+            shared.deliver(
+                job.io_idx,
+                Completion {
+                    conn_id: job.conn_id,
+                    seq: job.seq,
+                    frame: encode_stats_result(&result),
+                    close_after,
+                },
+            );
+            continue;
+        }
         let result = match decode_request(&job.frame) {
             Ok(mut request) => {
                 if request.samples.is_none() {
                     request.samples = shared.config.default_samples;
+                }
+                // Precision autoselection: under backlog, trade the exact tier for
+                // the fast one instead of (eventually) shedding with Overloaded.
+                if let Some(threshold) = shared.config.fast_precision_queue_depth {
+                    if request.precision == neurocard::Precision::Exact
+                        && depth_at_dispatch >= threshold
+                    {
+                        request.precision = neurocard::Precision::Fast;
+                        shared.fast_autoselected.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 // Catch estimator panics: reply Internal, keep the worker, discard the
                 // scratch that was live during the unwind (its state is suspect; the
@@ -1283,6 +1325,66 @@ mod tests {
         assert_eq!(events[0].op, "deregister");
         assert_eq!(events[0].name, "m");
         let _ = std::fs::remove_file(&path);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn wire_stats_reports_the_per_model_split() {
+        use crate::protocol::{decode_stats_result, encode_stats_request};
+        let reactor = Reactor::bind(fixed_registry(2.0), "127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(reactor.local_addr()).unwrap();
+
+        // A registry with no serving history answers an empty split.
+        write_frame(&mut stream, &encode_stats_request()).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert_eq!(decode_stats_result(&frame).unwrap().unwrap(), Vec::new());
+
+        for _ in 0..3 {
+            write_frame(&mut stream, &encode_request(&request())).unwrap();
+            read_frame(&mut stream).unwrap();
+        }
+        write_frame(&mut stream, &encode_stats_request()).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        let stats = decode_stats_result(&frame).unwrap().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].key, ModelKey::new(1, "m", 1));
+        assert_eq!(stats[0].served, 3);
+        assert!(stats[0].p50_us >= 0.0 && stats[0].queries_per_sec > 0.0);
+        // The connection stays healthy for normal requests afterwards.
+        write_frame(&mut stream, &encode_request(&request())).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert_eq!(decode_result(&frame).unwrap().unwrap().estimate, 2.0);
+        assert_eq!(reactor.served(), 6);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn precision_autoselects_fast_past_the_queue_depth_threshold() {
+        // Threshold 0: every dispatch sees depth >= 0, so every exact request is
+        // downgraded — the counter must track them all, and (the fixed baseline has
+        // no fast tier) the answers stay correct.
+        let config = ReactorConfig {
+            fast_precision_queue_depth: Some(0),
+            ..small_config()
+        };
+        let reactor = Reactor::bind(fixed_registry(6.0), "127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(reactor.local_addr()).unwrap();
+        for _ in 0..5 {
+            write_frame(&mut stream, &encode_request(&request())).unwrap();
+            let frame = read_frame(&mut stream).unwrap();
+            assert_eq!(decode_result(&frame).unwrap().unwrap().estimate, 6.0);
+        }
+        assert_eq!(reactor.stats().fast_autoselected, 5);
+        reactor.shutdown();
+
+        // Disabled (the default): nothing is downgraded no matter the backlog.
+        let reactor = Reactor::bind(fixed_registry(6.0), "127.0.0.1:0", small_config()).unwrap();
+        let mut stream = TcpStream::connect(reactor.local_addr()).unwrap();
+        for _ in 0..4 {
+            write_frame(&mut stream, &encode_request(&request())).unwrap();
+            read_frame(&mut stream).unwrap();
+        }
+        assert_eq!(reactor.stats().fast_autoselected, 0);
         reactor.shutdown();
     }
 

@@ -25,11 +25,11 @@ use nc_schema::Query;
 
 use crate::fault::{splitmix64_mix, FaultInjector, GOLDEN_GAMMA};
 use crate::protocol::{
-    decode_admin_result, decode_result, encode_deregister, encode_request, read_frame, write_frame,
-    ServeReply, ServeRequest,
+    decode_admin_result, decode_result, decode_stats_result, encode_deregister, encode_request,
+    encode_stats_request, read_frame, write_frame, ServeReply, ServeRequest,
 };
 use crate::reactor::{Reactor, ReactorConfig, ReactorStats};
-use crate::registry::{ModelKey, ModelRegistry, ModelSelector};
+use crate::registry::{ModelKey, ModelRegistry, ModelSelector, ModelStats};
 use crate::ServeError;
 
 /// A running TCP front-end over a model registry.
@@ -319,6 +319,17 @@ impl ServeClient {
         )?;
         let frame = read_frame(&mut self.stream)?;
         decode_admin_result(&frame)?
+    }
+
+    /// Admin: fetches the server's per-model latency/throughput split
+    /// ([`crate::ModelRegistry::model_stats`]), sorted by key.  Read-only and
+    /// single-shot — monitors poll; a failed poll is just retried on the next tick.
+    pub fn stats(&mut self) -> Result<Vec<ModelStats>, ServeError> {
+        let deadline = Instant::now() + self.config.request_timeout;
+        self.set_deadline(deadline)?;
+        write_frame(&mut self.stream, &encode_stats_request())?;
+        let frame = read_frame(&mut self.stream)?;
+        decode_stats_result(&frame)?
     }
 }
 
